@@ -1,0 +1,253 @@
+//! Synthetic workload generators standing in for the PUMA datasets
+//! (Wikipedia text, Netflix-style movie ratings) and the scientific
+//! inputs (points, options) — see DESIGN.md §1 for why these preserve the
+//! statistical properties the paper's effects depend on.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A Zipf-distributed sampler over ranks `1..=n` (s = 1.07, close to
+/// English word frequencies). Implemented directly to avoid extra
+/// dependencies.
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build a sampler over `n` ranks with exponent `s`.
+    pub fn new(n: usize, s: f64) -> Self {
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Sample a rank in `0..n`.
+    pub fn sample(&self, rng: &mut impl Rng) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+/// Vocabulary word for a rank: short common words for low ranks, longer
+/// rarer ones beyond (mimicking natural text for the WC sort load).
+pub fn word_for_rank(rank: usize) -> String {
+    const COMMON: &[&str] = &[
+        "the", "of", "and", "a", "to", "in", "is", "was", "he", "for", "it", "with", "as",
+        "his", "on", "be", "at", "by", "i", "this", "had", "not", "are", "but", "from", "or",
+        "have", "an", "they", "which",
+    ];
+    if rank < COMMON.len() {
+        COMMON[rank].to_string()
+    } else {
+        format!("w{rank:x}")
+    }
+}
+
+/// Zipf-distributed text: `lines` lines of 4–12 words.
+pub fn text_corpus(lines: usize, seed: u64) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let zipf = Zipf::new(5000, 1.07);
+    let mut out = Vec::with_capacity(lines * 48);
+    for _ in 0..lines {
+        let n = rng.gen_range(4..=12);
+        for i in 0..n {
+            if i > 0 {
+                out.push(b' ');
+            }
+            out.extend_from_slice(word_for_rank(zipf.sample(&mut rng)).as_bytes());
+        }
+        out.push(b'\n');
+    }
+    out
+}
+
+/// Netflix-style ratings records: `movieId: r1,r2,...` with a skewed
+/// (popular movies get many ratings) review count — the variable record
+/// sizes that motivate record stealing (paper §4.1).
+pub fn ratings_corpus(movies: usize, seed: u64) -> Vec<u8> {
+    ratings_corpus_scaled(movies, 1, seed)
+}
+
+/// Like [`ratings_corpus`] but with every movie's rating count multiplied
+/// by `scale` — the long-record variant the clustering benchmarks use
+/// (full rating histories, paper §4.1's kmeans example).
+pub fn ratings_corpus_scaled(movies: usize, scale: usize, seed: u64) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let zipf = Zipf::new(60, 1.2);
+    let mut out = Vec::new();
+    for m in 0..movies {
+        out.extend_from_slice(format!("{m}:").as_bytes());
+        // Popularity skew: a few movies with many ratings.
+        let n = (1 + zipf.sample(&mut rng) + rng.gen_range(0..3)) * scale.max(1);
+        for i in 0..n {
+            if i > 0 {
+                out.push(b',');
+            }
+            let r = rng.gen_range(1..=5);
+            out.extend_from_slice(r.to_string().as_bytes());
+        }
+        out.push(b'\n');
+    }
+    out
+}
+
+/// Points for kmeans/classification: `id v0 v1 ... v{dim-1}` with values
+/// drawn around `k` well-separated cluster centres.
+pub fn points_corpus(points: usize, dim: usize, k: usize, seed: u64) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::new();
+    for p in 0..points {
+        let c = rng.gen_range(0..k);
+        out.extend_from_slice(format!("{p}").as_bytes());
+        for d in 0..dim {
+            let centre = (c * 10 + d) as f64;
+            let v = centre + rng.gen_range(-2.0..2.0);
+            out.extend_from_slice(format!(" {v:.3}").as_bytes());
+        }
+        out.push(b'\n');
+    }
+    out
+}
+
+/// The centroids the kmeans/classification mappers read (the sharedRO /
+/// texture data): `k` centroids of `dim` doubles, row-major.
+pub fn centroids(k: usize, dim: usize) -> Vec<f64> {
+    (0..k)
+        .flat_map(|c| (0..dim).map(move |d| (c * 10 + d) as f64))
+        .collect()
+}
+
+/// Option-pricing parameters for BlackScholes:
+/// `id spot strike rate volatility time`.
+pub fn options_corpus(options: usize, seed: u64) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::new();
+    for o in 0..options {
+        let spot = rng.gen_range(20.0..120.0f64);
+        let strike = rng.gen_range(20.0..120.0f64);
+        let rate = rng.gen_range(0.01..0.08f64);
+        let vol = rng.gen_range(0.1..0.6f64);
+        let t = rng.gen_range(0.25..2.0f64);
+        out.extend_from_slice(
+            format!("{o} {spot:.2} {strike:.2} {rate:.4} {vol:.3} {t:.2}\n").as_bytes(),
+        );
+    }
+    out
+}
+
+/// Rows for linear regression: 12 regressors plus noise-free-ish target
+/// (`y = Σ beta_i x_i + eps`), `32` rows per record group in the paper.
+pub fn regression_corpus(rows: usize, regressors: usize, seed: u64) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let betas: Vec<f64> = (0..regressors).map(|i| (i as f64 + 1.0) * 0.5).collect();
+    let mut out = Vec::new();
+    for _ in 0..rows {
+        let xs: Vec<f64> = (0..regressors).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let y: f64 = xs.iter().zip(&betas).map(|(x, b)| x * b).sum::<f64>()
+            + rng.gen_range(-0.05..0.05);
+        for x in &xs {
+            out.extend_from_slice(format!("{x:.4} ").as_bytes());
+        }
+        out.extend_from_slice(format!("{y:.4}\n").as_bytes());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lines(data: &[u8]) -> Vec<&[u8]> {
+        data.split(|&b| b == b'\n').filter(|l| !l.is_empty()).collect()
+    }
+
+    #[test]
+    fn zipf_is_skewed_and_deterministic() {
+        let z = Zipf::new(100, 1.2);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = vec![0u32; 100];
+        for _ in 0..10_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10] && counts[10] > counts[50]);
+        // Determinism.
+        let mut rng2 = StdRng::seed_from_u64(7);
+        let a: Vec<usize> = (0..50).map(|_| z.sample(&mut rng2)).collect();
+        let mut rng3 = StdRng::seed_from_u64(7);
+        let b: Vec<usize> = (0..50).map(|_| z.sample(&mut rng3)).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn text_corpus_shape() {
+        let t = text_corpus(100, 1);
+        assert_eq!(lines(&t).len(), 100);
+        let text = String::from_utf8(t).unwrap();
+        assert!(text.contains("the"), "common words should dominate");
+    }
+
+    #[test]
+    fn ratings_records_have_skewed_sizes() {
+        let r = ratings_corpus(500, 2);
+        let ls = lines(&r);
+        assert_eq!(ls.len(), 500);
+        let max = ls.iter().map(|l| l.len()).max().unwrap();
+        let min = ls.iter().map(|l| l.len()).min().unwrap();
+        assert!(max > 4 * min, "sizes should be skewed: max {max} min {min}");
+    }
+
+    #[test]
+    fn points_parse_back() {
+        let p = points_corpus(50, 4, 3, 3);
+        for l in lines(&p) {
+            let parts: Vec<&str> = std::str::from_utf8(l).unwrap().split(' ').collect();
+            assert_eq!(parts.len(), 5);
+            parts[1].parse::<f64>().unwrap();
+        }
+    }
+
+    #[test]
+    fn options_parse_back() {
+        let o = options_corpus(20, 4);
+        for l in lines(&o) {
+            let parts: Vec<&str> = std::str::from_utf8(l).unwrap().split(' ').collect();
+            assert_eq!(parts.len(), 6);
+            assert!(parts[1].parse::<f64>().unwrap() > 0.0);
+        }
+    }
+
+    #[test]
+    fn regression_rows_fit_betas() {
+        let r = regression_corpus(100, 12, 5);
+        for l in lines(&r).iter().take(5) {
+            let vals: Vec<f64> = std::str::from_utf8(l)
+                .unwrap()
+                .split_whitespace()
+                .map(|v| v.parse().unwrap())
+                .collect();
+            assert_eq!(vals.len(), 13);
+            let y_pred: f64 = vals[..12]
+                .iter()
+                .enumerate()
+                .map(|(i, x)| x * (i as f64 + 1.0) * 0.5)
+                .sum();
+            assert!((vals[12] - y_pred).abs() < 0.06);
+        }
+    }
+
+    #[test]
+    fn centroids_match_point_generation() {
+        let c = centroids(3, 4);
+        assert_eq!(c.len(), 12);
+        assert_eq!(c[0], 0.0);
+        assert_eq!(c[4], 10.0); // centroid 1, dim 0
+    }
+}

@@ -1,0 +1,26 @@
+//! # hetero-apps
+//!
+//! The eight benchmarks of the HeteroDoop evaluation (Table 2) — Grep,
+//! Histmovies, Wordcount, Histratings, Linear Regression, Kmeans,
+//! Classification, and BlackScholes — each available as
+//!
+//! * a **native** [`Mapper`](hetero_runtime::Mapper)/combiner/reducer
+//!   implementation executed by the runtime's CPU and GPU paths, and
+//! * an **annotated mini-C source** (Listing-1/2 style) consumed by the
+//!   `hetero-cc` directive compiler,
+//!
+//! plus synthetic workload generators ([`datagen`]) standing in for the
+//! PUMA datasets.
+
+#![warn(missing_docs)]
+
+pub mod common;
+pub mod datagen;
+pub mod hist;
+pub mod ml;
+pub mod registry;
+pub mod sci;
+pub mod text;
+
+pub use common::{App, AppSpec, Intensiveness};
+pub use registry::{all_apps, app_by_code, table2, CODES};

@@ -1,0 +1,22 @@
+//! Criterion benchmarks of the discrete-event cluster simulator under
+//! the three schedulers (Fig. 3 / Fig. 4 machinery).
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hetero_cluster::{simulate, ClusterConfig, JobSpec, Scheduler};
+
+fn bench_schedulers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("des");
+    for s in [Scheduler::CpuOnly, Scheduler::GpuFirst, Scheduler::TailScheduling] {
+        let mut cfg = ClusterConfig::small(48, s);
+        cfg.map_slots_per_node = 20;
+        let job = JobSpec::uniform("bench", 4800, 48, 3, 40.0, 4.0);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{s:?}")),
+            &(cfg, job),
+            |b, (cfg, job)| b.iter(|| simulate(cfg, job)),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_schedulers);
+criterion_main!(benches);

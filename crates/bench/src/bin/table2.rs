@@ -1,0 +1,5 @@
+//! Regenerates Table 2: the benchmark suite description.
+fn main() {
+    println!("Table 2 — Description of the Benchmarks Used");
+    print!("{}", hetero_apps::table2());
+}

@@ -1,0 +1,6 @@
+//! Regenerates Table 3: the cluster setups.
+use heterodoop::Preset;
+fn main() {
+    println!("Table 3 — Cluster Setups Used");
+    print!("{}", Preset::table3());
+}

@@ -1,0 +1,2 @@
+//! Placeholder until the bench harness lands.
+pub fn placeholder() {}

@@ -1,0 +1,106 @@
+//! Diagnostics for the HeteroDoop compiler.
+
+use std::fmt;
+
+/// Source location (line-granular; enough for directive diagnostics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// Compiler errors, each tagged with the phase that produced them.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CcError {
+    /// Lexical error.
+    Lex {
+        /// Source line.
+        line: u32,
+        /// Message.
+        msg: String,
+    },
+    /// Parse error.
+    Parse {
+        /// Source line.
+        line: u32,
+        /// Message.
+        msg: String,
+    },
+    /// Directive (pragma) error — unknown clause, missing argument,
+    /// clause on the wrong directive kind, etc.
+    Directive {
+        /// Source line.
+        line: u32,
+        /// Message.
+        msg: String,
+    },
+    /// Semantic error — unknown variable in a clause, no annotated loop...
+    Sema {
+        /// Source line.
+        line: u32,
+        /// Message.
+        msg: String,
+    },
+    /// Runtime error in the interpreter.
+    Interp(String),
+}
+
+impl CcError {
+    pub(crate) fn lex(line: u32, msg: impl Into<String>) -> Self {
+        CcError::Lex {
+            line,
+            msg: msg.into(),
+        }
+    }
+    pub(crate) fn parse(line: u32, msg: impl Into<String>) -> Self {
+        CcError::Parse {
+            line,
+            msg: msg.into(),
+        }
+    }
+    pub(crate) fn directive(line: u32, msg: impl Into<String>) -> Self {
+        CcError::Directive {
+            line,
+            msg: msg.into(),
+        }
+    }
+    pub(crate) fn sema(line: u32, msg: impl Into<String>) -> Self {
+        CcError::Sema {
+            line,
+            msg: msg.into(),
+        }
+    }
+    pub(crate) fn interp(msg: impl Into<String>) -> Self {
+        CcError::Interp(msg.into())
+    }
+}
+
+impl fmt::Display for CcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CcError::Lex { line, msg } => write!(f, "lex error (line {line}): {msg}"),
+            CcError::Parse { line, msg } => write!(f, "parse error (line {line}): {msg}"),
+            CcError::Directive { line, msg } => write!(f, "directive error (line {line}): {msg}"),
+            CcError::Sema { line, msg } => write!(f, "semantic error (line {line}): {msg}"),
+            CcError::Interp(msg) => write!(f, "interpreter error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CcError {}
+
+/// Non-fatal diagnostics, e.g. the paper's warning when privatization
+/// analysis is inexact due to aliasing (§3.2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Warning {
+    /// Source line.
+    pub line: u32,
+    /// Message.
+    pub msg: String,
+}
+
+impl fmt::Display for Warning {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "warning (line {}): {}", self.line, self.msg)
+    }
+}

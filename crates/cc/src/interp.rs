@@ -1,0 +1,1432 @@
+//! Interpreter for the HeteroDoop C subset.
+//!
+//! Executes a parsed MapReduce program functionally. The streaming I/O
+//! model mirrors Hadoop Streaming (paper §2.2): the mapper reads records
+//! from `stdin` via `getline` and emits KV pairs with `printf`; the
+//! combiner reads sorted KV pairs via `scanf` and emits with `printf`.
+//!
+//! The interpreter also counts abstract operations ([`InterpStats`]) so
+//! that the surrounding system can charge GPU/CPU cost models for the
+//! *same* computation the program actually performed.
+
+use crate::ast::*;
+use crate::error::CcError;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Operation counts accumulated while interpreting — consumed by the cost
+/// models.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct InterpStats {
+    /// Plain operations (arith/logic/compare/assign/index).
+    pub ops: u64,
+    /// Memory touches (buffer reads + writes).
+    pub mem: u64,
+    /// Special-function calls (sqrt/exp/log/pow...).
+    pub sfu: u64,
+    /// Records consumed via `getline`/`scanf`.
+    pub records_in: u64,
+    /// Lines emitted via `printf`.
+    pub lines_out: u64,
+}
+
+/// Where `getline`/`scanf` read from.
+#[derive(Debug, Clone)]
+pub enum Input {
+    /// Line records for the mapper.
+    Lines(Vec<Vec<u8>>),
+    /// Sorted `(key, value)` pairs for the combiner; values rendered as
+    /// text, key and value separated per the `scanf` format.
+    Kvs(Vec<(Vec<u8>, Vec<u8>)>),
+}
+
+/// Streaming I/O state for one interpreter run.
+#[derive(Debug)]
+pub struct StreamIo {
+    input: Input,
+    cursor: usize,
+    /// Raw bytes written by `printf`.
+    pub stdout: Vec<u8>,
+}
+
+impl StreamIo {
+    /// Feed line records (mapper input).
+    pub fn lines(lines: Vec<Vec<u8>>) -> Self {
+        StreamIo {
+            input: Input::Lines(lines),
+            cursor: 0,
+            stdout: Vec::new(),
+        }
+    }
+
+    /// Feed KV pairs (combiner input).
+    pub fn kvs(kvs: Vec<(Vec<u8>, Vec<u8>)>) -> Self {
+        StreamIo {
+            input: Input::Kvs(kvs),
+            cursor: 0,
+            stdout: Vec::new(),
+        }
+    }
+
+    /// Parse the emitted stdout as tab-separated `key\tvalue` lines.
+    pub fn emitted_kvs(&self) -> Vec<(Vec<u8>, Vec<u8>)> {
+        self.stdout
+            .split(|&b| b == b'\n')
+            .filter(|l| !l.is_empty())
+            .map(|l| match l.iter().position(|&b| b == b'\t') {
+                Some(t) => (l[..t].to_vec(), l[t + 1..].to_vec()),
+                None => (l.to_vec(), Vec::new()),
+            })
+            .collect()
+    }
+}
+
+/// Values.
+#[derive(Debug, Clone)]
+enum V {
+    I(i64),
+    F(f64),
+    /// Pointer into heap buffer `buf` at element offset `off`.
+    Ptr { buf: usize, off: usize },
+    /// Address of a scalar slot (`&var`).
+    SlotRef(usize),
+    Null,
+}
+
+/// Heap buffers; element kind fixed at allocation.
+#[derive(Debug, Clone)]
+enum Buffer {
+    Bytes(Vec<u8>),
+    Ints(Vec<i64>),
+    Doubles(Vec<f64>),
+}
+
+impl Buffer {
+    fn len(&self) -> usize {
+        match self {
+            Buffer::Bytes(v) => v.len(),
+            Buffer::Ints(v) => v.len(),
+            Buffer::Doubles(v) => v.len(),
+        }
+    }
+}
+
+enum Flow {
+    Normal,
+    Break,
+    Continue,
+    Return(V),
+}
+
+/// Interpreter over one program.
+pub struct Interp<'p> {
+    prog: &'p Program,
+    heap: Vec<Buffer>,
+    slots: Vec<V>,
+    /// Per-call-frame scopes: name -> slot, plus array strides for 2-D
+    /// indexing (slot var name -> row length).
+    scopes: Vec<Vec<HashMap<String, usize>>>,
+    strides: HashMap<usize, usize>,
+    /// Slots bound to declared arrays (these decay under `&`, pointers
+    /// do not).
+    array_slots: std::collections::HashSet<usize>,
+    stats: InterpStats,
+    steps: u64,
+    max_steps: u64,
+}
+
+impl<'p> Interp<'p> {
+    /// Create an interpreter for `prog`.
+    pub fn new(prog: &'p Program) -> Self {
+        Interp {
+            prog,
+            heap: Vec::new(),
+            slots: Vec::new(),
+            scopes: Vec::new(),
+            strides: HashMap::new(),
+            array_slots: std::collections::HashSet::new(),
+            stats: InterpStats::default(),
+            steps: 0,
+            max_steps: 500_000_000,
+        }
+    }
+
+    /// Cap on evaluation steps (guards against runaway loops in user
+    /// sources).
+    pub fn with_max_steps(mut self, n: u64) -> Self {
+        self.max_steps = n;
+        self
+    }
+
+    /// Run `main` to completion against the given streaming I/O.
+    pub fn run_main(mut self, io: &mut StreamIo) -> Result<InterpStats, CcError> {
+        let main = self
+            .prog
+            .func("main")
+            .ok_or_else(|| CcError::interp("no main function"))?;
+        self.call_func(main, Vec::new(), io)?;
+        Ok(self.stats)
+    }
+
+    fn tick(&mut self) -> Result<(), CcError> {
+        self.steps += 1;
+        if self.steps > self.max_steps {
+            return Err(CcError::interp("step limit exceeded (infinite loop?)"));
+        }
+        Ok(())
+    }
+
+    fn call_func(
+        &mut self,
+        f: &'p FuncDef,
+        args: Vec<V>,
+        io: &mut StreamIo,
+    ) -> Result<V, CcError> {
+        if args.len() != f.params.len() {
+            return Err(CcError::interp(format!(
+                "function {} expects {} args, got {}",
+                f.name,
+                f.params.len(),
+                args.len()
+            )));
+        }
+        self.scopes.push(vec![HashMap::new()]);
+        for ((_, name), v) in f.params.iter().zip(args) {
+            let slot = self.new_slot(v);
+            self.bind(name, slot);
+        }
+        let mut ret = V::I(0);
+        for s in &f.body {
+            match self.exec(s, io)? {
+                Flow::Return(v) => {
+                    ret = v;
+                    break;
+                }
+                Flow::Normal => {}
+                _ => return Err(CcError::interp("break/continue outside loop")),
+            }
+        }
+        self.scopes.pop();
+        Ok(ret)
+    }
+
+    fn new_slot(&mut self, v: V) -> usize {
+        self.slots.push(v);
+        self.slots.len() - 1
+    }
+
+    fn bind(&mut self, name: &str, slot: usize) {
+        self.scopes
+            .last_mut()
+            .unwrap()
+            .last_mut()
+            .unwrap()
+            .insert(name.to_string(), slot);
+    }
+
+    fn lookup(&self, name: &str) -> Option<usize> {
+        let frame = self.scopes.last()?;
+        frame.iter().rev().find_map(|s| s.get(name)).copied()
+    }
+
+    fn exec(&mut self, s: &'p Stmt, io: &mut StreamIo) -> Result<Flow, CcError> {
+        self.tick()?;
+        match &s.kind {
+            StmtKind::Decl(ds) => {
+                for d in ds {
+                    let v = self.declare(d, io)?;
+                    let slot = self.new_slot(v);
+                    self.bind(&d.name, slot);
+                    if d.ty.is_array() {
+                        self.array_slots.insert(slot);
+                    }
+                    if let CType::Array(inner, _) = &d.ty {
+                        if let CType::Array(_, Some(cols)) = inner.as_ref() {
+                            self.strides.insert(slot, *cols);
+                        }
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            StmtKind::Expr(e) => {
+                self.eval(e, io)?;
+                Ok(Flow::Normal)
+            }
+            StmtKind::While { cond, body } => {
+                loop {
+                    self.tick()?;
+                    if !truthy(&self.eval(cond, io)?) {
+                        break;
+                    }
+                    match self.exec(body, io)? {
+                        Flow::Break => break,
+                        Flow::Return(v) => return Ok(Flow::Return(v)),
+                        _ => {}
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            StmtKind::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                self.push_scope();
+                if let Some(i) = init {
+                    self.exec(i, io)?;
+                }
+                loop {
+                    self.tick()?;
+                    if let Some(c) = cond {
+                        if !truthy(&self.eval(c, io)?) {
+                            break;
+                        }
+                    }
+                    match self.exec(body, io)? {
+                        Flow::Break => break,
+                        Flow::Return(v) => {
+                            self.pop_scope();
+                            return Ok(Flow::Return(v));
+                        }
+                        _ => {}
+                    }
+                    if let Some(st) = step {
+                        self.eval(st, io)?;
+                    }
+                }
+                self.pop_scope();
+                Ok(Flow::Normal)
+            }
+            StmtKind::If { cond, then, els } => {
+                if truthy(&self.eval(cond, io)?) {
+                    self.exec(then, io)
+                } else if let Some(e) = els {
+                    self.exec(e, io)
+                } else {
+                    Ok(Flow::Normal)
+                }
+            }
+            StmtKind::Return(e) => {
+                let v = match e {
+                    Some(x) => self.eval(x, io)?,
+                    None => V::I(0),
+                };
+                Ok(Flow::Return(v))
+            }
+            StmtKind::Break => Ok(Flow::Break),
+            StmtKind::Continue => Ok(Flow::Continue),
+            StmtKind::Block(body) => {
+                self.push_scope();
+                for st in body {
+                    match self.exec(st, io)? {
+                        Flow::Normal => {}
+                        f => {
+                            self.pop_scope();
+                            return Ok(f);
+                        }
+                    }
+                }
+                self.pop_scope();
+                Ok(Flow::Normal)
+            }
+            StmtKind::Annotated(_, inner) => self.exec(inner, io),
+            StmtKind::Empty => Ok(Flow::Normal),
+        }
+    }
+
+    fn push_scope(&mut self) {
+        self.scopes.last_mut().unwrap().push(HashMap::new());
+    }
+
+    fn pop_scope(&mut self) {
+        self.scopes.last_mut().unwrap().pop();
+    }
+
+    fn declare(&mut self, d: &'p Declarator, io: &mut StreamIo) -> Result<V, CcError> {
+        match &d.ty {
+            CType::Array(inner, n) => {
+                let total = match inner.as_ref() {
+                    CType::Array(_, Some(cols)) => n.unwrap_or(1) * cols,
+                    _ => n.ok_or_else(|| {
+                        CcError::interp(format!("array {} needs a size", d.name))
+                    })?,
+                };
+                let elem = leaf_type(&d.ty);
+                let buf = self.alloc_buffer(&elem, total);
+                Ok(V::Ptr { buf, off: 0 })
+            }
+            _ => match &d.init {
+                Some(e) => self.eval(e, io),
+                None => Ok(default_value(&d.ty)),
+            },
+        }
+    }
+
+    fn alloc_buffer(&mut self, elem: &CType, n: usize) -> usize {
+        let b = match elem {
+            CType::Char => Buffer::Bytes(vec![0; n]),
+            CType::Float | CType::Double => Buffer::Doubles(vec![0.0; n]),
+            _ => Buffer::Ints(vec![0; n]),
+        };
+        self.heap.push(b);
+        self.heap.len() - 1
+    }
+
+    fn eval(&mut self, e: &'p Expr, io: &mut StreamIo) -> Result<V, CcError> {
+        self.tick()?;
+        self.stats.ops += 1;
+        match e {
+            Expr::IntLit(v) => Ok(V::I(*v)),
+            Expr::FloatLit(v) => Ok(V::F(*v)),
+            Expr::CharLit(c) => Ok(V::I(*c as i64)),
+            Expr::StrLit(s) => {
+                let mut bytes = s.as_bytes().to_vec();
+                bytes.push(0);
+                self.heap.push(Buffer::Bytes(bytes));
+                Ok(V::Ptr {
+                    buf: self.heap.len() - 1,
+                    off: 0,
+                })
+            }
+            Expr::Ident(name) => {
+                let slot = self
+                    .lookup(name)
+                    .ok_or_else(|| CcError::interp(format!("unknown variable {name}")))?;
+                Ok(self.slots[slot].clone())
+            }
+            Expr::Unary(op, x) => self.eval_unary(*op, x, io),
+            Expr::PostInc(x) => {
+                let old = self.eval(x, io)?;
+                let new = num_add(&old, 1)?;
+                self.assign_to(x, new, io)?;
+                Ok(old)
+            }
+            Expr::PostDec(x) => {
+                let old = self.eval(x, io)?;
+                let new = num_add(&old, -1)?;
+                self.assign_to(x, new, io)?;
+                Ok(old)
+            }
+            Expr::Binary(op, a, b) => {
+                let va = self.eval(a, io)?;
+                if *op == BinOp::And {
+                    if !truthy(&va) {
+                        return Ok(V::I(0));
+                    }
+                    let vb = self.eval(b, io)?;
+                    return Ok(V::I(truthy(&vb) as i64));
+                }
+                if *op == BinOp::Or {
+                    if truthy(&va) {
+                        return Ok(V::I(1));
+                    }
+                    let vb = self.eval(b, io)?;
+                    return Ok(V::I(truthy(&vb) as i64));
+                }
+                let vb = self.eval(b, io)?;
+                binary(*op, va, vb)
+            }
+            Expr::Assign(op, lhs, rhs) => {
+                let rv = self.eval(rhs, io)?;
+                let nv = if *op == AssignOp::None {
+                    rv
+                } else {
+                    let old = self.eval(lhs, io)?;
+                    let bop = match op {
+                        AssignOp::Add => BinOp::Add,
+                        AssignOp::Sub => BinOp::Sub,
+                        AssignOp::Mul => BinOp::Mul,
+                        AssignOp::Div => BinOp::Div,
+                        AssignOp::Rem => BinOp::Rem,
+                        AssignOp::None => unreachable!(),
+                    };
+                    binary(bop, old, rv)?
+                };
+                self.assign_to(lhs, nv.clone(), io)?;
+                Ok(nv)
+            }
+            Expr::Cond(c, t, f) => {
+                if truthy(&self.eval(c, io)?) {
+                    self.eval(t, io)
+                } else {
+                    self.eval(f, io)
+                }
+            }
+            Expr::Call(name, args) => self.call(name, args, io),
+            Expr::Index(base, idx) => {
+                let (buf, off) = self.index_target(base, idx, io)?;
+                self.stats.mem += 1;
+                self.read_buf(buf, off)
+            }
+            Expr::Cast(ty, x) => {
+                let v = self.eval(x, io)?;
+                Ok(cast(&v, ty))
+            }
+            Expr::SizeOf(ty) => Ok(V::I(ty.scalar_size() as i64)),
+        }
+    }
+
+    fn eval_unary(&mut self, op: UnOp, x: &'p Expr, io: &mut StreamIo) -> Result<V, CcError> {
+        match op {
+            UnOp::AddrOf => match x {
+                Expr::Ident(name) => {
+                    let slot = self
+                        .lookup(name)
+                        .ok_or_else(|| CcError::interp(format!("unknown variable {name}")))?;
+                    // Address of an array variable is the array itself;
+                    // address of a scalar or pointer variable is a slot
+                    // reference (so getline(&line, ...) can replace the
+                    // pointer).
+                    if self.array_slots.contains(&slot) {
+                        Ok(self.slots[slot].clone())
+                    } else {
+                        Ok(V::SlotRef(slot))
+                    }
+                }
+                Expr::Index(base, idx) => {
+                    let (buf, off) = self.index_target(base, idx, io)?;
+                    Ok(V::Ptr { buf, off })
+                }
+                _ => Err(CcError::interp("unsupported address-of target")),
+            },
+            UnOp::Deref => {
+                let v = self.eval(x, io)?;
+                match v {
+                    V::Ptr { buf, off } => {
+                        self.stats.mem += 1;
+                        self.read_buf(buf, off)
+                    }
+                    V::SlotRef(s) => Ok(self.slots[s].clone()),
+                    _ => Err(CcError::interp("dereference of non-pointer")),
+                }
+            }
+            UnOp::Neg => match self.eval(x, io)? {
+                V::I(v) => Ok(V::I(-v)),
+                V::F(v) => Ok(V::F(-v)),
+                _ => Err(CcError::interp("negate non-number")),
+            },
+            UnOp::Not => Ok(V::I(!truthy(&self.eval(x, io)?) as i64)),
+            UnOp::BitNot => match self.eval(x, io)? {
+                V::I(v) => Ok(V::I(!v)),
+                _ => Err(CcError::interp("~ on non-int")),
+            },
+            UnOp::PreInc => {
+                let v = num_add(&self.eval(x, io)?, 1)?;
+                self.assign_to(x, v.clone(), io)?;
+                Ok(v)
+            }
+            UnOp::PreDec => {
+                let v = num_add(&self.eval(x, io)?, -1)?;
+                self.assign_to(x, v.clone(), io)?;
+                Ok(v)
+            }
+        }
+    }
+
+    /// Resolve `base[idx]` (including 2-D `a[i][j]`) to a buffer slot.
+    fn index_target(
+        &mut self,
+        base: &'p Expr,
+        idx: &'p Expr,
+        io: &mut StreamIo,
+    ) -> Result<(usize, usize), CcError> {
+        let i = as_int(&self.eval(idx, io)?)? as isize;
+        // 2-D: base is itself an Index over a strided variable.
+        if let Expr::Index(inner_base, inner_idx) = base {
+            if let Expr::Ident(name) = inner_base.as_ref() {
+                if let Some(slot) = self.lookup(name) {
+                    if let Some(&stride) = self.strides.get(&slot) {
+                        let row = as_int(&self.eval(inner_idx, io)?)? as isize;
+                        if let V::Ptr { buf, off } = self.slots[slot].clone() {
+                            let pos = off as isize + row * stride as isize + i;
+                            return self.check_bounds(buf, pos);
+                        }
+                    }
+                }
+            }
+        }
+        let b = self.eval(base, io)?;
+        match b {
+            V::Ptr { buf, off } => {
+                let pos = off as isize + i;
+                self.check_bounds(buf, pos)
+            }
+            _ => Err(CcError::interp("indexing non-pointer")),
+        }
+    }
+
+    fn check_bounds(&self, buf: usize, pos: isize) -> Result<(usize, usize), CcError> {
+        if pos < 0 || pos as usize >= self.heap[buf].len() {
+            return Err(CcError::interp(format!(
+                "index {pos} out of bounds for buffer of {}",
+                self.heap[buf].len()
+            )));
+        }
+        Ok((buf, pos as usize))
+    }
+
+    fn read_buf(&self, buf: usize, off: usize) -> Result<V, CcError> {
+        Ok(match &self.heap[buf] {
+            Buffer::Bytes(v) => V::I(v[off] as i64),
+            Buffer::Ints(v) => V::I(v[off]),
+            Buffer::Doubles(v) => V::F(v[off]),
+        })
+    }
+
+    fn write_buf(&mut self, buf: usize, off: usize, v: &V) -> Result<(), CcError> {
+        self.stats.mem += 1;
+        match &mut self.heap[buf] {
+            Buffer::Bytes(b) => b[off] = as_int(v)? as u8,
+            Buffer::Ints(b) => b[off] = as_int(v)?,
+            Buffer::Doubles(b) => b[off] = as_f64(v)?,
+        }
+        Ok(())
+    }
+
+    fn assign_to(&mut self, lhs: &'p Expr, v: V, io: &mut StreamIo) -> Result<(), CcError> {
+        match lhs {
+            Expr::Ident(name) => {
+                let slot = self
+                    .lookup(name)
+                    .ok_or_else(|| CcError::interp(format!("unknown variable {name}")))?;
+                self.slots[slot] = v;
+                Ok(())
+            }
+            Expr::Index(base, idx) => {
+                let (buf, off) = self.index_target(base, idx, io)?;
+                self.write_buf(buf, off, &v)
+            }
+            Expr::Unary(UnOp::Deref, x) => {
+                let target = self.eval(x, io)?;
+                match target {
+                    V::Ptr { buf, off } => self.write_buf(buf, off, &v),
+                    V::SlotRef(s) => {
+                        self.slots[s] = v;
+                        Ok(())
+                    }
+                    _ => Err(CcError::interp("store through non-pointer")),
+                }
+            }
+            Expr::Cast(_, inner) => self.assign_to(inner, v, io),
+            _ => Err(CcError::interp("unsupported assignment target")),
+        }
+    }
+
+    // ---- builtins ----
+
+    fn call(&mut self, name: &str, args: &'p [Expr], io: &mut StreamIo) -> Result<V, CcError> {
+        // User-defined functions first.
+        if let Some(_f) = self.prog.func(name) {
+            let mut vals = Vec::with_capacity(args.len());
+            for a in args {
+                vals.push(self.eval(a, io)?);
+            }
+            // Look up again to appease the borrow checker via index.
+            let f = self.prog.func(name).unwrap();
+            return self.call_func(f, vals, io);
+        }
+        match name {
+            "getline" => self.builtin_getline(args, io),
+            "getWord" => self.builtin_getword(args, io),
+            "getTok" => self.builtin_gettok(args, io),
+            "strfind" => {
+                // Runtime helper: index of needle in haystack, or -1.
+                let h = self.eval(&args[0], io)?;
+                let n = self.eval(&args[1], io)?;
+                let hay = self.cstr(&h)?;
+                let needle = self.cstr(&n)?;
+                self.stats.mem += (hay.len() + needle.len()) as u64;
+                let pos = if needle.is_empty() {
+                    0
+                } else {
+                    hay.windows(needle.len())
+                        .position(|w| w == needle.as_slice())
+                        .map(|p| p as i64)
+                        .unwrap_or(-1)
+                };
+                Ok(V::I(pos as i64))
+            }
+            "printf" => self.builtin_printf(args, io),
+            "scanf" => self.builtin_scanf(args, io),
+            "strcmp" => {
+                let a = self.eval(&args[0], io)?;
+                let b = self.eval(&args[1], io)?;
+                let sa = self.cstr(&a)?;
+                let sb = self.cstr(&b)?;
+                self.stats.mem += (sa.len() + sb.len()) as u64;
+                Ok(V::I(match sa.cmp(&sb) {
+                    std::cmp::Ordering::Less => -1,
+                    std::cmp::Ordering::Equal => 0,
+                    std::cmp::Ordering::Greater => 1,
+                }))
+            }
+            "strcpy" => {
+                let dst = self.eval(&args[0], io)?;
+                let src = self.eval(&args[1], io)?;
+                let s = self.cstr(&src)?;
+                self.stats.mem += s.len() as u64;
+                self.write_cstr(&dst, &s)?;
+                Ok(dst)
+            }
+            "strlen" => {
+                let p = self.eval(&args[0], io)?;
+                let s = self.cstr(&p)?;
+                Ok(V::I(s.len() as i64))
+            }
+            "atoi" => {
+                let p = self.eval(&args[0], io)?;
+                let s = self.cstr(&p)?;
+                let txt = String::from_utf8_lossy(&s);
+                Ok(V::I(txt.trim().parse::<i64>().unwrap_or(0)))
+            }
+            "atof" => {
+                let p = self.eval(&args[0], io)?;
+                let s = self.cstr(&p)?;
+                let txt = String::from_utf8_lossy(&s);
+                Ok(V::F(txt.trim().parse::<f64>().unwrap_or(0.0)))
+            }
+            "sqrt" | "exp" | "log" | "fabs" | "floor" | "ceil" | "erf" => {
+                self.stats.sfu += 1;
+                let x = as_f64(&self.eval(&args[0], io)?)?;
+                Ok(V::F(match name {
+                    "sqrt" => x.sqrt(),
+                    "exp" => x.exp(),
+                    "log" => x.ln(),
+                    "fabs" => x.abs(),
+                    "floor" => x.floor(),
+                    "ceil" => x.ceil(),
+                    "erf" => erf(x),
+                    _ => unreachable!(),
+                }))
+            }
+            "pow" => {
+                self.stats.sfu += 1;
+                let a = as_f64(&self.eval(&args[0], io)?)?;
+                let b = as_f64(&self.eval(&args[1], io)?)?;
+                Ok(V::F(a.powf(b)))
+            }
+            "malloc" | "calloc" => {
+                let n = as_int(&self.eval(&args[0], io)?)? as usize;
+                let n = if name == "calloc" {
+                    n * as_int(&self.eval(&args[1], io)?)? as usize
+                } else {
+                    n
+                };
+                self.heap.push(Buffer::Bytes(vec![0; n.max(1)]));
+                Ok(V::Ptr {
+                    buf: self.heap.len() - 1,
+                    off: 0,
+                })
+            }
+            "free" => {
+                for a in args {
+                    self.eval(a, io)?;
+                }
+                Ok(V::I(0))
+            }
+            "abs" => {
+                let v = as_int(&self.eval(&args[0], io)?)?;
+                Ok(V::I(v.abs()))
+            }
+            _ => Err(CcError::interp(format!("unknown function {name}"))),
+        }
+    }
+
+    fn builtin_getline(
+        &mut self,
+        args: &'p [Expr],
+        io: &mut StreamIo,
+    ) -> Result<V, CcError> {
+        // getline(&line, &nbytes, stdin) -> bytes read incl. '\n', or -1.
+        let record = match &mut io.input {
+            Input::Lines(lines) => {
+                if io.cursor >= lines.len() {
+                    return Ok(V::I(-1));
+                }
+                let r = lines[io.cursor].clone();
+                io.cursor += 1;
+                r
+            }
+            Input::Kvs(_) => return Err(CcError::interp("getline on KV input")),
+        };
+        self.stats.records_in += 1;
+        self.stats.mem += record.len() as u64;
+        let mut bytes = record;
+        bytes.push(b'\n');
+        let len = bytes.len();
+        bytes.push(0);
+        self.heap.push(Buffer::Bytes(bytes));
+        let ptr = V::Ptr {
+            buf: self.heap.len() - 1,
+            off: 0,
+        };
+        // Store the new buffer through the first argument (&line).
+        let target = self.eval(&args[0], io)?;
+        match target {
+            V::SlotRef(s) => self.slots[s] = ptr,
+            V::Ptr { .. } => return Err(CcError::interp("getline target must be &ptr")),
+            _ => return Err(CcError::interp("bad getline target")),
+        }
+        Ok(V::I(len as i64))
+    }
+
+    fn builtin_getword(
+        &mut self,
+        args: &'p [Expr],
+        io: &mut StreamIo,
+    ) -> Result<V, CcError> {
+        // getWord(line, offset, word, read, maxLen) -> chars consumed or -1.
+        // Scans from `offset`, skipping separators, copies the next word
+        // (NUL-terminated, truncated to maxLen-1) into `word`.
+        let line = self.eval(&args[0], io)?;
+        let offset = as_int(&self.eval(&args[1], io)?)? as usize;
+        let word = self.eval(&args[2], io)?;
+        let read = as_int(&self.eval(&args[3], io)?)? as usize;
+        let max_len = as_int(&self.eval(&args[4], io)?)? as usize;
+        let buf = self.cstr_n(&line, read)?;
+        let is_sep = |b: u8| !(b.is_ascii_alphanumeric() || b == b'_' || b == b'\'');
+        let mut i = offset.min(buf.len());
+        while i < buf.len() && is_sep(buf[i]) {
+            i += 1;
+        }
+        if i >= buf.len() {
+            return Ok(V::I(-1));
+        }
+        let start = i;
+        while i < buf.len() && !is_sep(buf[i]) {
+            i += 1;
+        }
+        let w = &buf[start..i.min(start + max_len.saturating_sub(1))];
+        self.stats.mem += w.len() as u64;
+        self.write_cstr(&word, w)?;
+        Ok(V::I((i - offset) as i64))
+    }
+
+    fn builtin_gettok(
+        &mut self,
+        args: &'p [Expr],
+        io: &mut StreamIo,
+    ) -> Result<V, CcError> {
+        // getTok(line, offset, buf, read, maxLen): like getWord but splits
+        // on whitespace only, so numeric tokens (dots, minus signs)
+        // survive. Returns chars consumed or -1.
+        let line = self.eval(&args[0], io)?;
+        let offset = as_int(&self.eval(&args[1], io)?)? as usize;
+        let buf_dst = self.eval(&args[2], io)?;
+        let read = as_int(&self.eval(&args[3], io)?)? as usize;
+        let max_len = as_int(&self.eval(&args[4], io)?)? as usize;
+        let buf = self.cstr_n(&line, read)?;
+        let is_sep = |b: u8| b.is_ascii_whitespace();
+        let mut i = offset.min(buf.len());
+        while i < buf.len() && is_sep(buf[i]) {
+            i += 1;
+        }
+        if i >= buf.len() {
+            return Ok(V::I(-1));
+        }
+        let start = i;
+        while i < buf.len() && !is_sep(buf[i]) {
+            i += 1;
+        }
+        let w = &buf[start..i.min(start + max_len.saturating_sub(1))];
+        self.stats.mem += w.len() as u64;
+        self.write_cstr(&buf_dst, w)?;
+        Ok(V::I((i - offset) as i64))
+    }
+
+    fn builtin_printf(&mut self, args: &'p [Expr], io: &mut StreamIo) -> Result<V, CcError> {
+        let fmt = match &args[0] {
+            Expr::StrLit(s) => s.clone(),
+            _ => return Err(CcError::interp("printf needs a literal format")),
+        };
+        let mut out = String::new();
+        let mut arg_i = 1usize;
+        let fb = fmt.as_bytes();
+        let mut i = 0;
+        while i < fb.len() {
+            if fb[i] == b'%' && i + 1 < fb.len() {
+                // Parse %[.prec][l]conv
+                let mut j = i + 1;
+                let mut prec: Option<usize> = None;
+                if fb[j] == b'.' {
+                    let mut p = 0usize;
+                    j += 1;
+                    while j < fb.len() && fb[j].is_ascii_digit() {
+                        p = p * 10 + (fb[j] - b'0') as usize;
+                        j += 1;
+                    }
+                    prec = Some(p);
+                }
+                while j < fb.len() && (fb[j] == b'l' || fb[j] == b'h') {
+                    j += 1;
+                }
+                if j >= fb.len() {
+                    out.push('%');
+                    break;
+                }
+                let conv = fb[j];
+                if conv == b'%' {
+                    out.push('%');
+                    i = j + 1;
+                    continue;
+                }
+                let v = self
+                    .eval(args.get(arg_i).ok_or_else(|| {
+                        CcError::interp("printf: not enough arguments")
+                    })?, io)?;
+                arg_i += 1;
+                match conv {
+                    b'd' | b'i' | b'u' => {
+                        let _ = write!(out, "{}", as_int(&v)?);
+                    }
+                    b'c' => out.push(as_int(&v)? as u8 as char),
+                    b's' => {
+                        let s = self.cstr(&v)?;
+                        out.push_str(&String::from_utf8_lossy(&s));
+                    }
+                    b'f' | b'e' | b'g' => {
+                        let x = as_f64(&v)?;
+                        let p = prec.unwrap_or(6);
+                        match conv {
+                            b'f' => {
+                                let _ = write!(out, "{x:.p$}", p = p);
+                            }
+                            b'e' => {
+                                let _ = write!(out, "{x:.p$e}", p = p);
+                            }
+                            _ => {
+                                let _ = write!(out, "{x}");
+                            }
+                        }
+                    }
+                    other => {
+                        return Err(CcError::interp(format!(
+                            "printf: unsupported conversion %{}",
+                            other as char
+                        )))
+                    }
+                }
+                i = j + 1;
+            } else {
+                out.push(fb[i] as char);
+                i += 1;
+            }
+        }
+        self.stats.lines_out += out.bytes().filter(|&b| b == b'\n').count() as u64;
+        self.stats.mem += out.len() as u64;
+        io.stdout.extend_from_slice(out.as_bytes());
+        Ok(V::I(out.len() as i64))
+    }
+
+    fn builtin_scanf(&mut self, args: &'p [Expr], io: &mut StreamIo) -> Result<V, CcError> {
+        // scanf("<kfmt> <vfmt>", kdst, vdst): reads the next KV pair.
+        let fmt = match &args[0] {
+            Expr::StrLit(s) => s.clone(),
+            _ => return Err(CcError::interp("scanf needs a literal format")),
+        };
+        let convs: Vec<&str> = fmt.split_whitespace().collect();
+        let (k, v) = match &mut io.input {
+            Input::Kvs(kvs) => {
+                if io.cursor >= kvs.len() {
+                    return Ok(V::I(-1));
+                }
+                let p = kvs[io.cursor].clone();
+                io.cursor += 1;
+                p
+            }
+            Input::Lines(_) => return Err(CcError::interp("scanf on line input")),
+        };
+        self.stats.records_in += 1;
+        self.stats.mem += (k.len() + v.len()) as u64;
+        let fields = [k, v];
+        let mut matched = 0i64;
+        for (ci, conv) in convs.iter().enumerate().take(args.len() - 1) {
+            let dst = self.eval(&args[ci + 1], io)?;
+            let field = &fields[ci.min(1)];
+            let text = String::from_utf8_lossy(field).to_string();
+            match *conv {
+                "%s" => {
+                    self.write_cstr(&dst, field)?;
+                }
+                "%d" | "%ld" | "%i" | "%u" => {
+                    let n = text.trim().parse::<i64>().unwrap_or(0);
+                    self.store_through(&dst, V::I(n))?;
+                }
+                "%f" | "%lf" | "%g" | "%e" => {
+                    let x = text.trim().parse::<f64>().unwrap_or(0.0);
+                    self.store_through(&dst, V::F(x))?;
+                }
+                other => {
+                    return Err(CcError::interp(format!(
+                        "scanf: unsupported conversion {other}"
+                    )))
+                }
+            }
+            matched += 1;
+        }
+        Ok(V::I(matched))
+    }
+
+    fn store_through(&mut self, dst: &V, v: V) -> Result<(), CcError> {
+        match dst {
+            V::SlotRef(s) => {
+                self.slots[*s] = v;
+                Ok(())
+            }
+            V::Ptr { buf, off } => self.write_buf(*buf, *off, &v),
+            _ => Err(CcError::interp("store through non-pointer")),
+        }
+    }
+
+    /// Read a NUL-terminated string starting at a pointer.
+    fn cstr(&self, p: &V) -> Result<Vec<u8>, CcError> {
+        self.cstr_n(p, usize::MAX)
+    }
+
+    fn cstr_n(&self, p: &V, limit: usize) -> Result<Vec<u8>, CcError> {
+        match p {
+            V::Ptr { buf, off } => match &self.heap[*buf] {
+                Buffer::Bytes(b) => {
+                    let end = b.len().min(off.saturating_add(limit));
+                    let slice = &b[*off..end];
+                    let n = slice.iter().position(|&c| c == 0).unwrap_or(slice.len());
+                    Ok(slice[..n].to_vec())
+                }
+                _ => Err(CcError::interp("string op on non-char buffer")),
+            },
+            V::Null => Err(CcError::interp("string op on NULL")),
+            _ => Err(CcError::interp("string op on non-pointer")),
+        }
+    }
+
+    fn write_cstr(&mut self, p: &V, s: &[u8]) -> Result<(), CcError> {
+        match p {
+            V::Ptr { buf, off } => match &mut self.heap[*buf] {
+                Buffer::Bytes(b) => {
+                    let avail = b.len().saturating_sub(*off);
+                    if avail == 0 {
+                        return Err(CcError::interp("write_cstr: no space"));
+                    }
+                    let n = s.len().min(avail - 1);
+                    b[*off..*off + n].copy_from_slice(&s[..n]);
+                    b[*off + n] = 0;
+                    self.stats.mem += n as u64;
+                    Ok(())
+                }
+                _ => Err(CcError::interp("write_cstr on non-char buffer")),
+            },
+            _ => Err(CcError::interp("write_cstr on non-pointer")),
+        }
+    }
+}
+
+fn leaf_type(t: &CType) -> CType {
+    match t {
+        CType::Array(inner, _) | CType::Ptr(inner) => leaf_type(inner),
+        other => other.clone(),
+    }
+}
+
+fn default_value(t: &CType) -> V {
+    match t {
+        CType::Float | CType::Double => V::F(0.0),
+        CType::Ptr(_) => V::Null,
+        _ => V::I(0),
+    }
+}
+
+fn truthy(v: &V) -> bool {
+    match v {
+        V::I(x) => *x != 0,
+        V::F(x) => *x != 0.0,
+        V::Ptr { .. } | V::SlotRef(_) => true,
+        V::Null => false,
+    }
+}
+
+fn as_int(v: &V) -> Result<i64, CcError> {
+    match v {
+        V::I(x) => Ok(*x),
+        V::F(x) => Ok(*x as i64),
+        _ => Err(CcError::interp("expected integer value")),
+    }
+}
+
+fn as_f64(v: &V) -> Result<f64, CcError> {
+    match v {
+        V::I(x) => Ok(*x as f64),
+        V::F(x) => Ok(*x),
+        _ => Err(CcError::interp("expected numeric value")),
+    }
+}
+
+fn num_add(v: &V, d: i64) -> Result<V, CcError> {
+    match v {
+        V::I(x) => Ok(V::I(x + d)),
+        V::F(x) => Ok(V::F(x + d as f64)),
+        V::Ptr { buf, off } => Ok(V::Ptr {
+            buf: *buf,
+            off: (*off as i64 + d) as usize,
+        }),
+        _ => Err(CcError::interp("++/-- on non-number")),
+    }
+}
+
+fn binary(op: BinOp, a: V, b: V) -> Result<V, CcError> {
+    use BinOp::*;
+    // Pointer arithmetic.
+    if let (V::Ptr { buf, off }, V::I(i)) = (&a, &b) {
+        match op {
+            Add => {
+                return Ok(V::Ptr {
+                    buf: *buf,
+                    off: (*off as i64 + i) as usize,
+                })
+            }
+            Sub => {
+                return Ok(V::Ptr {
+                    buf: *buf,
+                    off: (*off as i64 - i) as usize,
+                })
+            }
+            _ => {}
+        }
+    }
+    let float = matches!(a, V::F(_)) || matches!(b, V::F(_));
+    if float {
+        let x = as_f64(&a)?;
+        let y = as_f64(&b)?;
+        return Ok(match op {
+            Add => V::F(x + y),
+            Sub => V::F(x - y),
+            Mul => V::F(x * y),
+            Div => V::F(x / y),
+            Rem => V::F(x % y),
+            Lt => V::I((x < y) as i64),
+            Le => V::I((x <= y) as i64),
+            Gt => V::I((x > y) as i64),
+            Ge => V::I((x >= y) as i64),
+            Eq => V::I((x == y) as i64),
+            Ne => V::I((x != y) as i64),
+            _ => return Err(CcError::interp("bitwise op on float")),
+        });
+    }
+    let x = as_int(&a)?;
+    let y = as_int(&b)?;
+    Ok(match op {
+        Add => V::I(x.wrapping_add(y)),
+        Sub => V::I(x.wrapping_sub(y)),
+        Mul => V::I(x.wrapping_mul(y)),
+        Div => {
+            if y == 0 {
+                return Err(CcError::interp("integer division by zero"));
+            }
+            V::I(x / y)
+        }
+        Rem => {
+            if y == 0 {
+                return Err(CcError::interp("integer remainder by zero"));
+            }
+            V::I(x % y)
+        }
+        Lt => V::I((x < y) as i64),
+        Le => V::I((x <= y) as i64),
+        Gt => V::I((x > y) as i64),
+        Ge => V::I((x >= y) as i64),
+        Eq => V::I((x == y) as i64),
+        Ne => V::I((x != y) as i64),
+        BitAnd => V::I(x & y),
+        BitOr => V::I(x | y),
+        BitXor => V::I(x ^ y),
+        Shl => V::I(x << (y & 63)),
+        Shr => V::I(x >> (y & 63)),
+        And | Or => unreachable!("handled short-circuit"),
+    })
+}
+
+fn cast(v: &V, ty: &CType) -> V {
+    match ty {
+        CType::Float | CType::Double => match v {
+            V::I(x) => V::F(*x as f64),
+            other => other.clone(),
+        },
+        CType::Int | CType::Char => match v {
+            V::F(x) => V::I(*x as i64),
+            other => other.clone(),
+        },
+        _ => v.clone(),
+    }
+}
+
+/// Error function approximation (Abramowitz & Stegun 7.1.26); used by the
+/// BlackScholes benchmark's normal CDF.
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let y = 1.0
+        - (((((1.061405429 * t - 1.453152027) * t) + 1.421413741) * t - 0.284496736) * t
+            + 0.254829592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+
+    fn run_lines(src: &str, lines: &[&str]) -> (Vec<(String, String)>, InterpStats) {
+        let prog = parse(src).unwrap();
+        let mut io = StreamIo::lines(lines.iter().map(|l| l.as_bytes().to_vec()).collect());
+        let stats = Interp::new(&prog).run_main(&mut io).unwrap();
+        let kvs = io
+            .emitted_kvs()
+            .into_iter()
+            .map(|(k, v)| {
+                (
+                    String::from_utf8_lossy(&k).to_string(),
+                    String::from_utf8_lossy(&v).to_string(),
+                )
+            })
+            .collect();
+        (kvs, stats)
+    }
+
+    const WORDCOUNT_MAP: &str = r#"
+int main()
+{
+  char word[30], *line;
+  size_t nbytes = 10000;
+  int read, linePtr, offset, one;
+  line = (char*) malloc(nbytes*sizeof(char));
+  #pragma mapreduce mapper key(word) value(one) \
+    keylength(30) vallength(1)
+  while( (read = getline(&line, &nbytes, stdin)) != -1) {
+    linePtr = 0;
+    offset = 0;
+    one = 1;
+    while( (linePtr = getWord(line, offset, word, read, 30)) != -1) {
+      printf("%s\t%d\n", word, one);
+      offset += linePtr;
+    }
+  }
+  free(line);
+  return 0;
+}
+"#;
+
+    #[test]
+    fn wordcount_mapper_runs_paper_listing_1() {
+        let (kvs, stats) = run_lines(WORDCOUNT_MAP, &["the quick brown fox", "the lazy dog"]);
+        let expect = [
+            ("the", "1"),
+            ("quick", "1"),
+            ("brown", "1"),
+            ("fox", "1"),
+            ("the", "1"),
+            ("lazy", "1"),
+            ("dog", "1"),
+        ];
+        assert_eq!(
+            kvs,
+            expect
+                .iter()
+                .map(|(a, b)| (a.to_string(), b.to_string()))
+                .collect::<Vec<_>>()
+        );
+        assert_eq!(stats.records_in, 2);
+        assert_eq!(stats.lines_out, 7);
+    }
+
+    const WORDCOUNT_COMBINE: &str = r#"
+int main()
+{
+  char word[30], prevWord[30]; prevWord[0] = '\0';
+  int count, val, read; count = 0;
+  #pragma mapreduce combiner key(prevWord) value(count) \
+    keyin(word) valuein(val) keylength(30) vallength(1) \
+    firstprivate(prevWord, count)
+  {
+    while( (read = scanf("%s %d", word, &val)) == 2 ) {
+      if(strcmp(word, prevWord) == 0 ) {
+        count += val;
+      } else {
+        if(prevWord[0] != '\0')
+          printf("%s\t%d\n", prevWord, count);
+        strcpy(prevWord, word);
+        count = val;
+      }
+    }
+    if(prevWord[0] != '\0')
+      printf("%s\t%d\n", prevWord, count);
+  }
+  return 0;
+}
+"#;
+
+    #[test]
+    fn wordcount_combiner_runs_paper_listing_2() {
+        let prog = parse(WORDCOUNT_COMBINE).unwrap();
+        let kvs: Vec<(Vec<u8>, Vec<u8>)> = [("a", "1"), ("a", "1"), ("b", "1"), ("c", "2"), ("c", "3")]
+            .iter()
+            .map(|(k, v)| (k.as_bytes().to_vec(), v.as_bytes().to_vec()))
+            .collect();
+        let mut io = StreamIo::kvs(kvs);
+        Interp::new(&prog).run_main(&mut io).unwrap();
+        let out = io.emitted_kvs();
+        let got: Vec<(String, String)> = out
+            .into_iter()
+            .map(|(k, v)| {
+                (
+                    String::from_utf8_lossy(&k).to_string(),
+                    String::from_utf8_lossy(&v).to_string(),
+                )
+            })
+            .collect();
+        assert_eq!(
+            got,
+            vec![
+                ("a".to_string(), "2".to_string()),
+                ("b".to_string(), "1".to_string()),
+                ("c".to_string(), "5".to_string())
+            ]
+        );
+    }
+
+    #[test]
+    fn arithmetic_and_control_flow() {
+        let src = r#"
+int main() {
+  int i, s; s = 0;
+  for (i = 1; i <= 10; i++) {
+    if (i % 2 == 0) { s += i; } else { continue; }
+  }
+  printf("sum\t%d\n", s);
+  return 0;
+}
+"#;
+        let (kvs, _) = run_lines(src, &[]);
+        assert_eq!(kvs, vec![("sum".to_string(), "30".to_string())]);
+    }
+
+    #[test]
+    fn user_functions_and_math() {
+        let src = r#"
+double sq(double x) { return x * x; }
+int main() {
+  double d;
+  d = sqrt(sq(3.0) + sq(4.0));
+  printf("d\t%.2f\n", d);
+  return 0;
+}
+"#;
+        let (kvs, stats) = run_lines(src, &[]);
+        assert_eq!(kvs, vec![("d".to_string(), "5.00".to_string())]);
+        assert!(stats.sfu >= 1);
+    }
+
+    #[test]
+    fn arrays_and_two_dims() {
+        let src = r#"
+int main() {
+  int h[5]; int i;
+  double m[2][3];
+  for (i = 0; i < 5; i++) h[i] = i * i;
+  m[1][2] = 7.5;
+  printf("h3\t%d\n", h[3]);
+  printf("m12\t%.1f\n", m[1][2]);
+  return 0;
+}
+"#;
+        let (kvs, _) = run_lines(src, &[]);
+        assert_eq!(kvs[0], ("h3".to_string(), "9".to_string()));
+        assert_eq!(kvs[1], ("m12".to_string(), "7.5".to_string()));
+    }
+
+    #[test]
+    fn string_builtins() {
+        let src = r#"
+int main() {
+  char a[16], b[16];
+  strcpy(a, "hello");
+  strcpy(b, a);
+  printf("cmp\t%d\n", strcmp(a, b));
+  printf("len\t%d\n", strlen(a));
+  printf("n\t%d\n", atoi("42"));
+  return 0;
+}
+"#;
+        let (kvs, _) = run_lines(src, &[]);
+        assert_eq!(kvs[0].1, "0");
+        assert_eq!(kvs[1].1, "5");
+        assert_eq!(kvs[2].1, "42");
+    }
+
+    #[test]
+    fn out_of_bounds_is_caught() {
+        let src = "int main() { int a[3]; a[5] = 1; return 0; }";
+        let prog = parse(src).unwrap();
+        let mut io = StreamIo::lines(vec![]);
+        let e = Interp::new(&prog).run_main(&mut io);
+        assert!(matches!(e, Err(CcError::Interp(_))));
+    }
+
+    #[test]
+    fn infinite_loop_is_caught() {
+        let src = "int main() { while (1) { } return 0; }";
+        let prog = parse(src).unwrap();
+        let mut io = StreamIo::lines(vec![]);
+        let e = Interp::new(&prog).with_max_steps(10_000).run_main(&mut io);
+        assert!(matches!(e, Err(CcError::Interp(_))));
+    }
+
+    #[test]
+    fn division_by_zero_is_caught() {
+        let src = "int main() { int a; a = 1 / 0; return 0; }";
+        let prog = parse(src).unwrap();
+        let mut io = StreamIo::lines(vec![]);
+        assert!(Interp::new(&prog).run_main(&mut io).is_err());
+    }
+
+    #[test]
+    fn scanf_float_values() {
+        let src = r#"
+int main() {
+  char k[30]; double v; double s; s = 0.0;
+  while (scanf("%s %lf", k, &v) == 2) { s += v; }
+  printf("sum\t%.3f\n", s);
+  return 0;
+}
+"#;
+        let prog = parse(src).unwrap();
+        let kvs = vec![
+            (b"x".to_vec(), b"1.5".to_vec()),
+            (b"y".to_vec(), b"2.25".to_vec()),
+        ];
+        let mut io = StreamIo::kvs(kvs);
+        Interp::new(&prog).run_main(&mut io).unwrap();
+        assert_eq!(
+            io.emitted_kvs()[0].1,
+            b"3.750".to_vec()
+        );
+    }
+
+    #[test]
+    fn erf_matches_reference_points() {
+        assert!((erf(0.0)).abs() < 1e-9);
+        assert!((erf(1.0) - 0.8427).abs() < 1e-3);
+        assert!((erf(-1.0) + 0.8427).abs() < 1e-3);
+        assert!((erf(3.0) - 0.99998).abs() < 1e-4);
+    }
+
+    #[test]
+    fn stats_count_work() {
+        let (_, stats) = run_lines(WORDCOUNT_MAP, &["a b c", "d e"]);
+        assert!(stats.ops > 20);
+        assert!(stats.mem > 5);
+        assert_eq!(stats.records_in, 2);
+    }
+}

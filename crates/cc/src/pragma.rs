@@ -1,0 +1,330 @@
+//! Parsing and validation of `#pragma mapreduce` directives — the full
+//! clause set of the paper's Table 1.
+
+use crate::error::CcError;
+
+/// Which MapReduce role the annotated region implements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DirectiveKind {
+    /// The attached region performs the map operation.
+    Mapper,
+    /// The attached region performs the combine operation.
+    Combiner,
+}
+
+/// A parsed `#pragma mapreduce` directive (Table 1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Directive {
+    /// `mapper` or `combiner`.
+    pub kind: DirectiveKind,
+    /// Variable containing the emitted key (`key` clause).
+    pub key: String,
+    /// Variable containing the emitted value (`value` clause).
+    pub value: String,
+    /// Variable receiving the incoming key (`keyin`, combiner only).
+    pub keyin: Option<String>,
+    /// Variable receiving the incoming value (`valuein`, combiner only).
+    pub valuein: Option<String>,
+    /// Length of the emitted key in bytes (`keylength`). Required when
+    /// the key variable's type is not compiler-derivable.
+    pub keylength: Option<usize>,
+    /// Length of the emitted value in bytes (`vallength`).
+    pub vallength: Option<usize>,
+    /// Variables initialized before the region (`firstprivate`).
+    pub firstprivate: Vec<String>,
+    /// Read-only shared variables (`sharedRO`, optional).
+    pub shared_ro: Vec<String>,
+    /// Read-only variables forced into texture memory (`texture`,
+    /// optional).
+    pub texture: Vec<String>,
+    /// Maximum KV pairs emitted per record (`kvpairs`, optional, mapper
+    /// only).
+    pub kvpairs: Option<usize>,
+    /// Number of threadblocks (`blocks` clause, optional).
+    pub blocks: Option<u32>,
+    /// Threads per threadblock (`threads` clause, optional).
+    pub threads: Option<u32>,
+    /// Line the pragma appeared on.
+    pub line: u32,
+}
+
+/// Parse the text after `#pragma` (e.g. `mapreduce mapper key(word) ...`).
+/// Returns `Ok(None)` for pragmas that are not `mapreduce` (they are
+/// someone else's and ignored, as a real compiler would).
+pub fn parse_pragma(text: &str, line: u32) -> Result<Option<Directive>, CcError> {
+    let mut toks = ClauseLexer::new(text, line);
+    let first = match toks.next_word()? {
+        Some(w) => w,
+        None => return Ok(None),
+    };
+    if first != "mapreduce" {
+        return Ok(None);
+    }
+    let kind = match toks.next_word()? {
+        Some(w) if w == "mapper" => DirectiveKind::Mapper,
+        Some(w) if w == "combiner" => DirectiveKind::Combiner,
+        Some(w) => {
+            return Err(CcError::directive(
+                line,
+                format!("expected 'mapper' or 'combiner', found '{w}'"),
+            ))
+        }
+        None => {
+            return Err(CcError::directive(
+                line,
+                "mapreduce pragma needs 'mapper' or 'combiner'",
+            ))
+        }
+    };
+
+    let mut d = Directive {
+        kind,
+        key: String::new(),
+        value: String::new(),
+        keyin: None,
+        valuein: None,
+        keylength: None,
+        vallength: None,
+        firstprivate: Vec::new(),
+        shared_ro: Vec::new(),
+        texture: Vec::new(),
+        kvpairs: None,
+        blocks: None,
+        threads: None,
+        line,
+    };
+
+    while let Some(clause) = toks.next_word()? {
+        let args = toks.paren_args()?;
+        let need_one = |args: &[String]| -> Result<String, CcError> {
+            if args.len() != 1 {
+                Err(CcError::directive(
+                    line,
+                    format!("clause '{clause}' takes exactly one argument"),
+                ))
+            } else {
+                Ok(args[0].clone())
+            }
+        };
+        let need_int = |args: &[String]| -> Result<usize, CcError> {
+            need_one(args)?.parse::<usize>().map_err(|_| {
+                CcError::directive(line, format!("clause '{clause}' needs an integer argument"))
+            })
+        };
+        match clause.as_str() {
+            "key" => d.key = need_one(&args)?,
+            "value" => d.value = need_one(&args)?,
+            "keyin" => d.keyin = Some(need_one(&args)?),
+            "valuein" => d.valuein = Some(need_one(&args)?),
+            "keylength" => d.keylength = Some(need_int(&args)?),
+            "vallength" => d.vallength = Some(need_int(&args)?),
+            "firstprivate" => d.firstprivate.extend(args),
+            "sharedRO" => d.shared_ro.extend(args),
+            "texture" => d.texture.extend(args),
+            "kvpairs" => d.kvpairs = Some(need_int(&args)?),
+            "blocks" => d.blocks = Some(need_int(&args)? as u32),
+            "threads" => d.threads = Some(need_int(&args)? as u32),
+            other => {
+                return Err(CcError::directive(
+                    line,
+                    format!("unknown mapreduce clause '{other}'"),
+                ))
+            }
+        }
+    }
+    validate(&d)?;
+    Ok(Some(d))
+}
+
+fn validate(d: &Directive) -> Result<(), CcError> {
+    let line = d.line;
+    if d.key.is_empty() {
+        return Err(CcError::directive(line, "missing required clause 'key'"));
+    }
+    if d.value.is_empty() {
+        return Err(CcError::directive(line, "missing required clause 'value'"));
+    }
+    match d.kind {
+        DirectiveKind::Mapper => {
+            if d.keyin.is_some() || d.valuein.is_some() {
+                return Err(CcError::directive(
+                    line,
+                    "'keyin'/'valuein' are valid only on the combiner",
+                ));
+            }
+        }
+        DirectiveKind::Combiner => {
+            if d.keyin.is_none() || d.valuein.is_none() {
+                return Err(CcError::directive(
+                    line,
+                    "combiner requires 'keyin' and 'valuein' clauses",
+                ));
+            }
+            if d.kvpairs.is_some() {
+                return Err(CcError::directive(
+                    line,
+                    "'kvpairs' is valid only on the mapper",
+                ));
+            }
+        }
+    }
+    if d.blocks == Some(0) || d.threads == Some(0) {
+        return Err(CcError::directive(line, "'blocks'/'threads' must be positive"));
+    }
+    Ok(())
+}
+
+/// Tiny lexer for clause lists: words and parenthesized comma-separated
+/// argument lists.
+struct ClauseLexer<'a> {
+    rest: &'a str,
+    line: u32,
+}
+
+impl<'a> ClauseLexer<'a> {
+    fn new(s: &'a str, line: u32) -> Self {
+        ClauseLexer { rest: s, line }
+    }
+
+    fn next_word(&mut self) -> Result<Option<String>, CcError> {
+        self.rest = self.rest.trim_start();
+        if self.rest.is_empty() {
+            return Ok(None);
+        }
+        let end = self
+            .rest
+            .find(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
+            .unwrap_or(self.rest.len());
+        if end == 0 {
+            return Err(CcError::directive(
+                self.line,
+                format!("unexpected character in pragma near '{}'", &self.rest[..1]),
+            ));
+        }
+        let w = self.rest[..end].to_string();
+        self.rest = &self.rest[end..];
+        Ok(Some(w))
+    }
+
+    fn paren_args(&mut self) -> Result<Vec<String>, CcError> {
+        self.rest = self.rest.trim_start();
+        if !self.rest.starts_with('(') {
+            return Err(CcError::directive(
+                self.line,
+                "mapreduce clause requires a parenthesized argument list",
+            ));
+        }
+        let close = self.rest.find(')').ok_or_else(|| {
+            CcError::directive(self.line, "unterminated clause argument list")
+        })?;
+        let inner = &self.rest[1..close];
+        self.rest = &self.rest[close + 1..];
+        Ok(inner
+            .split(',')
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(text: &str) -> Result<Option<Directive>, CcError> {
+        parse_pragma(text, 1)
+    }
+
+    #[test]
+    fn listing1_mapper_pragma() {
+        let d = parse("mapreduce mapper key(word) value(one) keylength(30) vallength(1)")
+            .unwrap()
+            .unwrap();
+        assert_eq!(d.kind, DirectiveKind::Mapper);
+        assert_eq!(d.key, "word");
+        assert_eq!(d.value, "one");
+        assert_eq!(d.keylength, Some(30));
+        assert_eq!(d.vallength, Some(1));
+    }
+
+    #[test]
+    fn listing2_combiner_pragma() {
+        let d = parse(
+            "mapreduce combiner key(prevWord) value(count) keyin(word) valuein(val) \
+             keylength(30) vallength(1) firstprivate(prevWord, count)",
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(d.kind, DirectiveKind::Combiner);
+        assert_eq!(d.keyin.as_deref(), Some("word"));
+        assert_eq!(d.valuein.as_deref(), Some("val"));
+        assert_eq!(d.firstprivate, vec!["prevWord", "count"]);
+    }
+
+    #[test]
+    fn non_mapreduce_pragma_ignored() {
+        assert_eq!(parse("omp parallel for").unwrap(), None);
+        assert_eq!(parse("once").unwrap(), None);
+    }
+
+    #[test]
+    fn mapper_rejects_keyin() {
+        let e = parse("mapreduce mapper key(k) value(v) keyin(x) valuein(y)");
+        assert!(matches!(e, Err(CcError::Directive { .. })));
+    }
+
+    #[test]
+    fn combiner_requires_keyin_valuein() {
+        let e = parse("mapreduce combiner key(k) value(v)");
+        assert!(matches!(e, Err(CcError::Directive { .. })));
+    }
+
+    #[test]
+    fn kvpairs_only_on_mapper() {
+        let ok = parse("mapreduce mapper key(k) value(v) kvpairs(8)").unwrap().unwrap();
+        assert_eq!(ok.kvpairs, Some(8));
+        let e = parse("mapreduce combiner key(k) value(v) keyin(a) valuein(b) kvpairs(8)");
+        assert!(e.is_err());
+    }
+
+    #[test]
+    fn missing_key_or_value_rejected() {
+        assert!(parse("mapreduce mapper value(v)").is_err());
+        assert!(parse("mapreduce mapper key(k)").is_err());
+    }
+
+    #[test]
+    fn thread_attributes() {
+        let d = parse("mapreduce mapper key(k) value(v) blocks(64) threads(256)")
+            .unwrap()
+            .unwrap();
+        assert_eq!(d.blocks, Some(64));
+        assert_eq!(d.threads, Some(256));
+        assert!(parse("mapreduce mapper key(k) value(v) blocks(0)").is_err());
+    }
+
+    #[test]
+    fn memory_clauses() {
+        let d = parse("mapreduce mapper key(k) value(v) sharedRO(n, centroids) texture(centroids)")
+            .unwrap()
+            .unwrap();
+        assert_eq!(d.shared_ro, vec!["n", "centroids"]);
+        assert_eq!(d.texture, vec!["centroids"]);
+    }
+
+    #[test]
+    fn unknown_clause_rejected() {
+        assert!(parse("mapreduce mapper key(k) value(v) frobnicate(3)").is_err());
+    }
+
+    #[test]
+    fn bad_kind_rejected() {
+        assert!(parse("mapreduce reducer key(k) value(v)").is_err());
+        assert!(parse("mapreduce").is_err());
+    }
+
+    #[test]
+    fn non_integer_length_rejected() {
+        assert!(parse("mapreduce mapper key(k) value(v) keylength(abc)").is_err());
+    }
+}

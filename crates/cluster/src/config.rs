@@ -1,0 +1,84 @@
+//! Cluster configuration (the knobs of the paper's Table 3).
+
+use serde::{Deserialize, Serialize};
+
+/// Which task-placement policy the cluster runs (paper §6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Scheduler {
+    /// Baseline Hadoop: CPUs only, GPUs unused.
+    CpuOnly,
+    /// Use a free GPU when available, otherwise a CPU slot (§6.1).
+    GpuFirst,
+    /// Tail scheduling (Algorithm 2): GPU-first until the job/task tail
+    /// begins, then force remaining tasks onto the GPU(s).
+    TailScheduling,
+}
+
+/// Static cluster configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Number of slave nodes (the master is implicit).
+    pub num_slaves: u32,
+    /// Nodes per rack (for locality accounting).
+    pub nodes_per_rack: u32,
+    /// Map slots per node — one per CPU core in the paper's setups
+    /// (20 on Cluster1, 4 on Cluster2).
+    pub map_slots_per_node: u32,
+    /// Reduce slots per node (2 in both setups).
+    pub reduce_slots_per_node: u32,
+    /// GPUs per node; each reserves one extra slot that consumes no CPU
+    /// time (§5.1).
+    pub gpus_per_node: u32,
+    /// Heartbeat interval in seconds.
+    pub heartbeat_s: f64,
+    /// Task-placement policy.
+    pub scheduler: Scheduler,
+    /// Fraction of map tasks that must finish before reduce tasks start
+    /// (Table 3: 20%).
+    pub reduce_start_frac: f64,
+    /// Speculative execution (off in the paper's experiments).
+    pub speculative: bool,
+    /// Shuffle bandwidth per reduce task, bytes/s (InfiniBand-class).
+    pub shuffle_bw: f64,
+}
+
+impl ClusterConfig {
+    /// A small sane default for tests.
+    pub fn small(num_slaves: u32, scheduler: Scheduler) -> Self {
+        ClusterConfig {
+            num_slaves,
+            nodes_per_rack: 4,
+            map_slots_per_node: 2,
+            reduce_slots_per_node: 2,
+            gpus_per_node: 1,
+            heartbeat_s: 0.3,
+            scheduler,
+            reduce_start_frac: 0.2,
+            speculative: false,
+            shuffle_bw: 1e9,
+        }
+    }
+
+    /// Effective GPUs per node (zero under CPU-only scheduling).
+    pub fn effective_gpus(&self) -> u32 {
+        if self.scheduler == Scheduler::CpuOnly {
+            0
+        } else {
+            self.gpus_per_node
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpu_only_disables_gpus() {
+        let mut c = ClusterConfig::small(4, Scheduler::CpuOnly);
+        c.gpus_per_node = 3;
+        assert_eq!(c.effective_gpus(), 0);
+        c.scheduler = Scheduler::GpuFirst;
+        assert_eq!(c.effective_gpus(), 3);
+    }
+}

@@ -1,0 +1,99 @@
+//! Job descriptions consumed by the cluster simulator.
+
+use hetero_hdfs::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// One map task: which nodes hold its fileSplit and how long it takes on
+/// each device class. Durations come from the task-level simulators
+/// (`hetero-runtime`); the DES only decides *where and when* tasks run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MapTaskSpec {
+    /// Task id.
+    pub id: u32,
+    /// Nodes holding a replica of the task's fileSplit.
+    pub replicas: Vec<NodeId>,
+    /// Duration on one CPU core, seconds.
+    pub cpu_s: f64,
+    /// Duration on one GPU, seconds.
+    pub gpu_s: f64,
+    /// Bytes of map output headed for the shuffle.
+    pub output_bytes: u64,
+}
+
+/// One reduce task.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ReduceTaskSpec {
+    /// Task id.
+    pub id: u32,
+    /// Pure reduce compute time after the merge, seconds.
+    pub compute_s: f64,
+}
+
+/// A complete job.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JobSpec {
+    /// Human-readable name.
+    pub name: String,
+    /// Map tasks.
+    pub maps: Vec<MapTaskSpec>,
+    /// Reduce tasks (empty for map-only jobs like BlackScholes).
+    pub reduces: Vec<ReduceTaskSpec>,
+}
+
+impl JobSpec {
+    /// Uniform job helper: `n` map tasks of fixed durations, replicas
+    /// spread round-robin over `num_nodes` (replication `repl`).
+    pub fn uniform(
+        name: &str,
+        n: u32,
+        num_nodes: u32,
+        repl: u32,
+        cpu_s: f64,
+        gpu_s: f64,
+    ) -> Self {
+        let maps = (0..n)
+            .map(|i| MapTaskSpec {
+                id: i,
+                replicas: (0..repl.max(1))
+                    .map(|r| NodeId((i + r * 7) % num_nodes))
+                    .collect(),
+                cpu_s,
+                gpu_s,
+                output_bytes: 1 << 20,
+            })
+            .collect();
+        JobSpec {
+            name: name.to_string(),
+            maps,
+            reduces: Vec::new(),
+        }
+    }
+
+    /// Total map work in CPU-seconds.
+    pub fn total_cpu_work_s(&self) -> f64 {
+        self.maps.iter().map(|m| m.cpu_s).sum()
+    }
+
+    /// Mean per-task GPU speedup.
+    pub fn mean_speedup(&self) -> f64 {
+        if self.maps.is_empty() {
+            return 1.0;
+        }
+        self.maps.iter().map(|m| m.cpu_s / m.gpu_s.max(1e-12)).sum::<f64>()
+            / self.maps.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_job_shape() {
+        let j = JobSpec::uniform("t", 10, 4, 3, 6.0, 1.0);
+        assert_eq!(j.maps.len(), 10);
+        assert!(j.maps.iter().all(|m| m.replicas.len() == 3));
+        assert!((j.total_cpu_work_s() - 60.0).abs() < 1e-9);
+        assert!((j.mean_speedup() - 6.0).abs() < 1e-9);
+    }
+}

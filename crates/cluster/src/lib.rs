@@ -1,0 +1,23 @@
+//! # hetero-cluster
+//!
+//! A discrete-event simulation of the Hadoop 1.x cluster HeteroDoop is
+//! built on: JobTracker, TaskTrackers, heartbeat-driven FCFS scheduling
+//! with data locality, map/reduce slots, the per-GPU reserved slot and
+//! GPU driver queue (§5.1), and the paper's three placement policies —
+//! CPU-only Hadoop, GPU-first, and **tail scheduling** (Algorithm 2).
+//!
+//! Per-task durations come from the task-level simulators in
+//! `hetero-runtime`; this crate decides where and when tasks run and
+//! reports job-level makespans (the currency of Figs. 3 and 4).
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod job;
+pub mod sim;
+pub mod stats;
+
+pub use config::{ClusterConfig, Scheduler};
+pub use job::{JobSpec, MapTaskSpec, ReduceTaskSpec};
+pub use sim::simulate;
+pub use stats::{Device, JobStats, TaskRecord};

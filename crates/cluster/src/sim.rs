@@ -1,0 +1,544 @@
+//! The discrete-event cluster simulator: JobTracker, TaskTrackers,
+//! heartbeats, the GPU driver queue, and the three schedulers.
+//!
+//! The JobTracker assigns map tasks to TaskTrackers on heartbeats,
+//! preferring data-local placements (node > rack > any, Hadoop's FCFS
+//! locality order). Each TaskTracker owns `map_slots_per_node` CPU slots
+//! plus one reserved slot per GPU; the GPU driver runs one task per GPU
+//! at a time and queues forced tasks (paper §5.1, §6).
+//!
+//! **Tail scheduling** implements Algorithm 2. Note: the comparison
+//! directions printed in the paper's pseudocode are inverted relative to
+//! the Fig. 3 walkthrough (forcing would begin at the *start* of the job
+//! as printed); we implement the semantics of Fig. 3: forcing begins when
+//! the remaining work per node drops to what the GPUs could finish within
+//! one CPU-task time.
+
+use crate::config::{ClusterConfig, Scheduler};
+use crate::job::JobSpec;
+use crate::stats::{Device, JobStats};
+use hetero_hdfs::{NodeId, Topology};
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, VecDeque};
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Event {
+    Heartbeat(u32),
+    MapDone {
+        node: u32,
+        task: u32,
+        device: Device,
+        gpu: u32,
+    },
+    ReduceDone {
+        node: u32,
+        task: u32,
+    },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Scheduled {
+    time: f64,
+    seq: u64,
+    event: Event,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, o: &Self) -> bool {
+        self.time == o.time && self.seq == o.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, o: &Self) -> Option<Ordering> {
+        Some(self.cmp(o))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, o: &Self) -> Ordering {
+        // Min-heap: earlier time first; seq breaks ties deterministically.
+        o.time
+            .partial_cmp(&self.time)
+            .unwrap_or(Ordering::Equal)
+            .then(o.seq.cmp(&self.seq))
+    }
+}
+
+struct NodeState {
+    free_cpu: u32,
+    gpu_busy: Vec<bool>,
+    gpu_queue: VecDeque<u32>, // forced tasks waiting for a GPU
+    free_reduce: u32,
+    cpu_samples: (f64, u32), // (total task seconds, count)
+    gpu_samples: (f64, u32),
+}
+
+impl NodeState {
+    fn ave_speedup(&self, fallback: f64) -> f64 {
+        if self.cpu_samples.1 > 0 && self.gpu_samples.1 > 0 {
+            let cpu = self.cpu_samples.0 / self.cpu_samples.1 as f64;
+            let gpu = self.gpu_samples.0 / self.gpu_samples.1 as f64;
+            if gpu > 0.0 {
+                cpu / gpu
+            } else {
+                fallback
+            }
+        } else {
+            fallback
+        }
+    }
+}
+
+/// Run `job` on a cluster described by `cfg`; returns the job statistics.
+pub fn simulate(cfg: &ClusterConfig, job: &JobSpec) -> JobStats {
+    let topo = Topology::new(cfg.num_slaves, cfg.nodes_per_rack);
+    let gpus = cfg.effective_gpus();
+    let mut nodes: Vec<NodeState> = (0..cfg.num_slaves)
+        .map(|_| NodeState {
+            free_cpu: cfg.map_slots_per_node,
+            gpu_busy: vec![false; gpus as usize],
+            gpu_queue: VecDeque::new(),
+            free_reduce: cfg.reduce_slots_per_node,
+            cpu_samples: (0.0, 0),
+            gpu_samples: (0.0, 0),
+        })
+        .collect();
+
+    let mut pending: Vec<u32> = (0..job.maps.len() as u32).collect();
+    let mut maps_done = 0usize;
+    let mut last_map_done_t = 0.0f64;
+    let mut pending_reduces: VecDeque<u32> = (0..job.reduces.len() as u32).collect();
+    let mut running_reduces: Vec<(u32, u32, f64)> = Vec::new(); // (task, node, start)
+    let mut reduces_done = 0usize;
+    let mut max_speedup = 1.0f64;
+
+    let total_shuffle_bytes: u64 = job.maps.iter().map(|m| m.output_bytes).sum();
+    let shuffle_per_reduce_s = if job.reduces.is_empty() {
+        0.0
+    } else {
+        total_shuffle_bytes as f64 / job.reduces.len() as f64 / cfg.shuffle_bw
+    };
+
+    let mut stats = JobStats::new(&job.name);
+    let mut heap: BinaryHeap<Scheduled> = BinaryHeap::new();
+    let mut seq = 0u64;
+    let push = |heap: &mut BinaryHeap<Scheduled>, seq: &mut u64, time: f64, event: Event| {
+        *seq += 1;
+        heap.push(Scheduled {
+            time,
+            seq: *seq,
+            event,
+        });
+    };
+
+    // Stagger initial heartbeats so nodes do not thundering-herd the JT.
+    for n in 0..cfg.num_slaves {
+        push(
+            &mut heap,
+            &mut seq,
+            (n as f64 / cfg.num_slaves as f64) * cfg.heartbeat_s,
+            Event::Heartbeat(n),
+        );
+    }
+
+    let mut now = 0.0f64;
+    while let Some(Scheduled { time, event, .. }) = heap.pop() {
+        now = time;
+        match event {
+            Event::Heartbeat(n) => {
+                let ni = n as usize;
+
+                // --- Reduce assignment (after reduce_start_frac maps). ---
+                if !job.maps.is_empty()
+                    && maps_done as f64 >= cfg.reduce_start_frac * job.maps.len() as f64
+                {
+                    while nodes[ni].free_reduce > 0 && !pending_reduces.is_empty() {
+                        let r = pending_reduces.pop_front().unwrap();
+                        nodes[ni].free_reduce -= 1;
+                        running_reduces.push((r, n, now));
+                        if maps_done == job.maps.len() {
+                            let done_t = reduce_finish_time(
+                                now,
+                                now,
+                                shuffle_per_reduce_s,
+                                job.reduces[r as usize].compute_s,
+                            );
+                            push(
+                                &mut heap,
+                                &mut seq,
+                                done_t,
+                                Event::ReduceDone { node: n, task: r },
+                            );
+                        }
+                        // Otherwise the completion is scheduled when the
+                        // last map finishes.
+                    }
+                }
+
+                // --- Map assignment (Algorithm 2, JobTracker side). ---
+                if !pending.is_empty() {
+                    let remaining = pending.len() as f64;
+                    let job_tail =
+                        gpus as f64 * max_speedup * cfg.num_slaves as f64;
+                    let in_job_tail =
+                        cfg.scheduler == Scheduler::TailScheduling && remaining <= job_tail;
+                    let free_gpus =
+                        nodes[ni].gpu_busy.iter().filter(|b| !**b).count() as u32;
+                    // scheduleNumGPUTasksAtMax vs default (fill all slots).
+                    let max_assign = if in_job_tail {
+                        gpus.min(free_gpus.max(1))
+                    } else {
+                        nodes[ni].free_cpu + free_gpus
+                    };
+                    let remaining_per_node = remaining / cfg.num_slaves as f64;
+
+                    for _ in 0..max_assign {
+                        if pending.is_empty() {
+                            break;
+                        }
+                        // Locality-aware FCFS pick.
+                        let pick = pick_task(&pending, job, &topo, NodeId(n));
+                        let task = pending.remove(pick.0);
+                        stats.record_locality(pick.1);
+
+                        // --- TaskTracker side placement. ---
+                        let spec = &job.maps[task as usize];
+                        let ave = nodes[ni].ave_speedup(max_speedup);
+                        let task_tail = gpus as f64 * ave;
+                        let force_gpu = cfg.scheduler == Scheduler::TailScheduling
+                            && gpus > 0
+                            && remaining_per_node <= task_tail;
+                        let gpu_free = nodes[ni].gpu_busy.iter().position(|b| !*b);
+
+                        let placed = match (cfg.scheduler, gpu_free) {
+                            (Scheduler::CpuOnly, _) => Device::Cpu,
+                            (_, Some(_)) => Device::Gpu,
+                            (Scheduler::GpuFirst, None) => Device::Cpu,
+                            (Scheduler::TailScheduling, None) => {
+                                if force_gpu {
+                                    Device::Gpu // queued on the driver
+                                } else {
+                                    Device::Cpu
+                                }
+                            }
+                        };
+                        match placed {
+                            Device::Cpu => {
+                                if nodes[ni].free_cpu == 0 {
+                                    // No CPU slot after all: requeue task.
+                                    pending.push(task);
+                                    continue;
+                                }
+                                nodes[ni].free_cpu -= 1;
+                                push(
+                                    &mut heap,
+                                    &mut seq,
+                                    now + spec.cpu_s,
+                                    Event::MapDone {
+                                        node: n,
+                                        task,
+                                        device: Device::Cpu,
+                                        gpu: 0,
+                                    },
+                                );
+                                stats.start_task(task, n, Device::Cpu, now);
+                            }
+                            Device::Gpu => match gpu_free {
+                                Some(g) => {
+                                    nodes[ni].gpu_busy[g] = true;
+                                    push(
+                                        &mut heap,
+                                        &mut seq,
+                                        now + spec.gpu_s,
+                                        Event::MapDone {
+                                            node: n,
+                                            task,
+                                            device: Device::Gpu,
+                                            gpu: g as u32,
+                                        },
+                                    );
+                                    stats.start_task(task, n, Device::Gpu, now);
+                                }
+                                None => {
+                                    nodes[ni].gpu_queue.push_back(task);
+                                    stats.start_task(task, n, Device::Gpu, now);
+                                }
+                            },
+                        }
+                    }
+                }
+
+                // Next heartbeat while work remains.
+                if maps_done < job.maps.len() || reduces_done < job.reduces.len() {
+                    push(
+                        &mut heap,
+                        &mut seq,
+                        now + cfg.heartbeat_s,
+                        Event::Heartbeat(n),
+                    );
+                }
+            }
+
+            Event::MapDone {
+                node,
+                task,
+                device,
+                gpu,
+            } => {
+                let ni = node as usize;
+                maps_done += 1;
+                last_map_done_t = now;
+                let spec = &job.maps[task as usize];
+                stats.finish_task(task, now, device);
+                match device {
+                    Device::Cpu => {
+                        nodes[ni].free_cpu += 1;
+                        nodes[ni].cpu_samples.0 += spec.cpu_s;
+                        nodes[ni].cpu_samples.1 += 1;
+                    }
+                    Device::Gpu => {
+                        nodes[ni].gpu_samples.0 += spec.gpu_s;
+                        nodes[ni].gpu_samples.1 += 1;
+                        stats.gpu_busy_s += spec.gpu_s;
+                        // The driver starts the next queued forced task.
+                        if let Some(next) = nodes[ni].gpu_queue.pop_front() {
+                            let nspec = &job.maps[next as usize];
+                            push(
+                                &mut heap,
+                                &mut seq,
+                                now + nspec.gpu_s,
+                                Event::MapDone {
+                                    node,
+                                    task: next,
+                                    device: Device::Gpu,
+                                    gpu,
+                                },
+                            );
+                        } else {
+                            nodes[ni].gpu_busy[gpu as usize] = false;
+                        }
+                    }
+                }
+                // TTs report their speedup; the JT remembers the max (§6.2).
+                let ave = nodes[ni].ave_speedup(max_speedup);
+                if ave > max_speedup {
+                    max_speedup = ave;
+                }
+
+                // When the final map finishes, running reduces can complete.
+                if maps_done == job.maps.len() {
+                    for &(r, rn, start) in &running_reduces {
+                        if stats.reduce_done(r) {
+                            continue;
+                        }
+                        let done_t = reduce_finish_time(
+                            start,
+                            now,
+                            shuffle_per_reduce_s,
+                            job.reduces[r as usize].compute_s,
+                        );
+                        push(
+                            &mut heap,
+                            &mut seq,
+                            done_t.max(now),
+                            Event::ReduceDone { node: rn, task: r },
+                        );
+                    }
+                }
+            }
+
+            Event::ReduceDone { node, task } => {
+                if stats.mark_reduce_done(task, now) {
+                    reduces_done += 1;
+                    nodes[node as usize].free_reduce += 1;
+                }
+            }
+        }
+
+        if maps_done == job.maps.len() && reduces_done == job.reduces.len() {
+            break;
+        }
+    }
+
+    stats.makespan_s = now;
+    stats.map_phase_s = last_map_done_t;
+    stats.max_speedup_seen = max_speedup;
+    stats
+}
+
+/// A reduce that started shuffling at `start` completes its shuffle+merge
+/// `shuffle_s` after start (overlapped with the map phase) but its compute
+/// can only run once every map is done (`maps_done_t`).
+fn reduce_finish_time(start: f64, maps_done_t: f64, shuffle_s: f64, compute_s: f64) -> f64 {
+    (start + shuffle_s).max(maps_done_t) + compute_s
+}
+
+/// Choose a pending task for `node`: node-local, then rack-local, then
+/// the queue head. Returns (index into pending, locality level).
+fn pick_task(
+    pending: &[u32],
+    job: &JobSpec,
+    topo: &Topology,
+    node: NodeId,
+) -> (usize, hetero_hdfs::Locality) {
+    use hetero_hdfs::Locality;
+    let mut rack_pick: Option<usize> = None;
+    for (i, &t) in pending.iter().enumerate() {
+        let replicas = &job.maps[t as usize].replicas;
+        match topo.locality(node, replicas) {
+            Locality::NodeLocal => return (i, Locality::NodeLocal),
+            Locality::RackLocal if rack_pick.is_none() => rack_pick = Some(i),
+            _ => {}
+        }
+    }
+    match rack_pick {
+        Some(i) => (i, Locality::RackLocal),
+        None => (0, Locality::OffRack),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The Fig. 3 scenario: 19 tasks, one 6x GPU, two CPU slots, one node.
+    fn fig3_cluster(s: Scheduler) -> ClusterConfig {
+        ClusterConfig {
+            num_slaves: 1,
+            nodes_per_rack: 1,
+            map_slots_per_node: 2,
+            reduce_slots_per_node: 0,
+            gpus_per_node: 1,
+            heartbeat_s: 0.01,
+            scheduler: s,
+            reduce_start_frac: 0.2,
+            speculative: false,
+            shuffle_bw: 1e9,
+        }
+    }
+
+    fn fig3_job() -> JobSpec {
+        JobSpec::uniform("fig3", 19, 1, 1, 6.0, 1.0)
+    }
+
+    #[test]
+    fn fig3_gpu_first_vs_tail_scheduling() {
+        let gf = simulate(&fig3_cluster(Scheduler::GpuFirst), &fig3_job());
+        let ts = simulate(&fig3_cluster(Scheduler::TailScheduling), &fig3_job());
+        // GPU-first leaves the last CPU tasks running while the GPU
+        // idles (~18s); tail scheduling forces the tail on the GPU
+        // (~15s). Heartbeat granularity adds small slack.
+        assert!(
+            gf.makespan_s > 17.5 && gf.makespan_s < 19.5,
+            "gpu-first makespan {}",
+            gf.makespan_s
+        );
+        assert!(
+            ts.makespan_s < gf.makespan_s - 1.0,
+            "tail {} should beat gpu-first {}",
+            ts.makespan_s,
+            gf.makespan_s
+        );
+        assert_eq!(gf.completed_maps(), 19);
+        assert_eq!(ts.completed_maps(), 19);
+    }
+
+    #[test]
+    fn cpu_only_uses_no_gpu() {
+        let st = simulate(&fig3_cluster(Scheduler::CpuOnly), &fig3_job());
+        assert_eq!(st.gpu_tasks(), 0);
+        assert_eq!(st.completed_maps(), 19);
+        // 19 tasks on 2 slots at 6s: ceil(19/2)*6 = 60s.
+        assert!(st.makespan_s >= 59.0 && st.makespan_s < 63.0, "{}", st.makespan_s);
+    }
+
+    #[test]
+    fn gpu_first_beats_cpu_only() {
+        let cpu = simulate(&fig3_cluster(Scheduler::CpuOnly), &fig3_job());
+        let gf = simulate(&fig3_cluster(Scheduler::GpuFirst), &fig3_job());
+        assert!(gf.makespan_s < cpu.makespan_s / 2.0);
+    }
+
+    #[test]
+    fn every_task_runs_exactly_once() {
+        for s in [Scheduler::CpuOnly, Scheduler::GpuFirst, Scheduler::TailScheduling] {
+            let cfg = ClusterConfig::small(4, s);
+            let job = JobSpec::uniform("j", 100, 4, 2, 3.0, 0.5);
+            let st = simulate(&cfg, &job);
+            assert_eq!(st.completed_maps(), 100, "scheduler {s:?}");
+            let mut ids: Vec<u32> = st.tasks.iter().map(|t| t.id).collect();
+            ids.sort_unstable();
+            ids.dedup();
+            assert_eq!(ids.len(), 100, "duplicate executions under {s:?}");
+        }
+    }
+
+    #[test]
+    fn multi_gpu_scales() {
+        let mk = |g: u32| {
+            let mut cfg = ClusterConfig::small(4, Scheduler::GpuFirst);
+            cfg.gpus_per_node = g;
+            cfg.map_slots_per_node = 4;
+            simulate(&cfg, &JobSpec::uniform("j", 400, 4, 1, 8.0, 0.5)).makespan_s
+        };
+        let one = mk(1);
+        let two = mk(2);
+        let three = mk(3);
+        assert!(two < one, "2 GPUs {two} should beat 1 GPU {one}");
+        assert!(three < two, "3 GPUs {three} should beat 2 {two}");
+    }
+
+    #[test]
+    fn reduces_finish_after_all_maps() {
+        let mut cfg = ClusterConfig::small(2, Scheduler::GpuFirst);
+        cfg.reduce_slots_per_node = 1;
+        let mut job = JobSpec::uniform("j", 20, 2, 1, 2.0, 0.5);
+        job.reduces = (0..2)
+            .map(|id| crate::job::ReduceTaskSpec { id, compute_s: 1.0 })
+            .collect();
+        let st = simulate(&cfg, &job);
+        assert_eq!(st.completed_reduces(), 2);
+        assert!(st.makespan_s >= st.map_phase_s + 1.0);
+    }
+
+    #[test]
+    fn locality_is_preferred() {
+        let cfg = ClusterConfig::small(8, Scheduler::CpuOnly);
+        let job = JobSpec::uniform("j", 160, 8, 3, 1.0, 1.0);
+        let st = simulate(&cfg, &job);
+        let local_frac = st.node_local as f64
+            / (st.node_local + st.rack_local + st.off_rack).max(1) as f64;
+        assert!(
+            local_frac > 0.5,
+            "most tasks should be node-local, got {local_frac}"
+        );
+    }
+
+    #[test]
+    fn tail_never_much_worse_than_gpu_first() {
+        // Across a spread of shapes, tail scheduling should match or
+        // beat GPU-first (up to heartbeat noise).
+        for (n_tasks, speedup) in [(50u32, 4.0), (97, 8.0), (200, 2.0)] {
+            let mut cfg_g = ClusterConfig::small(4, Scheduler::GpuFirst);
+            cfg_g.map_slots_per_node = 4;
+            let mut cfg_t = cfg_g.clone();
+            cfg_t.scheduler = Scheduler::TailScheduling;
+            let job = JobSpec::uniform("j", n_tasks, 4, 2, 6.0, 6.0 / speedup);
+            let g = simulate(&cfg_g, &job).makespan_s;
+            let t = simulate(&cfg_t, &job).makespan_s;
+            assert!(
+                t <= g * 1.05 + 2.0 * cfg_g.heartbeat_s,
+                "tail {t} much worse than gpu-first {g} for n={n_tasks} s={speedup}"
+            );
+        }
+    }
+
+    #[test]
+    fn map_only_job_completes_without_reduces() {
+        let cfg = ClusterConfig::small(2, Scheduler::GpuFirst);
+        let job = JobSpec::uniform("bs", 40, 2, 1, 5.0, 0.2);
+        let st = simulate(&cfg, &job);
+        assert_eq!(st.completed_maps(), 40);
+        assert_eq!(st.completed_reduces(), 0);
+    }
+}

@@ -1,0 +1,177 @@
+//! Job execution statistics gathered by the simulator.
+
+use hetero_hdfs::Locality;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// Which device class executed a task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Device {
+    /// A CPU map slot.
+    Cpu,
+    /// A GPU (via the reserved GPU slot + driver).
+    Gpu,
+}
+
+/// Execution record of one map task.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct TaskRecord {
+    /// Task id.
+    pub id: u32,
+    /// Executing node.
+    pub node: u32,
+    /// Device class.
+    pub device: Device,
+    /// Assignment time (for queued GPU tasks: when queued).
+    pub start_s: f64,
+    /// Completion time (NaN until finished).
+    pub end_s: f64,
+}
+
+/// Statistics of one simulated job run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JobStats {
+    /// Job name.
+    pub name: String,
+    /// End-to-end job time.
+    pub makespan_s: f64,
+    /// Time the last map task finished.
+    pub map_phase_s: f64,
+    /// Total GPU busy seconds across the cluster.
+    pub gpu_busy_s: f64,
+    /// Maximum GPU speedup the JobTracker observed.
+    pub max_speedup_seen: f64,
+    /// Node-local map assignments.
+    pub node_local: u32,
+    /// Rack-local map assignments.
+    pub rack_local: u32,
+    /// Off-rack map assignments.
+    pub off_rack: u32,
+    /// Per-task execution records.
+    pub tasks: Vec<TaskRecord>,
+    reduces_finished: Vec<(u32, f64)>,
+    reduce_done_set: HashSet<u32>,
+}
+
+impl JobStats {
+    pub(crate) fn new(name: &str) -> Self {
+        JobStats {
+            name: name.to_string(),
+            makespan_s: 0.0,
+            map_phase_s: 0.0,
+            gpu_busy_s: 0.0,
+            max_speedup_seen: 1.0,
+            node_local: 0,
+            rack_local: 0,
+            off_rack: 0,
+            tasks: Vec::new(),
+            reduces_finished: Vec::new(),
+            reduce_done_set: HashSet::new(),
+        }
+    }
+
+    pub(crate) fn record_locality(&mut self, l: Locality) {
+        match l {
+            Locality::NodeLocal => self.node_local += 1,
+            Locality::RackLocal => self.rack_local += 1,
+            Locality::OffRack => self.off_rack += 1,
+        }
+    }
+
+    pub(crate) fn start_task(&mut self, id: u32, node: u32, device: Device, t: f64) {
+        self.tasks.push(TaskRecord {
+            id,
+            node,
+            device,
+            start_s: t,
+            end_s: f64::NAN,
+        });
+    }
+
+    pub(crate) fn finish_task(&mut self, id: u32, t: f64, device: Device) {
+        if let Some(rec) = self
+            .tasks
+            .iter_mut()
+            .rev()
+            .find(|r| r.id == id && r.end_s.is_nan())
+        {
+            rec.end_s = t;
+            rec.device = device;
+        }
+    }
+
+    pub(crate) fn reduce_done(&self, id: u32) -> bool {
+        self.reduce_done_set.contains(&id)
+    }
+
+    pub(crate) fn mark_reduce_done(&mut self, id: u32, t: f64) -> bool {
+        if self.reduce_done_set.insert(id) {
+            self.reduces_finished.push((id, t));
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Completed map tasks.
+    pub fn completed_maps(&self) -> usize {
+        self.tasks.iter().filter(|t| !t.end_s.is_nan()).count()
+    }
+
+    /// Completed reduce tasks.
+    pub fn completed_reduces(&self) -> usize {
+        self.reduces_finished.len()
+    }
+
+    /// Map tasks that ran on a GPU.
+    pub fn gpu_tasks(&self) -> usize {
+        self.tasks
+            .iter()
+            .filter(|t| t.device == Device::Gpu && !t.end_s.is_nan())
+            .count()
+    }
+
+    /// Map tasks that ran on CPU slots.
+    pub fn cpu_tasks(&self) -> usize {
+        self.tasks
+            .iter()
+            .filter(|t| t.device == Device::Cpu && !t.end_s.is_nan())
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn task_lifecycle() {
+        let mut s = JobStats::new("t");
+        s.start_task(0, 1, Device::Cpu, 0.0);
+        s.start_task(1, 1, Device::Gpu, 0.0);
+        assert_eq!(s.completed_maps(), 0);
+        s.finish_task(0, 5.0, Device::Cpu);
+        assert_eq!(s.completed_maps(), 1);
+        assert_eq!(s.cpu_tasks(), 1);
+        assert_eq!(s.gpu_tasks(), 0);
+        s.finish_task(1, 2.0, Device::Gpu);
+        assert_eq!(s.gpu_tasks(), 1);
+    }
+
+    #[test]
+    fn reduce_done_is_idempotent() {
+        let mut s = JobStats::new("t");
+        assert!(s.mark_reduce_done(3, 1.0));
+        assert!(!s.mark_reduce_done(3, 2.0));
+        assert_eq!(s.completed_reduces(), 1);
+    }
+
+    #[test]
+    fn locality_counters() {
+        let mut s = JobStats::new("t");
+        s.record_locality(Locality::NodeLocal);
+        s.record_locality(Locality::NodeLocal);
+        s.record_locality(Locality::OffRack);
+        assert_eq!((s.node_local, s.rack_local, s.off_rack), (2, 0, 1));
+    }
+}

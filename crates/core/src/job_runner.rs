@@ -1,0 +1,214 @@
+//! Functional whole-job execution: HDFS input → per-split map(+combine)
+//! tasks (GPU or CPU) → shuffle → reduce → HDFS output. This is the
+//! *data-plane* counterpart of the DES in `hetero-cluster` (which models
+//! the control plane: where and when tasks run); results are bit-real.
+
+use crate::presets::Preset;
+use hetero_apps::App;
+use hetero_gpusim::{Device, GpuError};
+use hetero_hdfs::{reader, seqfile, Hdfs, Topology};
+use hetero_runtime::cpu::run_cpu_task;
+use hetero_runtime::reduce::run_reduce_task;
+use hetero_runtime::task::run_gpu_task;
+use hetero_runtime::OptFlags;
+
+/// Outcome of a functional job run.
+#[derive(Debug)]
+pub struct FunctionalJob {
+    /// Final reduced output per reduce partition, key-sorted (for
+    /// map-only jobs: the raw map output per partition).
+    pub output: Vec<Vec<(Vec<u8>, Vec<u8>)>>,
+    /// Map tasks executed.
+    pub map_tasks: usize,
+    /// Map tasks that ran on the GPU.
+    pub gpu_tasks: usize,
+    /// Total simulated task seconds (map + reduce; not a makespan —
+    /// placement is the DES's job).
+    pub task_seconds: f64,
+}
+
+/// Run `app` functionally over `input` stored in a fresh simulated HDFS.
+/// Every `gpu_every`-th map task runs on the GPU (0 = all CPU), mimicking
+/// a mixed CPU+GPU execution; correctness must not depend on placement.
+pub fn run_functional_job(
+    app: &dyn App,
+    preset: &Preset,
+    input: &[u8],
+    gpu_every: usize,
+    opts: OptFlags,
+) -> Result<FunctionalJob, GpuError> {
+    let fs = Hdfs::new(
+        Topology::new(preset.cluster.num_slaves, preset.cluster.nodes_per_rack),
+        preset.hdfs_block,
+        preset.replication.min(preset.cluster.num_slaves),
+    )
+    .expect("valid replication");
+    fs.put("/job/input", input).expect("fresh fs");
+    let file = fs.read_file("/job/input").expect("input readable");
+    let splits = fs.splits("/job/input").expect("input exists");
+
+    let cfg = crate::pipeline::task_config(app, preset, opts);
+    let mapper = app.mapper();
+    let combiner = app.combiner();
+    let dev = Device::new(preset.gpu.clone());
+
+    let nr = cfg.num_reducers.max(1) as usize;
+    // Per-reduce-partition inputs: one sorted run per map task.
+    let mut shuffle: Vec<Vec<Vec<(Vec<u8>, Vec<u8>)>>> = vec![Vec::new(); nr];
+    let mut task_seconds = 0.0;
+    let mut gpu_tasks = 0usize;
+
+    for (i, split) in splits.iter().enumerate() {
+        // Hadoop record semantics: a task reads past its split end to
+        // finish the record that started inside it.
+        let (lo, hi) = reader::fetch_range(&file, split.offset, split.len);
+        let task_input = &file[lo as usize..hi as usize];
+        let on_gpu = gpu_every > 0 && i % gpu_every == 0;
+        let partitions = if on_gpu {
+            gpu_tasks += 1;
+            let r = run_gpu_task(
+                &dev,
+                &preset.env,
+                task_input,
+                mapper.as_ref(),
+                combiner.as_deref(),
+                &cfg,
+            )?;
+            task_seconds += r.breakdown.total_s();
+            r.partitions
+        } else {
+            let r = run_cpu_task(
+                &preset.env,
+                &preset.cpu,
+                task_input,
+                mapper.as_ref(),
+                combiner.as_deref(),
+                cfg.num_reducers,
+                cfg.map_only,
+            );
+            task_seconds += r.breakdown.total_s();
+            r.partitions
+        };
+        for (p, pairs) in partitions.into_iter().enumerate() {
+            if !pairs.is_empty() {
+                shuffle[p % nr].push(pairs);
+            }
+        }
+    }
+
+    // Reduce phase (CPU-only, as in HeteroDoop). Map-only jobs write the
+    // map output directly.
+    let mut output = Vec::with_capacity(nr);
+    match app.reducer() {
+        Some(red) if !cfg.map_only => {
+            for part_inputs in shuffle {
+                let r = run_reduce_task(&preset.env, &preset.cpu, part_inputs, red.as_ref());
+                task_seconds += r.time_s;
+                output.push(r.output);
+            }
+        }
+        _ => {
+            for part_inputs in shuffle {
+                let mut flat: Vec<(Vec<u8>, Vec<u8>)> =
+                    part_inputs.into_iter().flatten().collect();
+                flat.sort_by(|a, b| a.0.cmp(&b.0));
+                output.push(flat);
+            }
+        }
+    }
+
+    // Persist the result as SequenceFiles (one per partition).
+    for (p, pairs) in output.iter().enumerate() {
+        let enc = seqfile::encode(pairs.iter().map(|(k, v)| (k.as_slice(), v.as_slice())));
+        fs.put(&format!("/job/output/part-{p:05}"), &enc)
+            .expect("fresh output path");
+    }
+
+    Ok(FunctionalJob {
+        output,
+        map_tasks: splits.len(),
+        gpu_tasks,
+        task_seconds,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn word_totals(job: &FunctionalJob) -> BTreeMap<String, i64> {
+        let mut m = BTreeMap::new();
+        for part in &job.output {
+            for (k, v) in part {
+                let key = String::from_utf8_lossy(hetero_runtime::types::trim_key(k)).to_string();
+                let val: i64 = String::from_utf8_lossy(hetero_runtime::types::trim_key(v))
+                    .trim()
+                    .parse()
+                    .unwrap_or(0);
+                *m.entry(key).or_insert(0) += val;
+            }
+        }
+        m
+    }
+
+    fn direct_counts(input: &[u8]) -> BTreeMap<String, i64> {
+        let mut m = BTreeMap::new();
+        for line in input.split(|&b| b == b'\n') {
+            for w in line
+                .split(|&b: &u8| !(b.is_ascii_alphanumeric() || b == b'_' || b == b'\''))
+                .filter(|w| !w.is_empty())
+            {
+                *m.entry(String::from_utf8_lossy(w).to_string()).or_insert(0) += 1;
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn wordcount_job_matches_direct_counting() {
+        let app = hetero_apps::app_by_code("WC").unwrap();
+        let p = Preset::cluster1();
+        let input = app.generate_split(16000, 31); // ~515 KB: spans multiple 256 KB fileSplits
+        let job = run_functional_job(app.as_ref(), &p, &input, 2, OptFlags::all()).unwrap();
+        assert!(job.map_tasks > 1, "input must span several fileSplits");
+        assert!(job.gpu_tasks > 0, "some tasks must run on the GPU");
+        assert_eq!(word_totals(&job), direct_counts(&input));
+    }
+
+    #[test]
+    fn placement_does_not_change_the_answer() {
+        // All-CPU, all-GPU, and mixed placements must agree — the paper's
+        // single-source portability claim, end to end.
+        let app = hetero_apps::app_by_code("HR").unwrap();
+        let p = Preset::cluster1();
+        let input = app.generate_split(600, 7);
+        let all_cpu = run_functional_job(app.as_ref(), &p, &input, 0, OptFlags::all()).unwrap();
+        let all_gpu = run_functional_job(app.as_ref(), &p, &input, 1, OptFlags::all()).unwrap();
+        let mixed = run_functional_job(app.as_ref(), &p, &input, 3, OptFlags::all()).unwrap();
+        assert_eq!(word_totals(&all_cpu), word_totals(&all_gpu));
+        assert_eq!(word_totals(&all_cpu), word_totals(&mixed));
+        assert_eq!(all_cpu.gpu_tasks, 0);
+        assert_eq!(all_gpu.gpu_tasks, all_gpu.map_tasks);
+    }
+
+    #[test]
+    fn optimizations_do_not_change_the_answer() {
+        let app = hetero_apps::app_by_code("WC").unwrap();
+        let p = Preset::cluster1();
+        let input = app.generate_split(400, 9);
+        let on = run_functional_job(app.as_ref(), &p, &input, 1, OptFlags::all()).unwrap();
+        let off = run_functional_job(app.as_ref(), &p, &input, 1, OptFlags::none()).unwrap();
+        assert_eq!(word_totals(&on), word_totals(&off));
+    }
+
+    #[test]
+    fn map_only_job_skips_reduce() {
+        let app = hetero_apps::app_by_code("BS").unwrap();
+        let p = Preset::cluster1();
+        let input = app.generate_split(200, 3);
+        let job = run_functional_job(app.as_ref(), &p, &input, 2, OptFlags::all()).unwrap();
+        let total: usize = job.output.iter().map(|p| p.len()).sum();
+        assert_eq!(total, 200, "one priced option per input record");
+    }
+}

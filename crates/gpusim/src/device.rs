@@ -1,0 +1,386 @@
+//! The simulated GPU device: memory, texture bindings, kernel launches and
+//! host<->device transfers.
+
+use crate::counters::{Counters, KernelStats};
+use crate::ctx::{BlockCtx, TexBinding};
+use crate::error::GpuError;
+use crate::mem::{DevPtr, MemTracker};
+use crate::spec::GpuSpec;
+use parking_lot::Mutex;
+use rayon::prelude::*;
+
+/// Grid/block geometry for a kernel launch, mirroring the paper's `blocks`
+/// and `threads` clauses (Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaunchConfig {
+    /// Number of threadblocks in the grid.
+    pub blocks: u32,
+    /// Threads per threadblock.
+    pub threads_per_block: u32,
+}
+
+impl LaunchConfig {
+    /// Convenience constructor.
+    pub fn new(blocks: u32, threads_per_block: u32) -> Self {
+        LaunchConfig {
+            blocks,
+            threads_per_block,
+        }
+    }
+
+    /// Total threads in the grid.
+    pub fn total_threads(&self) -> u64 {
+        self.blocks as u64 * self.threads_per_block as u64
+    }
+}
+
+#[derive(Debug)]
+struct DevState {
+    mem: MemTracker,
+    tex_sizes: Vec<u64>,
+    totals: Counters,
+    kernels_launched: u64,
+    sim_time_s: f64,
+    fault: Option<String>,
+}
+
+/// A simulated GPU. Cheap to share behind `&self`; all mutability is
+/// interior so the runtime's GPU driver can hold one handle per device.
+#[derive(Debug)]
+pub struct Device {
+    spec: GpuSpec,
+    state: Mutex<DevState>,
+}
+
+impl Device {
+    /// Create a device from a hardware spec.
+    pub fn new(spec: GpuSpec) -> Self {
+        let mem = MemTracker::new(spec.global_mem_bytes);
+        Device {
+            spec,
+            state: Mutex::new(DevState {
+                mem,
+                tex_sizes: Vec::new(),
+                totals: Counters::default(),
+                kernels_launched: 0,
+                sim_time_s: 0.0,
+                fault: None,
+            }),
+        }
+    }
+
+    /// The hardware description.
+    pub fn spec(&self) -> &GpuSpec {
+        &self.spec
+    }
+
+    /// cudaMalloc: reserve `bytes` of device memory.
+    pub fn alloc(&self, bytes: u64) -> Result<DevPtr, GpuError> {
+        self.check_fault()?;
+        self.state.lock().mem.alloc(bytes)
+    }
+
+    /// cudaFree.
+    pub fn free(&self, ptr: DevPtr) -> Result<(), GpuError> {
+        self.state.lock().mem.free(ptr)
+    }
+
+    /// Free all allocations and texture bindings (end-of-task cleanup).
+    pub fn reset(&self) {
+        let mut st = self.state.lock();
+        st.mem.free_all();
+        st.tex_sizes.clear();
+    }
+
+    /// Free device memory in bytes — what the host driver grabs for the
+    /// global KV store when no `kvpairs` hint exists (paper §4.3).
+    pub fn available(&self) -> u64 {
+        self.state.lock().mem.available()
+    }
+
+    /// Bytes currently allocated on the device.
+    pub fn used(&self) -> u64 {
+        self.state.lock().mem.used()
+    }
+
+    /// cudaBindTexture: register a read-only footprint of `bytes` with the
+    /// texture unit (Algorithm 1, lines 11–15).
+    pub fn bind_texture(&self, bytes: u64) -> TexBinding {
+        let mut st = self.state.lock();
+        st.tex_sizes.push(bytes);
+        TexBinding((st.tex_sizes.len() - 1) as u32)
+    }
+
+    /// Simulate a host→device copy; returns elapsed seconds and advances
+    /// the device clock.
+    pub fn h2d(&self, bytes: u64) -> Result<f64, GpuError> {
+        self.check_fault()?;
+        let t = self.spec.pcie_transfer_seconds(bytes);
+        self.state.lock().sim_time_s += t;
+        Ok(t)
+    }
+
+    /// Simulate a device→host copy.
+    pub fn d2h(&self, bytes: u64) -> Result<f64, GpuError> {
+        self.check_fault()?;
+        let t = self.spec.pcie_transfer_seconds(bytes);
+        self.state.lock().sim_time_s += t;
+        Ok(t)
+    }
+
+    /// Inject a device fault: every subsequent operation fails until
+    /// [`Device::revive`] — exercising the paper's GPU-driver fault
+    /// tolerance (§5.1).
+    pub fn inject_fault(&self, reason: impl Into<String>) {
+        self.state.lock().fault = Some(reason.into());
+    }
+
+    /// Clear an injected fault (the driver "revives" the GPU).
+    pub fn revive(&self) {
+        self.state.lock().fault = None;
+    }
+
+    /// Whether the device currently has an injected fault.
+    pub fn is_faulted(&self) -> bool {
+        self.state.lock().fault.is_some()
+    }
+
+    fn check_fault(&self) -> Result<(), GpuError> {
+        match &self.state.lock().fault {
+            Some(msg) => Err(GpuError::DeviceFault(msg.clone())),
+            None => Ok(()),
+        }
+    }
+
+    /// Launch a kernel: `body` runs once per threadblock, receiving the
+    /// block's [`BlockCtx`] and its element of `payloads` (per-block
+    /// mutable work — typically disjoint output slices). `payloads.len()`
+    /// defines the grid size.
+    ///
+    /// Blocks execute in parallel on the host via rayon; the timing model
+    /// assigns blocks round-robin to the device's SMs and takes the
+    /// critical path:
+    ///
+    /// ```text
+    /// kernel time = max( max_sm Σ block_cycles , DRAM bandwidth floor )
+    ///             + launch overhead
+    /// ```
+    pub fn launch<T, F>(
+        &self,
+        threads_per_block: u32,
+        payloads: Vec<T>,
+        body: F,
+    ) -> Result<KernelStats, GpuError>
+    where
+        T: Send,
+        F: Fn(&mut BlockCtx<'_>, T) -> Result<(), GpuError> + Sync,
+    {
+        self.check_fault()?;
+        if threads_per_block == 0 || threads_per_block > self.spec.max_threads_per_block {
+            return Err(GpuError::BadLaunch(format!(
+                "threads_per_block {} outside 1..={}",
+                threads_per_block, self.spec.max_threads_per_block
+            )));
+        }
+        if payloads.is_empty() {
+            return Err(GpuError::BadLaunch("empty grid".to_string()));
+        }
+        let blocks = payloads.len() as u32;
+        let tex_sizes = self.state.lock().tex_sizes.clone();
+
+        let per_block: Vec<Result<(f64, f64, Counters), GpuError>> = payloads
+            .into_par_iter()
+            .enumerate()
+            .map(|(i, payload)| {
+                let mut ctx = BlockCtx {
+                    block_idx: i as u32,
+                    threads_per_block,
+                    spec: &self.spec,
+                    tex_sizes: &tex_sizes,
+                    compute_cycles: 0.0,
+                    counters: Counters::default(),
+                    shared_used: 0,
+                    warp_totals: Vec::new(),
+                    rr: 0,
+                };
+                body(&mut ctx, payload)?;
+                Ok((ctx.block_cycles(), ctx.compute_cycles, ctx.counters))
+            })
+            .collect();
+
+        // Round-robin blocks onto SMs, take the busiest SM as critical path.
+        let mut sm_cycles = vec![0.0f64; self.spec.num_sms as usize];
+        let mut sm_compute = vec![0.0f64; self.spec.num_sms as usize];
+        let mut totals = Counters::default();
+        for (i, r) in per_block.into_iter().enumerate() {
+            let (cycles, compute, counters) = r?;
+            let sm = i % self.spec.num_sms as usize;
+            sm_cycles[sm] += cycles;
+            sm_compute[sm] += compute;
+            totals += counters;
+        }
+        let crit = sm_cycles.iter().cloned().fold(0.0f64, f64::max);
+        let crit_compute = sm_compute.iter().cloned().fold(0.0f64, f64::max);
+        let exec_s = self
+            .spec
+            .cycles_to_seconds(crit)
+            .max(self.spec.bandwidth_floor_seconds(totals.dram_bytes));
+        let time_s = exec_s + self.spec.launch_overhead_us * 1e-6;
+
+        let stats = KernelStats {
+            time_s,
+            cycles: crit,
+            compute_cycles: crit_compute,
+            memory_cycles: crit - crit_compute.min(crit),
+            blocks,
+            threads_per_block,
+            counters: totals,
+        };
+        let mut st = self.state.lock();
+        st.totals += totals;
+        st.kernels_launched += 1;
+        st.sim_time_s += time_s;
+        Ok(stats)
+    }
+
+    /// Cumulative counters across all launches on this device.
+    pub fn totals(&self) -> Counters {
+        self.state.lock().totals
+    }
+
+    /// Number of kernels launched so far.
+    pub fn kernels_launched(&self) -> u64 {
+        self.state.lock().kernels_launched
+    }
+
+    /// Total simulated time spent on this device (kernels + transfers).
+    pub fn sim_time_s(&self) -> f64 {
+        self.state.lock().sim_time_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctx::Access;
+
+    #[test]
+    fn launch_runs_every_block_and_sums_counters() {
+        let dev = Device::new(GpuSpec::tesla_k40());
+        let payloads: Vec<u32> = (0..30).collect();
+        let stats = dev
+            .launch(64, payloads, |blk, p| {
+                blk.warp_round(|_, t| t.alu(p as u64 + 1));
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(stats.blocks, 30);
+        // Each block: 32 lanes × (p+1) alu ops, p = 0..30.
+        let expected: u64 = (0..30u64).map(|p| 32 * (p + 1)).sum();
+        assert_eq!(stats.counters.alu_ops, expected);
+        assert!(stats.time_s > 0.0);
+    }
+
+    #[test]
+    fn more_blocks_than_sms_serialize() {
+        let dev = Device::new(GpuSpec::tesla_k40());
+        let sms = dev.spec().num_sms;
+        let one_wave = dev
+            .launch(32, vec![(); sms as usize], |blk, _| {
+                blk.warp_round(|_, t| t.alu(1000));
+                Ok(())
+            })
+            .unwrap();
+        let two_waves = dev
+            .launch(32, vec![(); 2 * sms as usize], |blk, _| {
+                blk.warp_round(|_, t| t.alu(1000));
+                Ok(())
+            })
+            .unwrap();
+        assert!(
+            two_waves.cycles > 1.9 * one_wave.cycles,
+            "two waves {} vs one {}",
+            two_waves.cycles,
+            one_wave.cycles
+        );
+    }
+
+    #[test]
+    fn bandwidth_floor_applies_to_streaming_kernels() {
+        let dev = Device::new(GpuSpec::tesla_k40());
+        // One block streaming lots of coalesced data: cheap in cycles but
+        // limited by the 288 GB/s DRAM interface.
+        let bytes_per_lane: u64 = 1 << 20;
+        let stats = dev
+            .launch(32, vec![()], |blk, _| {
+                blk.warp_round(|_, t| t.gld(bytes_per_lane, Access::Coalesced));
+                Ok(())
+            })
+            .unwrap();
+        let floor = dev.spec().bandwidth_floor_seconds(stats.counters.dram_bytes);
+        assert!(stats.time_s >= floor);
+    }
+
+    #[test]
+    fn launch_validates_config() {
+        let dev = Device::new(GpuSpec::tesla_k40());
+        assert!(matches!(
+            dev.launch(0, vec![()], |_, _| Ok(())),
+            Err(GpuError::BadLaunch(_))
+        ));
+        assert!(matches!(
+            dev.launch(4096, vec![()], |_, _| Ok(())),
+            Err(GpuError::BadLaunch(_))
+        ));
+        let empty: Vec<()> = vec![];
+        assert!(matches!(
+            dev.launch(32, empty, |_, _| Ok(())),
+            Err(GpuError::BadLaunch(_))
+        ));
+    }
+
+    #[test]
+    fn fault_injection_blocks_operations_until_revive() {
+        let dev = Device::new(GpuSpec::tesla_k40());
+        dev.inject_fault("xid 62");
+        assert!(dev.is_faulted());
+        assert!(matches!(dev.alloc(16), Err(GpuError::DeviceFault(_))));
+        assert!(matches!(dev.h2d(16), Err(GpuError::DeviceFault(_))));
+        assert!(matches!(
+            dev.launch(32, vec![()], |_, _| Ok(())),
+            Err(GpuError::DeviceFault(_))
+        ));
+        dev.revive();
+        assert!(dev.alloc(16).is_ok());
+    }
+
+    #[test]
+    fn transfers_advance_sim_time() {
+        let dev = Device::new(GpuSpec::tesla_k40());
+        let before = dev.sim_time_s();
+        let t = dev.h2d(1 << 20).unwrap();
+        assert!(t > 0.0);
+        assert!(dev.sim_time_s() > before);
+    }
+
+    #[test]
+    fn body_errors_propagate() {
+        let dev = Device::new(GpuSpec::tesla_k40());
+        let r = dev.launch(32, vec![(), ()], |blk, _| {
+            if blk.block_idx() == 1 {
+                Err(GpuError::DeviceFault("boom".to_string()))
+            } else {
+                Ok(())
+            }
+        });
+        assert!(matches!(r, Err(GpuError::DeviceFault(_))));
+    }
+
+    #[test]
+    fn texture_binding_ids_are_stable() {
+        let dev = Device::new(GpuSpec::tesla_k40());
+        let a = dev.bind_texture(100);
+        let b = dev.bind_texture(200);
+        assert_ne!(a.0, b.0);
+    }
+}

@@ -1,0 +1,59 @@
+//! Error type for the GPU simulator.
+
+use std::fmt;
+
+/// Errors raised by the simulated device.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GpuError {
+    /// A `gpuMalloc` could not be satisfied. GPUs have no virtual memory
+    /// (paper §2.1), so exceeding capacity is a hard failure — this is the
+    /// error that excludes the KM benchmark from Cluster2 (Fig. 4b).
+    OutOfMemory {
+        /// Bytes requested by the failing allocation.
+        requested: u64,
+        /// Bytes still available on the device.
+        available: u64,
+    },
+    /// Freeing an allocation id that does not exist (double free or junk).
+    InvalidFree(u64),
+    /// Launch configuration violates device limits.
+    BadLaunch(String),
+    /// Shared-memory request exceeds the per-SM capacity.
+    SharedMemExceeded {
+        /// Bytes requested per block.
+        requested: u32,
+        /// Per-SM shared memory capacity.
+        capacity: u32,
+    },
+    /// Referenced an unbound texture id.
+    UnboundTexture(u32),
+    /// Injected fault (used by the fault-tolerance experiments).
+    DeviceFault(String),
+}
+
+impl fmt::Display for GpuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GpuError::OutOfMemory {
+                requested,
+                available,
+            } => write!(
+                f,
+                "out of device memory: requested {requested} B, {available} B available"
+            ),
+            GpuError::InvalidFree(id) => write!(f, "invalid free of allocation {id}"),
+            GpuError::BadLaunch(msg) => write!(f, "bad launch configuration: {msg}"),
+            GpuError::SharedMemExceeded {
+                requested,
+                capacity,
+            } => write!(
+                f,
+                "shared memory request {requested} B exceeds per-SM capacity {capacity} B"
+            ),
+            GpuError::UnboundTexture(id) => write!(f, "texture {id} is not bound"),
+            GpuError::DeviceFault(msg) => write!(f, "device fault: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GpuError {}

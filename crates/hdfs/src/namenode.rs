@@ -1,0 +1,366 @@
+//! The HDFS namespace and block store.
+//!
+//! For simulation purposes a single structure plays the roles of NameNode
+//! (path → block list, replica placement) and the DataNodes' storage
+//! (block id → bytes). Placement follows Hadoop's default policy: the
+//! first replica on a "writer" node chosen round-robin, the second on a
+//! different rack, the third on the second replica's rack.
+
+use crate::checksum::crc32;
+use crate::error::HdfsError;
+use crate::topology::{NodeId, Topology};
+use bytes::Bytes;
+use parking_lot::RwLock;
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// Identifier of a stored block (a fileSplit is one block).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(pub u64);
+
+/// Metadata of one fileSplit: which slice of the file it holds and where
+/// its replicas live.
+#[derive(Debug, Clone)]
+pub struct FileSplit {
+    /// Block id.
+    pub id: BlockId,
+    /// Owning file path.
+    pub path: String,
+    /// Index of this split within the file.
+    pub index: u32,
+    /// Byte offset of the split within the logical file.
+    pub offset: u64,
+    /// Length in bytes.
+    pub len: u64,
+    /// Nodes holding a replica.
+    pub replicas: Vec<NodeId>,
+    /// CRC-32 of the block contents.
+    pub checksum: u32,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    files: BTreeMap<String, Vec<BlockId>>,
+    splits: HashMap<BlockId, FileSplit>,
+    data: HashMap<BlockId, Bytes>,
+    dead_nodes: HashSet<NodeId>,
+    next_block: u64,
+}
+
+/// The simulated distributed filesystem.
+#[derive(Debug)]
+pub struct Hdfs {
+    topology: Topology,
+    block_size: u64,
+    replication: u32,
+    inner: RwLock<Inner>,
+}
+
+impl Hdfs {
+    /// Create a filesystem over `topology` with the given block size and
+    /// replication factor (Table 3: 256 MB blocks; replication 3 on
+    /// Cluster1, 1 on Cluster2).
+    pub fn new(topology: Topology, block_size: u64, replication: u32) -> Result<Self, HdfsError> {
+        if replication == 0 || replication > topology.num_nodes() {
+            return Err(HdfsError::BadReplication(replication));
+        }
+        assert!(block_size > 0);
+        Ok(Hdfs {
+            topology,
+            block_size,
+            replication,
+            inner: RwLock::new(Inner::default()),
+        })
+    }
+
+    /// Cluster topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Configured block (fileSplit) size.
+    pub fn block_size(&self) -> u64 {
+        self.block_size
+    }
+
+    /// Configured replication factor.
+    pub fn replication(&self) -> u32 {
+        self.replication
+    }
+
+    /// Write a new file, splitting `contents` into blocks and placing
+    /// replicas. HDFS files are write-once; rewriting a path is an error.
+    pub fn put(&self, path: &str, contents: &[u8]) -> Result<Vec<FileSplit>, HdfsError> {
+        let mut inner = self.inner.write();
+        if inner.files.contains_key(path) {
+            return Err(HdfsError::AlreadyExists(path.to_string()));
+        }
+        let mut ids = Vec::new();
+        let mut splits_out = Vec::new();
+        let n_nodes = self.topology.num_nodes();
+        let chunks: Vec<&[u8]> = if contents.is_empty() {
+            vec![&[][..]]
+        } else {
+            contents.chunks(self.block_size as usize).collect()
+        };
+        for (i, chunk) in chunks.iter().enumerate() {
+            let id = BlockId(inner.next_block);
+            inner.next_block += 1;
+            // Default placement: writer node round-robin by block id, then
+            // spread across racks.
+            let first = NodeId((id.0 as u32).wrapping_mul(2654435761) % n_nodes);
+            let replicas = self.place_replicas(first);
+            let split = FileSplit {
+                id,
+                path: path.to_string(),
+                index: i as u32,
+                offset: i as u64 * self.block_size,
+                len: chunk.len() as u64,
+                replicas,
+                checksum: crc32(chunk),
+            };
+            inner.data.insert(id, Bytes::copy_from_slice(chunk));
+            inner.splits.insert(id, split.clone());
+            ids.push(id);
+            splits_out.push(split);
+        }
+        inner.files.insert(path.to_string(), ids);
+        Ok(splits_out)
+    }
+
+    fn place_replicas(&self, first: NodeId) -> Vec<NodeId> {
+        let n = self.topology.num_nodes();
+        let first_rack = self.topology.rack_of(first);
+        let mut replicas = vec![first];
+        // Second replica: first node found on a different rack.
+        if self.replication >= 2 {
+            let second = (0..n)
+                .map(|k| NodeId((first.0 + 1 + k) % n))
+                .find(|&c| self.topology.rack_of(c) != first_rack && !replicas.contains(&c));
+            if let Some(s) = second {
+                replicas.push(s);
+            }
+        }
+        // Remaining replicas: same rack as the second when possible.
+        while (replicas.len() as u32) < self.replication {
+            let anchor = *replicas.last().unwrap();
+            let anchor_rack = self.topology.rack_of(anchor);
+            let next = (0..n)
+                .map(|k| NodeId((anchor.0 + 1 + k) % n))
+                .find(|c| !replicas.contains(c) && self.topology.rack_of(*c) == anchor_rack)
+                .or_else(|| {
+                    (0..n)
+                        .map(|k| NodeId((anchor.0 + 1 + k) % n))
+                        .find(|c| !replicas.contains(c))
+                });
+            match next {
+                Some(nx) => replicas.push(nx),
+                None => break,
+            }
+        }
+        replicas
+    }
+
+    /// All fileSplits of a file, in order.
+    pub fn splits(&self, path: &str) -> Result<Vec<FileSplit>, HdfsError> {
+        let inner = self.inner.read();
+        let ids = inner
+            .files
+            .get(path)
+            .ok_or_else(|| HdfsError::FileNotFound(path.to_string()))?;
+        Ok(ids.iter().map(|id| inner.splits[id].clone()).collect())
+    }
+
+    /// Read one block, verifying its checksum. Fails if every replica
+    /// lives on a dead node.
+    pub fn read_block(&self, id: BlockId) -> Result<Bytes, HdfsError> {
+        let inner = self.inner.read();
+        let split = inner.splits.get(&id).ok_or(HdfsError::BlockMissing(id.0))?;
+        if split.replicas.iter().all(|r| inner.dead_nodes.contains(r)) {
+            return Err(HdfsError::AllReplicasLost(id.0));
+        }
+        let data = inner.data.get(&id).ok_or(HdfsError::BlockMissing(id.0))?;
+        let actual = crc32(data);
+        if actual != split.checksum {
+            return Err(HdfsError::ChecksumMismatch {
+                block: id.0,
+                expected: split.checksum,
+                actual,
+            });
+        }
+        Ok(data.clone())
+    }
+
+    /// Read an entire file back.
+    pub fn read_file(&self, path: &str) -> Result<Vec<u8>, HdfsError> {
+        let splits = self.splits(path)?;
+        let mut out = Vec::new();
+        for s in splits {
+            out.extend_from_slice(&self.read_block(s.id)?);
+        }
+        Ok(out)
+    }
+
+    /// Whether the path exists.
+    pub fn exists(&self, path: &str) -> bool {
+        self.inner.read().files.contains_key(path)
+    }
+
+    /// List paths with the given prefix (job output directories).
+    pub fn list(&self, prefix: &str) -> Vec<String> {
+        self.inner
+            .read()
+            .files
+            .keys()
+            .filter(|p| p.starts_with(prefix))
+            .cloned()
+            .collect()
+    }
+
+    /// Mark a node dead (fault injection); its replicas become
+    /// unavailable.
+    pub fn kill_node(&self, node: NodeId) {
+        self.inner.write().dead_nodes.insert(node);
+    }
+
+    /// Bring a node back.
+    pub fn revive_node(&self, node: NodeId) {
+        self.inner.write().dead_nodes.remove(&node);
+    }
+
+    /// Corrupt a block in place (fault injection for checksum tests).
+    pub fn corrupt_block(&self, id: BlockId) -> Result<(), HdfsError> {
+        let mut inner = self.inner.write();
+        let data = inner.data.get(&id).ok_or(HdfsError::BlockMissing(id.0))?;
+        let mut v = data.to_vec();
+        if v.is_empty() {
+            v.push(0xFF);
+        } else {
+            v[0] ^= 0xFF;
+        }
+        inner.data.insert(id, Bytes::from(v));
+        Ok(())
+    }
+
+    /// Total bytes stored (one copy; replicas share the simulated store).
+    pub fn used_bytes(&self) -> u64 {
+        self.inner.read().data.values().map(|d| d.len() as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::Locality;
+
+    fn fs() -> Hdfs {
+        Hdfs::new(Topology::new(8, 4), 100, 3).unwrap()
+    }
+
+    #[test]
+    fn put_splits_into_blocks() {
+        let fs = fs();
+        let data: Vec<u8> = (0..250u32).map(|i| (i % 251) as u8).collect();
+        let splits = fs.put("/in/f1", &data).unwrap();
+        assert_eq!(splits.len(), 3);
+        assert_eq!(splits[0].len, 100);
+        assert_eq!(splits[2].len, 50);
+        assert_eq!(splits[1].offset, 100);
+        assert_eq!(fs.read_file("/in/f1").unwrap(), data);
+    }
+
+    #[test]
+    fn replication_factor_respected_and_cross_rack() {
+        let fs = fs();
+        let splits = fs.put("/in/f", &[1u8; 300]).unwrap();
+        for s in &splits {
+            assert_eq!(s.replicas.len(), 3);
+            let racks: HashSet<_> = s
+                .replicas
+                .iter()
+                .map(|&r| fs.topology().rack_of(r))
+                .collect();
+            assert!(racks.len() >= 2, "replicas should span racks: {:?}", s.replicas);
+        }
+    }
+
+    #[test]
+    fn write_once_semantics() {
+        let fs = fs();
+        fs.put("/x", b"abc").unwrap();
+        assert!(matches!(fs.put("/x", b"def"), Err(HdfsError::AlreadyExists(_))));
+    }
+
+    #[test]
+    fn missing_file_errors() {
+        let fs = fs();
+        assert!(matches!(fs.splits("/nope"), Err(HdfsError::FileNotFound(_))));
+    }
+
+    #[test]
+    fn node_death_and_replica_loss() {
+        // Replication 1: killing the single replica node loses the block.
+        let fs = Hdfs::new(Topology::new(4, 2), 100, 1).unwrap();
+        let splits = fs.put("/f", b"hello").unwrap();
+        let only = splits[0].replicas[0];
+        fs.kill_node(only);
+        assert!(matches!(
+            fs.read_block(splits[0].id),
+            Err(HdfsError::AllReplicasLost(_))
+        ));
+        fs.revive_node(only);
+        assert!(fs.read_block(splits[0].id).is_ok());
+    }
+
+    #[test]
+    fn corruption_detected_by_checksum() {
+        let fs = fs();
+        let splits = fs.put("/f", b"some data here").unwrap();
+        fs.corrupt_block(splits[0].id).unwrap();
+        assert!(matches!(
+            fs.read_block(splits[0].id),
+            Err(HdfsError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn locality_of_splits_queryable() {
+        let fs = fs();
+        let splits = fs.put("/f", &[0u8; 500]).unwrap();
+        for s in &splits {
+            let local = s.replicas[0];
+            assert_eq!(fs.topology().locality(local, &s.replicas), Locality::NodeLocal);
+        }
+    }
+
+    #[test]
+    fn list_by_prefix() {
+        let fs = fs();
+        fs.put("/out/part-0000", b"a").unwrap();
+        fs.put("/out/part-0001", b"b").unwrap();
+        fs.put("/other", b"c").unwrap();
+        let mut l = fs.list("/out/");
+        l.sort();
+        assert_eq!(l, vec!["/out/part-0000", "/out/part-0001"]);
+    }
+
+    #[test]
+    fn empty_file_is_one_empty_block() {
+        let fs = fs();
+        let splits = fs.put("/empty", b"").unwrap();
+        assert_eq!(splits.len(), 1);
+        assert_eq!(splits[0].len, 0);
+        assert_eq!(fs.read_file("/empty").unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn bad_replication_rejected() {
+        assert!(matches!(
+            Hdfs::new(Topology::new(2, 2), 100, 0),
+            Err(HdfsError::BadReplication(0))
+        ));
+        assert!(matches!(
+            Hdfs::new(Topology::new(2, 2), 100, 5),
+            Err(HdfsError::BadReplication(5))
+        ));
+    }
+}

@@ -1,0 +1,183 @@
+//! Partition aggregation: whitespace removal from the global KV store
+//! before sorting (paper §5.3, Fig. 7e).
+//!
+//! Map threads rarely fill their whole KV-store region, so live pairs are
+//! scattered between empty slots ("whitespaces"). Sorting the raw store
+//! would sort the whitespace too. This pass uses the per-thread emit
+//! counts and a parallel prefix sum to build a *dense indirection array*
+//! per partition — KV pairs themselves never move (§5.3: "the KV pairs do
+//! not need to be shuffled directly").
+
+use crate::kvstore::KvStore;
+use crate::scan::exclusive_scan;
+use hetero_gpusim::{Access, Device, GpuError, KernelStats};
+
+/// Result of the aggregation pass.
+#[derive(Debug, Clone)]
+pub struct Aggregated {
+    /// Dense slot-index list per partition, in stable (thread, emit)
+    /// order.
+    pub per_partition: Vec<Vec<u32>>,
+    /// Combined statistics of the scan + compaction kernels.
+    pub stats: KernelStats,
+}
+
+/// Aggregate live pairs of `store` into per-partition indirection arrays.
+pub fn aggregate(dev: &Device, store: &KvStore) -> Result<Aggregated, GpuError> {
+    // Prefix-sum the per-thread counts (the paper's use of the scan
+    // primitive [22]).
+    let scan = exclusive_scan(dev, &store.counts)?;
+
+    // Compaction kernel: each thread writes its live slot indices to its
+    // scanned offset. Index traffic is coalesced; reading each slot's
+    // partition tag is one extra 4-byte load.
+    let threads_per_block = 128usize;
+    let n_blocks = store.threads.div_ceil(threads_per_block).max(1);
+    let counts = &store.counts;
+    let stats2 = dev.launch(
+        threads_per_block as u32,
+        (0..n_blocks).collect::<Vec<_>>(),
+        |blk, b| {
+            let lo = b * threads_per_block;
+            let hi = ((b + 1) * threads_per_block).min(counts.len());
+            for chunk in counts[lo..hi].chunks(blk.warp_size() as usize) {
+                blk.warp_round(|lane, t| {
+                    let c = chunk.get(lane as usize).copied().unwrap_or(0) as u64;
+                    t.gld(4, Access::Coalesced); // own count
+                    t.gld(8, Access::Coalesced); // own prefix offset
+                    // One partition-tag read and one index store per pair.
+                    t.gld(4 * c, Access::Coalesced);
+                    t.gst(4 * c, Access::Coalesced);
+                    t.alu(2 * c + 2);
+                });
+            }
+            Ok(())
+        },
+    )?;
+
+    // Functional result: dense, stable order by (thread, emit index),
+    // bucketed by partition.
+    let mut per_partition: Vec<Vec<u32>> = vec![Vec::new(); store.num_reducers as usize];
+    for tid in 0..store.threads {
+        for slot in store.live_slots_of(tid) {
+            let p = store.partition[slot] as usize;
+            per_partition[p].push(slot as u32);
+        }
+    }
+
+    let mut stats = scan.stats;
+    stats.time_s += stats2.time_s;
+    stats.cycles += stats2.cycles;
+    let mut c = stats.counters;
+    c += stats2.counters;
+    stats.counters = c;
+    Ok(Aggregated {
+        per_partition,
+        stats,
+    })
+}
+
+/// The *unaggregated* alternative: per-partition index lists that still
+/// contain every allocated slot of the store (whitespace included, dummy
+/// entries marked with `u32::MAX`). Sorting these is what the paper's
+/// Fig. 7e baseline pays for.
+pub fn unaggregated_partitions(store: &KvStore) -> Vec<Vec<u32>> {
+    let mut per_partition: Vec<Vec<u32>> = vec![Vec::new(); store.num_reducers as usize];
+    let total = store.total_slots();
+    if store.num_reducers == 0 || total == 0 {
+        return per_partition;
+    }
+    // Live slots go to their real partition; whitespace slots are spread
+    // round-robin (the sorter has to move them regardless of content).
+    let mut rr = 0usize;
+    for slot in 0..total {
+        let p = store.partition[slot];
+        if p == u32::MAX {
+            per_partition[rr % store.num_reducers as usize].push(u32::MAX);
+            rr += 1;
+        } else {
+            per_partition[p as usize].push(slot as u32);
+        }
+    }
+    per_partition
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetero_gpusim::GpuSpec;
+
+    fn store_with_pairs() -> KvStore {
+        let mut s = KvStore::new(4, 8, 8, 4, 3);
+        for (tid, key) in [(0, "apple"), (0, "pear"), (2, "plum"), (3, "fig"), (3, "date")]
+        {
+            assert!(s.emit(tid, key.as_bytes(), b"1"));
+        }
+        s
+    }
+
+    #[test]
+    fn aggregation_collects_exactly_the_live_pairs() {
+        let dev = Device::new(GpuSpec::tesla_k40());
+        let s = store_with_pairs();
+        let agg = aggregate(&dev, &s).unwrap();
+        let total: usize = agg.per_partition.iter().map(|p| p.len()).sum();
+        assert_eq!(total, s.total_pairs());
+        // Every index points at a live slot with the right partition.
+        for (p, idxs) in agg.per_partition.iter().enumerate() {
+            for &i in idxs {
+                assert_eq!(s.partition[i as usize], p as u32);
+            }
+        }
+    }
+
+    #[test]
+    fn aggregation_is_stable_within_thread() {
+        let dev = Device::new(GpuSpec::tesla_k40());
+        let mut s = KvStore::new(2, 8, 8, 4, 1);
+        for k in ["a", "b", "c"] {
+            s.emit(0, k.as_bytes(), b"1");
+        }
+        let agg = aggregate(&dev, &s).unwrap();
+        let idxs = &agg.per_partition[0];
+        assert_eq!(idxs.as_slice(), &[0, 1, 2]);
+    }
+
+    #[test]
+    fn unaggregated_includes_whitespace() {
+        let s = store_with_pairs();
+        let un = unaggregated_partitions(&s);
+        let total: usize = un.iter().map(|p| p.len()).sum();
+        assert_eq!(total, s.total_slots()); // 4 threads * 8 slots
+        let whitespace = un
+            .iter()
+            .flatten()
+            .filter(|&&i| i == u32::MAX)
+            .count();
+        assert_eq!(whitespace, s.total_slots() - s.total_pairs());
+    }
+
+    #[test]
+    fn empty_store_aggregates_to_empty_partitions() {
+        let dev = Device::new(GpuSpec::tesla_k40());
+        let s = KvStore::new(4, 4, 8, 4, 2);
+        let agg = aggregate(&dev, &s).unwrap();
+        assert!(agg.per_partition.iter().all(|p| p.is_empty()));
+    }
+
+    #[test]
+    fn aggregation_cost_grows_with_pairs() {
+        let dev = Device::new(GpuSpec::tesla_k40());
+        let mut small = KvStore::new(64, 4, 8, 4, 2);
+        small.emit(0, b"k", b"1");
+        let mut big = KvStore::new(64, 64, 8, 4, 2);
+        for t in 0..64 {
+            for i in 0..64 {
+                big.emit(t, format!("k{i}").as_bytes(), b"1");
+            }
+        }
+        let a = aggregate(&dev, &small).unwrap();
+        let b = aggregate(&dev, &big).unwrap();
+        assert!(b.stats.cycles > a.stats.cycles);
+    }
+}

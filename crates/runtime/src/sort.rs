@@ -1,0 +1,234 @@
+//! Intermediate sort: GPU merge sort **with indirection** (paper §5.3).
+//!
+//! HeteroDoop modifies the Satish et al. merge sort [23] to sort the
+//! *indirection array* instead of the KV pairs themselves, because keys
+//! can be long and variable: moving them through shared memory would
+//! throttle the partial merge size. The trade-off is that every key
+//! comparison is a dependent (random) global-memory access through the
+//! index — which is exactly why shrinking the sort input via aggregation
+//! pays off so dramatically (Fig. 7e).
+
+use crate::kvstore::KvStore;
+use hetero_gpusim::{Access, Device, GpuError, KernelStats};
+
+/// Indices per block-level chunk sort (phase 1).
+const CHUNK: usize = 1024;
+
+/// Result of sorting one partition's indirection array.
+#[derive(Debug, Clone)]
+pub struct SortResult {
+    /// Slot indices in key order (whitespace `u32::MAX` entries sort
+    /// last). Stable for equal keys.
+    pub order: Vec<u32>,
+    /// Kernel statistics (all passes combined).
+    pub stats: KernelStats,
+}
+
+/// Average prefix of a key actually inspected per comparison.
+fn cmp_bytes(key_len: usize) -> u64 {
+    key_len.min(12).max(1) as u64
+}
+
+/// Sort `indices` (slot numbers into `store`) by key bytes on the device.
+pub fn sort_partition(
+    dev: &Device,
+    store: &KvStore,
+    indices: &[u32],
+) -> Result<SortResult, GpuError> {
+    let n = indices.len();
+    if n <= 1 {
+        return Ok(SortResult {
+            order: indices.to_vec(),
+            stats: KernelStats::default(),
+        });
+    }
+    let kb = cmp_bytes(store.key_len);
+
+    // ---- Phase 1: per-block chunk sort (bitonic-style cost: c·log²c
+    // comparisons across the block's lanes). ----
+    let n_chunks = n.div_ceil(CHUNK);
+    let per_chunk = n.min(CHUNK) as u64;
+    let log_c = (64 - (per_chunk.max(2) - 1).leading_zeros()) as u64;
+    let stats1 = dev.launch(256, vec![(); n_chunks], |blk, _| {
+        // Cold phase: each element's key prefix is fetched once through
+        // the indirection (random, uncoalesced)...
+        let lanes = (blk.warp_size() * blk.num_warps()) as u64;
+        let per_lane_elems = per_chunk.div_ceil(lanes).max(1);
+        for w in 0..blk.num_warps() {
+            let _ = w;
+            blk.warp_round(|_, t| {
+                for _ in 0..per_lane_elems {
+                    t.gld(kb, Access::Random);
+                }
+            });
+        }
+        // ...then the log²c bitonic stages compare out of on-chip
+        // storage: shared-memory traffic + ALU only.
+        let stages = log_c * log_c;
+        let per_lane_cmp = (per_chunk * stages).div_ceil(lanes).max(1);
+        for w in 0..blk.num_warps() {
+            let _ = w;
+            blk.warp_round(|_, t| {
+                for _ in 0..per_lane_cmp {
+                    t.shared(2);
+                    t.alu(kb / 2 + 1);
+                }
+            });
+        }
+        Ok(())
+    })?;
+
+    // ---- Phase 2: log2(n/CHUNK) pairwise merge passes, each streaming
+    // the whole index array once. ----
+    let merge_passes = if n_chunks > 1 {
+        (usize::BITS - (n_chunks - 1).leading_zeros()) as u64
+    } else {
+        0
+    };
+    let mut stats2 = KernelStats::default();
+    if merge_passes > 0 {
+        let blocks = n_chunks.max(1);
+        for _pass in 0..merge_passes {
+            let s = dev.launch(256, vec![(); blocks], |blk, _| {
+                let lanes = (blk.warp_size() * blk.num_warps()) as u64;
+                let items = (n as u64).div_ceil(blocks as u64);
+                let per_lane = items.div_ceil(lanes).max(1);
+                for w in 0..blk.num_warps() {
+                    let _ = w;
+                    blk.warp_round(|_, t| {
+                        for _ in 0..per_lane {
+                            t.gld(4, Access::Coalesced); // index in
+                            // Own key via indirection (random, word-wise);
+                            // the rival run's key stays staged on-chip.
+                            for _ in 0..kb.div_ceil(8) {
+                                t.gld(8, Access::Random);
+                            }
+                            t.shared(2);
+                            t.alu(kb + 2);
+                            t.gst(4, Access::Coalesced); // index out
+                        }
+                    });
+                }
+                Ok(())
+            })?;
+            stats2.time_s += s.time_s;
+            stats2.cycles += s.cycles;
+            let mut c = stats2.counters;
+            c += s.counters;
+            stats2.counters = c;
+        }
+    }
+
+    // Functional result: stable sort by key bytes; whitespace sorts last.
+    let mut order = indices.to_vec();
+    order.sort_by(|&a, &b| match (a, b) {
+        (u32::MAX, u32::MAX) => std::cmp::Ordering::Equal,
+        (u32::MAX, _) => std::cmp::Ordering::Greater,
+        (_, u32::MAX) => std::cmp::Ordering::Less,
+        (a, b) => store.key(a as usize).cmp(store.key(b as usize)),
+    });
+
+    let mut stats = stats1;
+    stats.time_s += stats2.time_s;
+    stats.cycles += stats2.cycles;
+    let mut c = stats.counters;
+    c += stats2.counters;
+    stats.counters = c;
+    Ok(SortResult { order, stats })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetero_gpusim::GpuSpec;
+
+    fn store_of(keys: &[&str]) -> (KvStore, Vec<u32>) {
+        let mut s = KvStore::new(1, keys.len().max(1), 16, 4, 1);
+        for k in keys {
+            assert!(s.emit(0, k.as_bytes(), b"1"));
+        }
+        let idx: Vec<u32> = (0..keys.len() as u32).collect();
+        (s, idx)
+    }
+
+    #[test]
+    fn sorts_by_key_bytes() {
+        let dev = Device::new(GpuSpec::tesla_k40());
+        let (s, idx) = store_of(&["pear", "apple", "plum", "fig", "date"]);
+        let r = sort_partition(&dev, &s, &idx).unwrap();
+        let keys: Vec<&[u8]> = r
+            .order
+            .iter()
+            .map(|&i| crate::types::trim_key(s.key(i as usize)))
+            .collect();
+        assert_eq!(keys, vec![&b"apple"[..], b"date", b"fig", b"pear", b"plum"]);
+    }
+
+    #[test]
+    fn sort_is_stable_for_equal_keys() {
+        let dev = Device::new(GpuSpec::tesla_k40());
+        let (s, idx) = store_of(&["kiwi", "apple", "kiwi", "apple"]);
+        let r = sort_partition(&dev, &s, &idx).unwrap();
+        // Equal keys keep emission order: apple(1) before apple(3),
+        // kiwi(0) before kiwi(2).
+        assert_eq!(r.order, vec![1, 3, 0, 2]);
+    }
+
+    #[test]
+    fn whitespace_sorts_last() {
+        let dev = Device::new(GpuSpec::tesla_k40());
+        let (s, _) = store_of(&["b", "a"]);
+        let idx = vec![0u32, u32::MAX, 1, u32::MAX];
+        let r = sort_partition(&dev, &s, &idx).unwrap();
+        assert_eq!(r.order, vec![1, 0, u32::MAX, u32::MAX]);
+    }
+
+    #[test]
+    fn tiny_partitions_cost_nothing() {
+        let dev = Device::new(GpuSpec::tesla_k40());
+        let (s, _) = store_of(&["only"]);
+        let r = sort_partition(&dev, &s, &[0]).unwrap();
+        assert_eq!(r.stats.cycles, 0.0);
+        assert_eq!(r.order, vec![0]);
+    }
+
+    #[test]
+    fn aggregated_sort_is_much_cheaper_than_whitespace_sort() {
+        // The Fig. 7e mechanism: sorting a dense array of m live pairs
+        // versus the same pairs scattered in a 16x larger region.
+        let dev = Device::new(GpuSpec::tesla_k40());
+        let m = 2000usize;
+        let mut s = KvStore::new(1, m * 16, 16, 4, 1);
+        for i in 0..m {
+            s.emit(0, format!("key-{i:05}").as_bytes(), b"1");
+        }
+        let dense: Vec<u32> = (0..m as u32).collect();
+        let mut sparse: Vec<u32> = dense.clone();
+        sparse.extend(std::iter::repeat(u32::MAX).take(m * 15));
+        let fast = sort_partition(&dev, &s, &dense).unwrap();
+        let slow = sort_partition(&dev, &s, &sparse).unwrap();
+        assert!(
+            slow.stats.cycles > 3.0 * fast.stats.cycles,
+            "whitespace sort should be much slower: {} vs {}",
+            slow.stats.cycles,
+            fast.stats.cycles
+        );
+        // Functional output identical on live entries.
+        assert_eq!(&slow.order[..m], &fast.order[..m]);
+    }
+
+    #[test]
+    fn longer_keys_cost_more_to_sort() {
+        let dev = Device::new(GpuSpec::tesla_k40());
+        let mk = |key_len: usize| {
+            let mut s = KvStore::new(1, 4096, key_len, 4, 1);
+            for i in 0..4096 {
+                s.emit(0, format!("{i:032}").as_bytes(), b"1");
+            }
+            let idx: Vec<u32> = (0..4096).collect();
+            sort_partition(&dev, &s, &idx).unwrap().stats.cycles
+        };
+        // Wordcount's long keys make sort its bottleneck (paper Fig. 6).
+        assert!(mk(30) > mk(4));
+    }
+}

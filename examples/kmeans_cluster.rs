@@ -1,0 +1,44 @@
+//! Run the Kmeans benchmark end-to-end on the simulated Cluster1:
+//! measure a task, build the Table 2 job, and compare CPU-only Hadoop
+//! against HeteroDoop with tail scheduling. Also demonstrates why KM
+//! cannot run on Cluster2 (GPU out-of-memory, Fig. 4b).
+//!
+//! Run with: `cargo run --example kmeans_cluster`
+use hetero_cluster::Scheduler;
+use hetero_gpusim::Device;
+use hetero_runtime::task::run_gpu_task;
+use hetero_runtime::OptFlags;
+use heterodoop::{job_speedup, measure_task, task_config, Preset};
+
+fn main() {
+    let app = hetero_apps::app_by_code("KM").unwrap();
+    let p = Preset::cluster1();
+    let m = measure_task(app.as_ref(), &p, OptFlags::all(), 3000, 1).unwrap();
+    println!("KM single-task speedup on {}: {:.1}x", p.name, m.speedup);
+    println!("GPU task stages:");
+    for (name, t) in m.gpu.stages() {
+        println!("  {name:<14}{:>8.3} ms", t * 1e3);
+    }
+
+    let n_maps = app.spec().map_tasks.0;
+    let cmp = job_speedup(app.as_ref(), &p, Scheduler::TailScheduling, 1, n_maps, &m);
+    println!(
+        "\njob ({} map tasks): CPU-only {:.0}s, HeteroDoop+tail {:.0}s -> {:.2}x",
+        n_maps, cmp.cpu_only_s, cmp.hetero_s, cmp.speedup
+    );
+    println!(
+        "GPU ran {} of {} map tasks",
+        cmp.stats.gpu_tasks(),
+        n_maps
+    );
+
+    // Why Fig. 4b has no KM bar: the working set exceeds the M2090.
+    let p2 = Preset::cluster2();
+    let big = app.generate_split(40_000, 1);
+    let dev = Device::new(p2.gpu.clone());
+    let cfg = task_config(app.as_ref(), &p2, OptFlags::all());
+    match run_gpu_task(&dev, &p2.env, &big, app.mapper().as_ref(), None, &cfg) {
+        Err(e) => println!("\nKM on Cluster2 ({}): {e}", p2.gpu.name),
+        Ok(_) => println!("\nKM unexpectedly fit on Cluster2"),
+    }
+}

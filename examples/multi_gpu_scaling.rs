@@ -1,0 +1,22 @@
+//! Fig. 4b-style multi-GPU scaling on Cluster2: BlackScholes with 1-3
+//! M2090s per node under both schedulers.
+//!
+//! Run with: `cargo run --example multi_gpu_scaling`
+use hetero_cluster::Scheduler;
+use hetero_runtime::OptFlags;
+use heterodoop::{job_speedup, measure_task, Preset};
+
+fn main() {
+    let app = hetero_apps::app_by_code("BS").unwrap();
+    let p = Preset::cluster2();
+    let m = measure_task(app.as_ref(), &p, OptFlags::all(), 3000, 1).unwrap();
+    println!("BS single-task speedup on {}: {:.1}x", p.name, m.speedup);
+    let n_maps = app.spec().map_tasks.1.unwrap();
+    println!("\n{:<8}{:>12}{:>12}", "GPUs", "GPU-first", "tail");
+    for g in 1..=3 {
+        let gf = job_speedup(app.as_ref(), &p, Scheduler::GpuFirst, g, n_maps, &m);
+        let ts = job_speedup(app.as_ref(), &p, Scheduler::TailScheduling, g, n_maps, &m);
+        println!("{g:<8}{:>12.2}{:>12.2}", gf.speedup, ts.speedup);
+    }
+    println!("\n(the paper's Fig. 4b shows speedups scaling with GPU count)");
+}

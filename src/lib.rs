@@ -1,0 +1,4 @@
+//! Workspace root crate: hosts the runnable examples under `examples/` and
+//! the cross-crate integration tests under `tests/`. The actual library
+//! lives in the `heterodoop` facade crate and its substrate crates.
+pub use heterodoop;

@@ -1,0 +1,249 @@
+//! Cross-crate integration tests: the whole HeteroDoop stack from
+//! annotated C source to cluster-level job statistics.
+
+use hetero_cluster::Scheduler;
+use hetero_runtime::types::trim_key;
+use hetero_runtime::OptFlags;
+use heterodoop::{build_job, job_speedup, measure_task, Preset};
+use std::collections::BTreeMap;
+
+/// Every benchmark's GPU task and CPU task must produce identical key
+/// totals — the system's core correctness property across the two paths.
+#[test]
+fn gpu_and_cpu_paths_agree_for_every_benchmark() {
+    let p = Preset::cluster1();
+    for app in hetero_apps::all_apps() {
+        let split = app.generate_split(400, 17);
+        let cfg = heterodoop::task_config(app.as_ref(), &p, OptFlags::all());
+        let dev = hetero_gpusim::Device::new(p.gpu.clone());
+        let mapper = app.mapper();
+        let combiner = app.combiner();
+        let gpu = hetero_runtime::task::run_gpu_task(
+            &dev,
+            &p.env,
+            &split,
+            mapper.as_ref(),
+            combiner.as_deref(),
+            &cfg,
+        )
+        .unwrap_or_else(|e| panic!("{} GPU task failed: {e}", app.spec().code));
+        let cpu = hetero_runtime::cpu::run_cpu_task(
+            &p.env,
+            &p.cpu,
+            &split,
+            mapper.as_ref(),
+            combiner.as_deref(),
+            cfg.num_reducers,
+            cfg.map_only,
+        );
+        let totals = |parts: &[Vec<(Vec<u8>, Vec<u8>)>], numeric: bool| -> BTreeMap<Vec<u8>, f64> {
+            let mut m = BTreeMap::new();
+            for part in parts {
+                for (k, v) in part {
+                    let key = trim_key(k).to_vec();
+                    let val: f64 = if numeric {
+                        String::from_utf8_lossy(trim_key(v))
+                            .split_whitespace()
+                            .next()
+                            .and_then(|t| t.parse().ok())
+                            .unwrap_or(1.0)
+                    } else {
+                        1.0
+                    };
+                    *m.entry(key).or_insert(0.0) += val;
+                }
+            }
+            m
+        };
+        let numeric = app.spec().has_combiner;
+        let g = totals(&gpu.partitions, numeric);
+        let c = totals(&cpu.partitions, numeric);
+        assert_eq!(
+            g.keys().collect::<Vec<_>>(),
+            c.keys().collect::<Vec<_>>(),
+            "{}: key sets differ",
+            app.spec().code
+        );
+        for (k, gv) in &g {
+            let cv = c[k];
+            assert!(
+                (gv - cv).abs() < 1e-3 * gv.abs().max(1.0),
+                "{}: key {:?} totals differ: gpu {gv} cpu {cv}",
+                app.spec().code,
+                String::from_utf8_lossy(k)
+            );
+        }
+    }
+}
+
+/// The compiled (interpreted) mapper sources and the native mappers must
+/// emit the same pairs for the text benchmarks.
+#[test]
+fn compiled_sources_match_native_mappers() {
+    use hetero_runtime::types::{Emit, Mapper, OpCount};
+    struct VecEmit(Vec<(Vec<u8>, Vec<u8>)>);
+    impl Emit for VecEmit {
+        fn emit(&mut self, k: &[u8], v: &[u8]) -> bool {
+            self.0.push((k.to_vec(), v.to_vec()));
+            true
+        }
+        fn charge(&mut self, _: OpCount) {}
+        fn read_ro(&mut self, _: u64) {}
+    }
+    for code in ["WC", "GR", "HS", "HR", "KM", "CL"] {
+        let app = hetero_apps::app_by_code(code).unwrap();
+        let compiled = std::sync::Arc::new(heterodoop::compile(app.mapper_source()).unwrap());
+        let interp = heterodoop::InterpMapper::new(compiled);
+        let native = app.mapper();
+        let split = app.generate_split(40, 23);
+        let mut a = VecEmit(Vec::new());
+        let mut b = VecEmit(Vec::new());
+        for line in split.split(|&x| x == b'\n').filter(|l| !l.is_empty()) {
+            native.map(line, &mut a);
+            interp.map(line, &mut b);
+        }
+        // Key streams must match exactly (values can differ in padding).
+        let ka: Vec<&Vec<u8>> = a.0.iter().map(|(k, _)| k).collect();
+        let kb: Vec<&Vec<u8>> = b.0.iter().map(|(k, _)| k).collect();
+        assert_eq!(ka, kb, "{code}: interpreted/native key streams differ");
+    }
+}
+
+/// The headline result: compute-intensive apps speed up most; the
+/// ordering bands of Fig. 5 hold.
+#[test]
+fn fig5_speedup_bands_hold() {
+    let p = Preset::cluster1();
+    let mut speedups = BTreeMap::new();
+    for code in hetero_apps::CODES {
+        let app = hetero_apps::app_by_code(code).unwrap();
+        let m = measure_task(app.as_ref(), &p, OptFlags::all(), 2000, 1).unwrap();
+        speedups.insert(code, m.speedup);
+    }
+    // IO-intensive < mid compute < heavy compute; BS on top.
+    for io in ["GR", "HS", "WC"] {
+        for comp in ["HR", "KM", "CL", "LR", "BS"] {
+            assert!(
+                speedups[io] < speedups[comp],
+                "{io} ({}) should be below {comp} ({})",
+                speedups[io],
+                speedups[comp]
+            );
+        }
+    }
+    let max = speedups.values().cloned().fold(0.0f64, f64::max);
+    assert_eq!(speedups["BS"], max, "BS must be the fastest task");
+    assert!(speedups["BS"] > 20.0, "BS should be tens of x: {}", speedups["BS"]);
+    assert!(speedups["GR"] > 1.0, "even IO apps beat one core on the GPU");
+}
+
+/// End-to-end Fig. 4a shape on a reduced Cluster1: HeteroDoop beats
+/// CPU-only Hadoop, tail scheduling is at least competitive with
+/// GPU-first, and compute apps gain more than IO apps.
+#[test]
+fn fig4a_shape_holds() {
+    let p = Preset::cluster1();
+    let run = |code: &str| {
+        let app = hetero_apps::app_by_code(code).unwrap();
+        let m = measure_task(app.as_ref(), &p, OptFlags::all(), 2000, 1).unwrap();
+        let n = app.spec().map_tasks.0;
+        let gf = job_speedup(app.as_ref(), &p, Scheduler::GpuFirst, 1, n, &m);
+        let ts = job_speedup(app.as_ref(), &p, Scheduler::TailScheduling, 1, n, &m);
+        (gf.speedup, ts.speedup)
+    };
+    let (bs_gf, bs_ts) = run("BS");
+    let (gr_gf, gr_ts) = run("GR");
+    assert!(bs_gf > 1.5, "BS GPU-first should clearly win: {bs_gf}");
+    assert!(bs_ts >= bs_gf, "tail should help BS: {bs_ts} vs {bs_gf}");
+    assert!(gr_gf > 0.98, "GR should not regress: {gr_gf}");
+    assert!(bs_gf > gr_gf, "compute app gains more than IO app");
+    let _ = (gr_ts,);
+}
+
+/// Multi-GPU scaling on Cluster2 (Fig. 4b shape).
+#[test]
+fn fig4b_gpu_scaling_holds() {
+    let p = Preset::cluster2();
+    let app = hetero_apps::app_by_code("CL").unwrap();
+    let m = measure_task(app.as_ref(), &p, OptFlags::all(), 2000, 1).unwrap();
+    let n = app.spec().map_tasks.1.unwrap();
+    let s1 = job_speedup(app.as_ref(), &p, Scheduler::GpuFirst, 1, n, &m).speedup;
+    let s3 = job_speedup(app.as_ref(), &p, Scheduler::GpuFirst, 3, n, &m).speedup;
+    assert!(s3 > s1, "3 GPUs ({s3}) should beat 1 GPU ({s1})");
+}
+
+/// Job construction respects Table 2 metadata.
+#[test]
+fn jobs_reflect_table2() {
+    let p = Preset::cluster1();
+    for code in ["WC", "BS"] {
+        let app = hetero_apps::app_by_code(code).unwrap();
+        let m = measure_task(app.as_ref(), &p, OptFlags::all(), 500, 1).unwrap();
+        let job = build_job(app.as_ref(), &p, &m, app.spec().map_tasks.0);
+        assert_eq!(job.maps.len(), app.spec().map_tasks.0 as usize);
+        assert_eq!(job.reduces.len(), app.spec().reduce_tasks.0 as usize);
+    }
+}
+
+/// HDFS + task pipeline: store a split in the filesystem, read it back,
+/// run the task, write the output as a SequenceFile and verify it.
+#[test]
+fn hdfs_round_trip_through_task() {
+    use hetero_hdfs::{seqfile, Hdfs, Topology};
+    let p = Preset::cluster1();
+    let app = hetero_apps::app_by_code("WC").unwrap();
+    let data = app.generate_split(300, 5);
+    let fs = Hdfs::new(Topology::new(8, 4), 64 * 1024, 3).unwrap();
+    fs.put("/in/part-0", &data).unwrap();
+    let splits = fs.splits("/in/part-0").unwrap();
+    assert!(!splits.is_empty());
+    let block = fs.read_block(splits[0].id).unwrap();
+    let cfg = heterodoop::task_config(app.as_ref(), &p, OptFlags::all());
+    let dev = hetero_gpusim::Device::new(p.gpu.clone());
+    let res = hetero_runtime::task::run_gpu_task(
+        &dev,
+        &p.env,
+        &block,
+        app.mapper().as_ref(),
+        app.combiner().as_deref(),
+        &cfg,
+    )
+    .unwrap();
+    let pairs: Vec<(Vec<u8>, Vec<u8>)> = res.partitions.into_iter().flatten().collect();
+    let encoded = seqfile::encode(pairs.iter().map(|(k, v)| (k.as_slice(), v.as_slice())));
+    fs.put("/out/part-0", &encoded).unwrap();
+    let back = seqfile::decode(&fs.read_file("/out/part-0").unwrap()).unwrap();
+    assert_eq!(back, pairs);
+}
+
+/// GPU fault tolerance: an injected device fault fails the task; after
+/// the driver revives the device, the task succeeds (paper §5.1).
+#[test]
+fn gpu_fault_and_revival() {
+    let p = Preset::cluster1();
+    let app = hetero_apps::app_by_code("WC").unwrap();
+    let split = app.generate_split(100, 3);
+    let cfg = heterodoop::task_config(app.as_ref(), &p, OptFlags::all());
+    let dev = hetero_gpusim::Device::new(p.gpu.clone());
+    dev.inject_fault("simulated xid error");
+    let err = hetero_runtime::task::run_gpu_task(
+        &dev,
+        &p.env,
+        &split,
+        app.mapper().as_ref(),
+        None,
+        &cfg,
+    );
+    assert!(err.is_err(), "faulted device must fail the task");
+    dev.revive();
+    dev.reset();
+    let ok = hetero_runtime::task::run_gpu_task(
+        &dev,
+        &p.env,
+        &split,
+        app.mapper().as_ref(),
+        None,
+        &cfg,
+    );
+    assert!(ok.is_ok(), "revived device must run tasks again");
+}
