@@ -66,7 +66,10 @@ pub trait App: Sync + Send {
 
 /// Parse an ASCII integer value slot.
 pub fn parse_i64(v: &[u8]) -> i64 {
-    String::from_utf8_lossy(trim_key(v)).trim().parse().unwrap_or(0)
+    String::from_utf8_lossy(trim_key(v))
+        .trim()
+        .parse()
+        .unwrap_or(0)
 }
 
 /// Parse an ASCII float value slot.
@@ -237,11 +240,7 @@ mod tests {
 
     #[test]
     fn int_sum_combiner_sums_runs() {
-        let run: Vec<(&[u8], &[u8])> = vec![
-            (b"a", b"1"),
-            (b"a", b"2"),
-            (b"b", b"5"),
-        ];
+        let run: Vec<(&[u8], &[u8])> = vec![(b"a", b"1"), (b"a", b"2"), (b"b", b"5")];
         let mut out = VecEmit(Vec::new());
         IntSumCombiner.combine(&run, &mut out);
         assert_eq!(

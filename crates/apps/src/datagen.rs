@@ -40,9 +40,9 @@ impl Zipf {
 /// rarer ones beyond (mimicking natural text for the WC sort load).
 pub fn word_for_rank(rank: usize) -> String {
     const COMMON: &[&str] = &[
-        "the", "of", "and", "a", "to", "in", "is", "was", "he", "for", "it", "with", "as",
-        "his", "on", "be", "at", "by", "i", "this", "had", "not", "are", "but", "from", "or",
-        "have", "an", "they", "which",
+        "the", "of", "and", "a", "to", "in", "is", "was", "he", "for", "it", "with", "as", "his",
+        "on", "be", "at", "by", "i", "this", "had", "not", "are", "but", "from", "or", "have",
+        "an", "they", "which",
     ];
     if rank < COMMON.len() {
         COMMON[rank].to_string()
@@ -151,8 +151,8 @@ pub fn regression_corpus(rows: usize, regressors: usize, seed: u64) -> Vec<u8> {
     let mut out = Vec::new();
     for _ in 0..rows {
         let xs: Vec<f64> = (0..regressors).map(|_| rng.gen_range(-1.0..1.0)).collect();
-        let y: f64 = xs.iter().zip(&betas).map(|(x, b)| x * b).sum::<f64>()
-            + rng.gen_range(-0.05..0.05);
+        let y: f64 =
+            xs.iter().zip(&betas).map(|(x, b)| x * b).sum::<f64>() + rng.gen_range(-0.05..0.05);
         for x in &xs {
             out.extend_from_slice(format!("{x:.4} ").as_bytes());
         }
@@ -166,7 +166,9 @@ mod tests {
     use super::*;
 
     fn lines(data: &[u8]) -> Vec<&[u8]> {
-        data.split(|&b| b == b'\n').filter(|l| !l.is_empty()).collect()
+        data.split(|&b| b == b'\n')
+            .filter(|l| !l.is_empty())
+            .collect()
     }
 
     #[test]

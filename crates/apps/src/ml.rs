@@ -26,7 +26,9 @@ pub const RATING_SCALE: usize = 12;
 /// The cluster rating profiles (the sharedRO / texture table): profile
 /// `c` is a characteristic mean rating in `[1, 5]`.
 pub fn profiles() -> Vec<f64> {
-    (0..SIM_K).map(|c| 1.0 + 4.0 * c as f64 / (SIM_K - 1) as f64).collect()
+    (0..SIM_K)
+        .map(|c| 1.0 + 4.0 * c as f64 / (SIM_K - 1) as f64)
+        .collect()
 }
 
 /// Assign a rating history to the nearest profile. Returns
@@ -116,7 +118,15 @@ impl Default for Kmeans {
     fn default() -> Self {
         Kmeans {
             // Table 2: KM does not run on Cluster2 (GPU memory exceeded).
-            spec: ml_spec("Kmeans", "KM", 89, (16, 16), (4800, None), (923.0, None), 24),
+            spec: ml_spec(
+                "Kmeans",
+                "KM",
+                89,
+                (16, 16),
+                (4800, None),
+                (923.0, None),
+                24,
+            ),
             profiles: profiles(),
         }
     }
@@ -147,8 +157,7 @@ impl Reducer for KmeansReducer {
         let mut sum = 0i64;
         let mut count = 0i64;
         for v in values {
-            let text =
-                String::from_utf8_lossy(hetero_runtime::types::trim_key(v)).to_string();
+            let text = String::from_utf8_lossy(hetero_runtime::types::trim_key(v)).to_string();
             let mut it = text.split_whitespace();
             sum += it.next().and_then(|t| t.parse().ok()).unwrap_or(0);
             count += it.next().and_then(|t| t.parse().ok()).unwrap_or(0);
@@ -267,11 +276,7 @@ pub struct ClassificationMapper {
 
 impl Mapper for ClassificationMapper {
     fn map(&self, record: &[u8], out: &mut dyn Emit) {
-        let id: Vec<u8> = record
-            .iter()
-            .copied()
-            .take_while(|&b| b != b':')
-            .collect();
+        let id: Vec<u8> = record.iter().copied().take_while(|&b| b != b':').collect();
         if let Some((best, _)) = classify(record, &self.profiles, out) {
             out.emit(format!("c{best:02}").as_bytes(), &id);
         }
@@ -431,7 +436,10 @@ mod tests {
         let max = *lens.iter().max().unwrap();
         let mean = lens.iter().sum::<usize>() / lens.len();
         assert!(mean > 30, "records should be long: mean {mean}");
-        assert!(max > 3 * mean, "sizes should be skewed: max {max} mean {mean}");
+        assert!(
+            max > 3 * mean,
+            "sizes should be skewed: max {max} mean {mean}"
+        );
     }
 
     #[test]

@@ -65,10 +65,7 @@ pub fn table2() -> String {
             s.map_tasks.0,
             s.map_tasks.1.map(|m| m.to_string()).unwrap_or("NA".into()),
             s.input_gb.0,
-            s.input_gb
-                .1
-                .map(|g| g.to_string())
-                .unwrap_or("NA".into()),
+            s.input_gb.1.map(|g| g.to_string()).unwrap_or("NA".into()),
         );
     }
     out
@@ -124,7 +121,10 @@ mod tests {
         for app in all_apps() {
             let split = app.generate_split(50, 42);
             assert!(!split.is_empty(), "{}", app.spec().code);
-            let lines = split.split(|&b| b == b'\n').filter(|l| !l.is_empty()).count();
+            let lines = split
+                .split(|&b| b == b'\n')
+                .filter(|l| !l.is_empty())
+                .count();
             assert_eq!(lines, 50, "{}", app.spec().code);
         }
     }

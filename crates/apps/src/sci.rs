@@ -79,7 +79,10 @@ impl Mapper for LinRegMapper {
             }
         }
         // Include atof-style parsing of the 13 fields.
-        out.charge(OpCount::new(ops + 40 * (REGRESSORS as u64 + 1), REGRESSORS as u64));
+        out.charge(OpCount::new(
+            ops + 40 * (REGRESSORS as u64 + 1),
+            REGRESSORS as u64,
+        ));
     }
 }
 
@@ -356,8 +359,8 @@ mod tests {
         // directly from the raw rows (up to the %.6f formatting).
         let lr = LinearRegression::default();
         let split = lr.generate_split(500, 9);
-        let mut bsum = vec![0.0f64; REGRESSORS];
-        let mut direct = vec![0.0f64; REGRESSORS];
+        let mut bsum = [0.0f64; REGRESSORS];
+        let mut direct = [0.0f64; REGRESSORS];
         for line in split.split(|&b| b == b'\n').filter(|l| !l.is_empty()) {
             let vals: Vec<f64> = std::str::from_utf8(line)
                 .unwrap()

@@ -138,8 +138,7 @@ impl Mapper for GrepMapper {
         // Substring scan: ~1 op per byte (the GPU strfind).
         out.charge(OpCount::new(record.len() as u64, 0));
         let pat = self.pattern.as_bytes();
-        let hit = !pat.is_empty()
-            && record.windows(pat.len()).any(|w| w == pat);
+        let hit = !pat.is_empty() && record.windows(pat.len()).any(|w| w == pat);
         if hit {
             out.emit(pat, b"1");
         }

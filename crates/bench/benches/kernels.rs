@@ -11,7 +11,10 @@ use hetero_runtime::OptFlags;
 struct WcMap;
 impl Mapper for WcMap {
     fn map(&self, record: &[u8], out: &mut dyn Emit) {
-        for w in record.split(|&b| !b.is_ascii_alphanumeric()).filter(|w| !w.is_empty()) {
+        for w in record
+            .split(|&b| !b.is_ascii_alphanumeric())
+            .filter(|w| !w.is_empty())
+        {
             out.charge(OpCount::new(w.len() as u64, 0));
             if !out.emit(w, b"1") {
                 return;

@@ -5,7 +5,11 @@ use hetero_cluster::{simulate, ClusterConfig, JobSpec, Scheduler};
 
 fn bench_schedulers(c: &mut Criterion) {
     let mut g = c.benchmark_group("des");
-    for s in [Scheduler::CpuOnly, Scheduler::GpuFirst, Scheduler::TailScheduling] {
+    for s in [
+        Scheduler::CpuOnly,
+        Scheduler::GpuFirst,
+        Scheduler::TailScheduling,
+    ] {
         let mut cfg = ClusterConfig::small(48, s);
         cfg.map_slots_per_node = 20;
         let job = JobSpec::uniform("bench", 4800, 48, 3, 40.0, 4.0);

@@ -8,7 +8,11 @@ use hetero_runtime::sort::sort_partition;
 fn store(n: usize) -> KvStore {
     let mut s = KvStore::new(1, n, 16, 4, 1);
     for i in 0..n {
-        s.emit(0, format!("key-{:06}", (i * 2654435761) % n).as_bytes(), b"1");
+        s.emit(
+            0,
+            format!("key-{:06}", (i * 2654435761) % n).as_bytes(),
+            b"1",
+        );
     }
     s
 }
@@ -19,15 +23,23 @@ fn bench_sort(c: &mut Criterion) {
         let s = store(n);
         let dense: Vec<u32> = (0..n as u32).collect();
         let mut sparse = dense.clone();
-        sparse.extend(std::iter::repeat(u32::MAX).take(n * 7));
-        g.bench_with_input(BenchmarkId::new("aggregated", n), &(&s, &dense), |b, (s, idx)| {
-            let dev = Device::new(GpuSpec::tesla_k40());
-            b.iter(|| sort_partition(&dev, s, idx).unwrap())
-        });
-        g.bench_with_input(BenchmarkId::new("whitespace", n), &(&s, &sparse), |b, (s, idx)| {
-            let dev = Device::new(GpuSpec::tesla_k40());
-            b.iter(|| sort_partition(&dev, s, idx).unwrap())
-        });
+        sparse.extend(std::iter::repeat_n(u32::MAX, n * 7));
+        g.bench_with_input(
+            BenchmarkId::new("aggregated", n),
+            &(&s, &dense),
+            |b, (s, idx)| {
+                let dev = Device::new(GpuSpec::tesla_k40());
+                b.iter(|| sort_partition(&dev, s, idx).unwrap())
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("whitespace", n),
+            &(&s, &sparse),
+            |b, (s, idx)| {
+                let dev = Device::new(GpuSpec::tesla_k40());
+                b.iter(|| sort_partition(&dev, s, idx).unwrap())
+            },
+        );
     }
     g.finish();
 }

@@ -9,7 +9,10 @@ use heterodoop::{measure_task, task_config, Preset};
 fn main() {
     let p = Preset::cluster1();
     println!("Ablation 1 — the kvpairs clause (paper §3.2): store occupancy & sort time");
-    println!("{:<6}{:>14}{:>14}{:>14}{:>14}", "app", "occ(hint)", "occ(no hint)", "sort(hint)", "sort(none)");
+    println!(
+        "{:<6}{:>14}{:>14}{:>14}{:>14}",
+        "app", "occ(hint)", "occ(no hint)", "sort(hint)", "sort(none)"
+    );
     for code in ["WC", "HR", "GR"] {
         let app = hetero_apps::app_by_code(code).unwrap();
         let hinted = measure_task(app.as_ref(), &p, OptFlags::all(), 3000, 1).unwrap();
@@ -19,8 +22,14 @@ fn main() {
         cfg.kvpairs_hint = None;
         let dev = Device::new(p.gpu.clone());
         let no_hint = hetero_runtime::task::run_gpu_task(
-            &dev, &p.env, &split, app.mapper().as_ref(), app.combiner().as_deref(), &cfg)
-            .unwrap();
+            &dev,
+            &p.env,
+            &split,
+            app.mapper().as_ref(),
+            app.combiner().as_deref(),
+            &cfg,
+        )
+        .unwrap();
         println!(
             "{:<6}{:>13.1}%{:>13.2}%{:>11.3} ms{:>11.3} ms",
             code,

@@ -4,8 +4,10 @@ use heterodoop::{measure_task, Preset};
 
 fn main() {
     let p = Preset::cluster1();
-    println!("{:<4}{:>9} | {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} | {:>9} {:>9}",
-        "app", "speedup", "in", "reccnt", "map", "agg", "sort", "comb", "out", "gpu_tot", "cpu_tot");
+    println!(
+        "{:<4}{:>9} | {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} | {:>9} {:>9}",
+        "app", "speedup", "in", "reccnt", "map", "agg", "sort", "comb", "out", "gpu_tot", "cpu_tot"
+    );
     for code in hetero_apps::CODES {
         let app = hetero_apps::app_by_code(code).unwrap();
         match measure_task(app.as_ref(), &p, OptFlags::all(), 3000, 1) {
@@ -15,8 +17,18 @@ fn main() {
                     code, m.speedup, g.input_read_s, g.record_count_s, g.map_s, g.aggregate_s,
                     g.sort_s, g.combine_s, g.output_write_s, g.total_s(), m.cpu.total_s());
                 let c = &m.cpu;
-                println!("{:<4}{:>9} | {:>9.4} {:>9} {:>9.4} {:>9} {:>9.4} {:>9.4} {:>9.4} |",
-                    "", "cpu:", c.input_read_s, "-", c.map_s, "-", c.sort_s, c.combine_s, c.output_write_s);
+                println!(
+                    "{:<4}{:>9} | {:>9.4} {:>9} {:>9.4} {:>9} {:>9.4} {:>9.4} {:>9.4} |",
+                    "",
+                    "cpu:",
+                    c.input_read_s,
+                    "-",
+                    c.map_s,
+                    "-",
+                    c.sort_s,
+                    c.combine_s,
+                    c.output_write_s
+                );
             }
             Err(e) => println!("{code}: ERROR {e}"),
         }

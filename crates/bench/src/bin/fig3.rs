@@ -1,6 +1,6 @@
 //! Regenerates Fig. 3: GPU-first vs tail scheduling on the paper's
 //! worked example — 19 tasks, one 6x GPU, two CPU slots.
-use hetero_cluster::{simulate, ClusterConfig, JobSpec, Scheduler};
+use hetero_cluster::{simulate, ClusterConfig, FaultPlan, JobSpec, Scheduler};
 
 fn cfg(s: Scheduler) -> ClusterConfig {
     ClusterConfig {
@@ -14,6 +14,9 @@ fn cfg(s: Scheduler) -> ClusterConfig {
         reduce_start_frac: 0.2,
         speculative: false,
         shuffle_bw: 1e9,
+        max_attempts: 4,
+        heartbeat_timeout_s: 3.0,
+        faults: FaultPlan::none(),
     }
 }
 
@@ -22,12 +25,22 @@ fn main() {
     let job = JobSpec::uniform("fig3", 19, 1, 1, 6.0, 1.0);
     for s in [Scheduler::GpuFirst, Scheduler::TailScheduling] {
         let st = simulate(&cfg(s), &job);
-        println!("\n{s:?}: makespan {:.2}s  (gpu tasks {}, cpu tasks {})",
-            st.makespan_s, st.gpu_tasks(), st.cpu_tasks());
+        println!(
+            "\n{s:?}: makespan {:.2}s  (gpu tasks {}, cpu tasks {})",
+            st.makespan_s,
+            st.gpu_tasks(),
+            st.cpu_tasks()
+        );
         let mut tasks = st.tasks.clone();
         tasks.sort_by(|a, b| a.start_s.partial_cmp(&b.start_s).unwrap());
         for t in tasks {
-            println!("  task {:>2}  {:?}  {:6.2}s -> {:6.2}s", t.id + 1, t.device, t.start_s, t.end_s);
+            println!(
+                "  task {:>2}  {:?}  {:6.2}s -> {:6.2}s",
+                t.id + 1,
+                t.device,
+                t.start_s,
+                t.end_s.unwrap_or(f64::NAN)
+            );
         }
     }
     println!("\n(paper: GPU-first 18 units, tail scheduling 15 units)");

@@ -7,7 +7,10 @@ use heterodoop::{job_speedup, measure_task, Preset};
 fn main() {
     let p = Preset::cluster1();
     println!("Fig. 4a — Speedup over CPU-only Hadoop, Cluster1 (48 nodes, 20-core CPU + 1 GPU)");
-    println!("{:<6}{:>12}{:>16}{:>16}", "app", "map tasks", "GPU-first", "Tail sched");
+    println!(
+        "{:<6}{:>12}{:>16}{:>16}",
+        "app", "map tasks", "GPU-first", "Tail sched"
+    );
     let mut prod_gf = 1.0f64;
     let mut prod_ts = 1.0f64;
     let mut n = 0u32;
@@ -17,11 +20,18 @@ fn main() {
         let m = measure_task(app.as_ref(), &p, OptFlags::all(), 3000, 1).unwrap();
         let gf = job_speedup(app.as_ref(), &p, Scheduler::GpuFirst, 1, n_maps, &m);
         let ts = job_speedup(app.as_ref(), &p, Scheduler::TailScheduling, 1, n_maps, &m);
-        println!("{:<6}{:>12}{:>16.2}{:>16.2}", code, n_maps, gf.speedup, ts.speedup);
+        println!(
+            "{:<6}{:>12}{:>16.2}{:>16.2}",
+            code, n_maps, gf.speedup, ts.speedup
+        );
         prod_gf *= gf.speedup;
         prod_ts *= ts.speedup;
         n += 1;
     }
-    println!("geomean{:>27.2}{:>16.2}", prod_gf.powf(1.0 / n as f64), prod_ts.powf(1.0 / n as f64));
+    println!(
+        "geomean{:>27.2}{:>16.2}",
+        prod_gf.powf(1.0 / n as f64),
+        prod_ts.powf(1.0 / n as f64)
+    );
     println!("(paper: up to 2.78x, geomean 1.6x)");
 }

@@ -8,8 +8,10 @@ use heterodoop::{job_speedup, measure_task, Preset};
 fn main() {
     let p = Preset::cluster2();
     println!("Fig. 4b — Speedup over CPU-only Hadoop, Cluster2 (32 nodes, 12-core CPU + 3x M2090, in-memory)");
-    println!("{:<6}{:>10}{:>10}{:>10}{:>10}{:>10}{:>10}",
-        "app", "1G/first", "1G/tail", "2G/first", "2G/tail", "3G/first", "3G/tail");
+    println!(
+        "{:<6}{:>10}{:>10}{:>10}{:>10}{:>10}{:>10}",
+        "app", "1G/first", "1G/tail", "2G/first", "2G/tail", "3G/first", "3G/tail"
+    );
     for code in hetero_apps::CODES {
         let app = hetero_apps::app_by_code(code).unwrap();
         let Some(n_maps) = app.spec().map_tasks.1 else {
@@ -19,9 +21,20 @@ fn main() {
             let dev = hetero_gpusim::Device::new(p.gpu.clone());
             let cfg = heterodoop::task_config(app.as_ref(), &p, OptFlags::all());
             let err = hetero_runtime::task::run_gpu_task(
-                &dev, &p.env, &big, app.mapper().as_ref(), None, &cfg);
-            println!("{:<6}  not run: {}", code,
-                err.err().map(|e| e.to_string()).unwrap_or_else(|| "fits?!".into()));
+                &dev,
+                &p.env,
+                &big,
+                app.mapper().as_ref(),
+                None,
+                &cfg,
+            );
+            println!(
+                "{:<6}  not run: {}",
+                code,
+                err.err()
+                    .map(|e| e.to_string())
+                    .unwrap_or_else(|| "fits?!".into())
+            );
             continue;
         };
         // Smaller splits: the M2090 has half the K40's memory, and LR's
@@ -36,5 +49,7 @@ fn main() {
         }
         println!("{row}");
     }
-    println!("(paper: speedups scale with GPU count; higher than Cluster1 — fewer cores, in-memory)");
+    println!(
+        "(paper: speedups scale with GPU count; higher than Cluster1 — fewer cores, in-memory)"
+    );
 }

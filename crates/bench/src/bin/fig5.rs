@@ -6,13 +6,21 @@ use heterodoop::{measure_task, Preset};
 fn main() {
     let p = Preset::cluster1();
     println!("Fig. 5 — Speedup of a single GPU task over a CPU task (Cluster1)");
-    println!("{:<6}{:>12}{:>14}{:>10}", "app", "baseline", "+optimized", "opt gain");
+    println!(
+        "{:<6}{:>12}{:>14}{:>10}",
+        "app", "baseline", "+optimized", "opt gain"
+    );
     for code in hetero_apps::CODES {
         let app = hetero_apps::app_by_code(code).unwrap();
         let base = measure_task(app.as_ref(), &p, OptFlags::none(), 3000, 1).unwrap();
         let opt = measure_task(app.as_ref(), &p, OptFlags::all(), 3000, 1).unwrap();
-        println!("{:<6}{:>12.2}{:>14.2}{:>10.2}",
-            code, base.speedup, opt.speedup, opt.speedup / base.speedup);
+        println!(
+            "{:<6}{:>12.2}{:>14.2}{:>10.2}",
+            code,
+            base.speedup,
+            opt.speedup,
+            opt.speedup / base.speedup
+        );
     }
     println!("(paper: 2x..47x, increasing GR<HS<WC<HR<KM<CL<LR<BS; optimizations matter most for GR, KM, CL, LR)");
 }

@@ -5,8 +5,10 @@ use heterodoop::{measure_task, Preset};
 fn main() {
     let p = Preset::cluster1();
     println!("Fig. 6 — Execution time breakdown of a GPU task (% of task time)");
-    println!("{:<6}{:>9}{:>9}{:>9}{:>9}{:>9}{:>9}{:>9}", "app",
-        "input", "reccnt", "map", "agg", "sort", "combine", "output");
+    println!(
+        "{:<6}{:>9}{:>9}{:>9}{:>9}{:>9}{:>9}{:>9}",
+        "app", "input", "reccnt", "map", "agg", "sort", "combine", "output"
+    );
     for code in hetero_apps::CODES {
         let app = hetero_apps::app_by_code(code).unwrap();
         let m = measure_task(app.as_ref(), &p, OptFlags::all(), 3000, 1).unwrap();
@@ -17,5 +19,7 @@ fn main() {
         }
         println!("{row}");
     }
-    println!("(paper: WC sort-dominated; BS ~62% output write; KM/CL map-heavy; aggregation negligible)");
+    println!(
+        "(paper: WC sort-dominated; BS ~62% output write; KM/CL map-heavy; aggregation negligible)"
+    );
 }

@@ -17,9 +17,17 @@ fn main() {
     println!("Fig. 7a — Texture memory on the map kernel (paper: ~2x on KM, CL)");
     run(&["KM", "CL"], |o| o.texture = false, |b| b.map_s);
     println!("Fig. 7b — Vectorized R/W on combine kernels (paper: up to 2.7x)");
-    run(&["GR", "HS", "WC", "HR", "LR"], |o| o.vectorize_combine = false, |b| b.combine_s);
+    run(
+        &["GR", "HS", "WC", "HR", "LR"],
+        |o| o.vectorize_combine = false,
+        |b| b.combine_s,
+    );
     println!("Fig. 7c — Vectorized R/W on map kernels (paper: up to 1.7x)");
-    run(&["GR", "HS", "WC", "HR"], |o| o.vectorize_map = false, |b| b.map_s);
+    run(
+        &["GR", "HS", "WC", "HR"],
+        |o| o.vectorize_map = false,
+        |b| b.map_s,
+    );
     println!("Fig. 7d — Record stealing on map kernels (paper: up to 1.36x)");
     // Stealing needs several records per thread to matter: use a
     // record-dense split (the paper's splits hold millions of records).
@@ -35,8 +43,22 @@ fn main() {
             }
         }
     };
-    run_n(&["KM", "CL"], |o| o.record_stealing = false, |b| b.map_s, 20_000);
-    run_n(&["HS", "HR"], |o| o.record_stealing = false, |b| b.map_s, 6_000);
+    run_n(
+        &["KM", "CL"],
+        |o| o.record_stealing = false,
+        |b| b.map_s,
+        20_000,
+    );
+    run_n(
+        &["HS", "HR"],
+        |o| o.record_stealing = false,
+        |b| b.map_s,
+        6_000,
+    );
     println!("Fig. 7e — KV aggregation before sort (paper: up to 7.6x on the sort kernel)");
-    run(&["WC", "GR", "HS", "HR", "LR"], |o| o.aggregate_before_sort = false, |b| b.sort_s);
+    run(
+        &["WC", "GR", "HS", "HR", "LR"],
+        |o| o.aggregate_before_sort = false,
+        |b| b.sort_s,
+    );
 }

@@ -4,20 +4,73 @@ use hetero_cc::pragma::parse_pragma;
 
 fn main() {
     println!("Table 1 — HeteroDoop Directives (validated against the parser)");
-    println!("{:<14}{:<18}{:<52}{}", "Clause", "Arguments", "Description", "Optional");
+    println!(
+        "{:<14}{:<18}{:<52}Optional",
+        "Clause", "Arguments", "Description"
+    );
     let rows = [
-        ("mapper", "", "Attached region performs the map operation", "No"),
-        ("combiner", "", "Attached region performs the combine operation", "No"),
-        ("key", "Variable name", "Variable containing the emitted key", "No"),
-        ("value", "Variable name", "Variable containing the emitted value", "No"),
-        ("keyin", "Variable name", "Incoming key (combiner only)", "No"),
-        ("valuein", "Variable name", "Incoming value (combiner only)", "No"),
+        (
+            "mapper",
+            "",
+            "Attached region performs the map operation",
+            "No",
+        ),
+        (
+            "combiner",
+            "",
+            "Attached region performs the combine operation",
+            "No",
+        ),
+        (
+            "key",
+            "Variable name",
+            "Variable containing the emitted key",
+            "No",
+        ),
+        (
+            "value",
+            "Variable name",
+            "Variable containing the emitted value",
+            "No",
+        ),
+        (
+            "keyin",
+            "Variable name",
+            "Incoming key (combiner only)",
+            "No",
+        ),
+        (
+            "valuein",
+            "Variable name",
+            "Incoming value (combiner only)",
+            "No",
+        ),
         ("keylength", "Integer", "Length of the emitted key", "No*"),
         ("vallength", "Integer", "Length of the emitted value", "No*"),
-        ("firstprivate", "Variable set", "Initialized before the region", "No*"),
-        ("sharedRO", "Variable set", "Read-only inside the region", "Yes"),
-        ("texture", "Variable set", "Read-only, placed in texture memory", "Yes"),
-        ("kvpairs", "Integer", "Max KV pairs emitted per record (mapper)", "Yes"),
+        (
+            "firstprivate",
+            "Variable set",
+            "Initialized before the region",
+            "No*",
+        ),
+        (
+            "sharedRO",
+            "Variable set",
+            "Read-only inside the region",
+            "Yes",
+        ),
+        (
+            "texture",
+            "Variable set",
+            "Read-only, placed in texture memory",
+            "Yes",
+        ),
+        (
+            "kvpairs",
+            "Integer",
+            "Max KV pairs emitted per record (mapper)",
+            "Yes",
+        ),
         ("blocks", "Integer", "Number of threadblocks", "Yes"),
         ("threads", "Integer", "Threads per threadblock", "Yes"),
     ];

@@ -33,7 +33,10 @@ pub enum CType {
 impl CType {
     /// Whether this is an arithmetic scalar.
     pub fn is_scalar(&self) -> bool {
-        matches!(self, CType::Char | CType::Int | CType::Float | CType::Double)
+        matches!(
+            self,
+            CType::Char | CType::Int | CType::Float | CType::Double
+        )
     }
 
     /// Whether this is an array type.

@@ -103,9 +103,15 @@ pub fn host_driver_source(map: &KernelSpec, combine: Option<&KernelSpec>) -> Str
     let _ = writeln!(out, "void run_gpu_task(const char *fileSplit) {{");
     let _ = writeln!(out, "  // Fig. 1: copy input fileSplit from HDFS to GPU");
     let _ = writeln!(out, "  char *ip = hdfsReadSplit(fileSplit);");
-    let _ = writeln!(out, "  cudaMemcpy(dev_ip, ip, ipSize, cudaMemcpyHostToDevice);");
+    let _ = writeln!(
+        out,
+        "  cudaMemcpy(dev_ip, ip, ipSize, cudaMemcpyHostToDevice);"
+    );
     let _ = writeln!(out, "  // collect & count records");
-    let _ = writeln!(out, "  recordLocatorKernel<<<GRID, TB>>>(dev_ip, ipSize, recordLocator);");
+    let _ = writeln!(
+        out,
+        "  recordLocatorKernel<<<GRID, TB>>>(dev_ip, ipSize, recordLocator);"
+    );
     let kv = match map.kvpairs_hint {
         Some(n) => format!(
             "  // kvpairs({n}) clause: bound the global KV store\n  allocKvStore(numRecords * {n});"
@@ -128,9 +134,15 @@ pub fn host_driver_source(map: &KernelSpec, combine: Option<&KernelSpec>) -> Str
             .collect::<Vec<_>>()
             .join(", ")
     );
-    let _ = writeln!(out, "  aggregateKvStore(indexArray, devKvCount);  // compaction before sort");
+    let _ = writeln!(
+        out,
+        "  aggregateKvStore(indexArray, devKvCount);  // compaction before sort"
+    );
     let _ = writeln!(out, "  for (int r = 0; r < numReducers; r++) {{");
-    let _ = writeln!(out, "    sortPartition(r, indexArray);  // indirection merge sort");
+    let _ = writeln!(
+        out,
+        "    sortPartition(r, indexArray);  // indirection merge sort"
+    );
     if let Some(c) = combine {
         let _ = writeln!(
             out,
@@ -146,7 +158,10 @@ pub fn host_driver_source(map: &KernelSpec, combine: Option<&KernelSpec>) -> Str
         );
     }
     let _ = writeln!(out, "  }}");
-    let _ = writeln!(out, "  writeSequenceFile(output);  // Hadoop binary format + checksum");
+    let _ = writeln!(
+        out,
+        "  writeSequenceFile(output);  // Hadoop binary format + checksum"
+    );
     let _ = writeln!(out, "  cudaFreeAll();");
     let _ = writeln!(out, "}}");
     out
@@ -190,10 +205,7 @@ fn emit_stmt(s: &Stmt, out: &mut String, depth: usize) {
             step,
             body,
         } => {
-            let init_s = init
-                .as_ref()
-                .map(|i| inline_stmt(i))
-                .unwrap_or_default();
+            let init_s = init.as_ref().map(|i| inline_stmt(i)).unwrap_or_default();
             let cond_s = cond.as_ref().map(emit_expr).unwrap_or_default();
             let step_s = step.as_ref().map(emit_expr).unwrap_or_default();
             let _ = writeln!(out, "{pad}for ({init_s}; {cond_s}; {step_s}) {{");
@@ -332,12 +344,7 @@ fn emit_expr(e: &Expr) -> String {
             };
             format!("{} {sym} {}", emit_expr(a), emit_expr(b))
         }
-        Expr::Cond(c, t, f) => format!(
-            "({} ? {} : {})",
-            emit_expr(c),
-            emit_expr(t),
-            emit_expr(f)
-        ),
+        Expr::Cond(c, t, f) => format!("({} ? {} : {})", emit_expr(c), emit_expr(t), emit_expr(f)),
         Expr::Call(n, args) => format!(
             "{n}({})",
             args.iter().map(emit_expr).collect::<Vec<_>>().join(", ")
@@ -357,7 +364,9 @@ pub fn describe_params(spec: &KernelSpec) -> String {
             ParamOrigin::ConstantScalar(v) => format!("sharedRO scalar '{v}' -> constant memory"),
             ParamOrigin::GlobalArray(v) => format!("sharedRO array '{v}' -> global memory"),
             ParamOrigin::TextureArray(v) => format!("array '{v}' -> texture memory"),
-            ParamOrigin::FirstPrivateScalar(v) => format!("firstprivate scalar '{v}' initial value"),
+            ParamOrigin::FirstPrivateScalar(v) => {
+                format!("firstprivate scalar '{v}' initial value")
+            }
             ParamOrigin::FirstPrivateArray(v) => format!("firstprivate array '{v}' staging"),
         };
         let _ = writeln!(out, "{:24} {:10} {}", p.name, p.ty, what);

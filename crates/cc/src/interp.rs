@@ -87,7 +87,10 @@ enum V {
     I(i64),
     F(f64),
     /// Pointer into heap buffer `buf` at element offset `off`.
-    Ptr { buf: usize, off: usize },
+    Ptr {
+        buf: usize,
+        off: usize,
+    },
     /// Address of a scalar slot (`&var`).
     SlotRef(usize),
     Null,
@@ -176,12 +179,7 @@ impl<'p> Interp<'p> {
         Ok(())
     }
 
-    fn call_func(
-        &mut self,
-        f: &'p FuncDef,
-        args: Vec<V>,
-        io: &mut StreamIo,
-    ) -> Result<V, CcError> {
+    fn call_func(&mut self, f: &'p FuncDef, args: Vec<V>, io: &mut StreamIo) -> Result<V, CcError> {
         if args.len() != f.params.len() {
             return Err(CcError::interp(format!(
                 "function {} expects {} args, got {}",
@@ -348,9 +346,9 @@ impl<'p> Interp<'p> {
             CType::Array(inner, n) => {
                 let total = match inner.as_ref() {
                     CType::Array(_, Some(cols)) => n.unwrap_or(1) * cols,
-                    _ => n.ok_or_else(|| {
-                        CcError::interp(format!("array {} needs a size", d.name))
-                    })?,
+                    _ => {
+                        n.ok_or_else(|| CcError::interp(format!("array {} needs a size", d.name)))?
+                    }
                 };
                 let elem = leaf_type(&d.ty);
                 let buf = self.alloc_buffer(&elem, total);
@@ -645,7 +643,7 @@ impl<'p> Interp<'p> {
                         .map(|p| p as i64)
                         .unwrap_or(-1)
                 };
-                Ok(V::I(pos as i64))
+                Ok(V::I(pos))
             }
             "printf" => self.builtin_printf(args, io),
             "scanf" => self.builtin_scanf(args, io),
@@ -733,11 +731,7 @@ impl<'p> Interp<'p> {
         }
     }
 
-    fn builtin_getline(
-        &mut self,
-        args: &'p [Expr],
-        io: &mut StreamIo,
-    ) -> Result<V, CcError> {
+    fn builtin_getline(&mut self, args: &'p [Expr], io: &mut StreamIo) -> Result<V, CcError> {
         // getline(&line, &nbytes, stdin) -> bytes read incl. '\n', or -1.
         let record = match &mut io.input {
             Input::Lines(lines) => {
@@ -771,11 +765,7 @@ impl<'p> Interp<'p> {
         Ok(V::I(len as i64))
     }
 
-    fn builtin_getword(
-        &mut self,
-        args: &'p [Expr],
-        io: &mut StreamIo,
-    ) -> Result<V, CcError> {
+    fn builtin_getword(&mut self, args: &'p [Expr], io: &mut StreamIo) -> Result<V, CcError> {
         // getWord(line, offset, word, read, maxLen) -> chars consumed or -1.
         // Scans from `offset`, skipping separators, copies the next word
         // (NUL-terminated, truncated to maxLen-1) into `word`.
@@ -803,11 +793,7 @@ impl<'p> Interp<'p> {
         Ok(V::I((i - offset) as i64))
     }
 
-    fn builtin_gettok(
-        &mut self,
-        args: &'p [Expr],
-        io: &mut StreamIo,
-    ) -> Result<V, CcError> {
+    fn builtin_gettok(&mut self, args: &'p [Expr], io: &mut StreamIo) -> Result<V, CcError> {
         // getTok(line, offset, buf, read, maxLen): like getWord but splits
         // on whitespace only, so numeric tokens (dots, minus signs)
         // survive. Returns chars consumed or -1.
@@ -871,10 +857,11 @@ impl<'p> Interp<'p> {
                     i = j + 1;
                     continue;
                 }
-                let v = self
-                    .eval(args.get(arg_i).ok_or_else(|| {
-                        CcError::interp("printf: not enough arguments")
-                    })?, io)?;
+                let v = self.eval(
+                    args.get(arg_i)
+                        .ok_or_else(|| CcError::interp("printf: not enough arguments"))?,
+                    io,
+                )?;
                 arg_i += 1;
                 match conv {
                     b'd' | b'i' | b'u' => {
@@ -1270,10 +1257,11 @@ int main()
     #[test]
     fn wordcount_combiner_runs_paper_listing_2() {
         let prog = parse(WORDCOUNT_COMBINE).unwrap();
-        let kvs: Vec<(Vec<u8>, Vec<u8>)> = [("a", "1"), ("a", "1"), ("b", "1"), ("c", "2"), ("c", "3")]
-            .iter()
-            .map(|(k, v)| (k.as_bytes().to_vec(), v.as_bytes().to_vec()))
-            .collect();
+        let kvs: Vec<(Vec<u8>, Vec<u8>)> =
+            [("a", "1"), ("a", "1"), ("b", "1"), ("c", "2"), ("c", "3")]
+                .iter()
+                .map(|(k, v)| (k.as_bytes().to_vec(), v.as_bytes().to_vec()))
+                .collect();
         let mut io = StreamIo::kvs(kvs);
         Interp::new(&prog).run_main(&mut io).unwrap();
         let out = io.emitted_kvs();
@@ -1408,10 +1396,7 @@ int main() {
         ];
         let mut io = StreamIo::kvs(kvs);
         Interp::new(&prog).run_main(&mut io).unwrap();
-        assert_eq!(
-            io.emitted_kvs()[0].1,
-            b"3.750".to_vec()
-        );
+        assert_eq!(io.emitted_kvs()[0].1, b"3.750".to_vec());
     }
 
     #[test]

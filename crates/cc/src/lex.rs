@@ -254,7 +254,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>, CcError> {
             i += p.len();
             continue;
         }
-        return Err(CcError::lex(line, format!("unexpected character {:?}", c as char)));
+        return Err(CcError::lex(
+            line,
+            format!("unexpected character {:?}", c as char),
+        ));
     }
     toks.push(Token {
         tok: Tok::Eof,
@@ -323,8 +326,8 @@ mod tests {
 
     #[test]
     fn float_literals() {
-        let t = kinds("double d = 3.14; float f = 1e-3; float g = 2.5f;");
-        assert!(t.contains(&Tok::FloatLit(3.14)));
+        let t = kinds("double d = 3.25; float f = 1e-3; float g = 2.5f;");
+        assert!(t.contains(&Tok::FloatLit(3.25)));
         assert!(t.contains(&Tok::FloatLit(1e-3)));
         assert!(t.contains(&Tok::FloatLit(2.5)));
     }
@@ -391,7 +394,9 @@ int main()
 }
 "#;
         let toks = lex(src).unwrap();
-        assert!(toks.iter().any(|t| matches!(&t.tok, Tok::Pragma(p) if p.contains("keylength"))));
+        assert!(toks
+            .iter()
+            .any(|t| matches!(&t.tok, Tok::Pragma(p) if p.contains("keylength"))));
         assert!(toks.len() > 50);
     }
 }

@@ -186,7 +186,9 @@ impl Parser {
         let mut params = Vec::new();
         if !self.eat_punct(")") {
             loop {
-                if matches!(self.peek(), Tok::Ident(s) if s == "void") && matches!(self.peek2(), Tok::Punct(")")) {
+                if matches!(self.peek(), Tok::Ident(s) if s == "void")
+                    && matches!(self.peek2(), Tok::Punct(")"))
+                {
                     self.bump();
                     break;
                 }

@@ -169,7 +169,10 @@ fn validate(d: &Directive) -> Result<(), CcError> {
         }
     }
     if d.blocks == Some(0) || d.threads == Some(0) {
-        return Err(CcError::directive(line, "'blocks'/'threads' must be positive"));
+        return Err(CcError::directive(
+            line,
+            "'blocks'/'threads' must be positive",
+        ));
     }
     Ok(())
 }
@@ -214,9 +217,10 @@ impl<'a> ClauseLexer<'a> {
                 "mapreduce clause requires a parenthesized argument list",
             ));
         }
-        let close = self.rest.find(')').ok_or_else(|| {
-            CcError::directive(self.line, "unterminated clause argument list")
-        })?;
+        let close = self
+            .rest
+            .find(')')
+            .ok_or_else(|| CcError::directive(self.line, "unterminated clause argument list"))?;
         let inner = &self.rest[1..close];
         self.rest = &self.rest[close + 1..];
         Ok(inner
@@ -281,7 +285,9 @@ mod tests {
 
     #[test]
     fn kvpairs_only_on_mapper() {
-        let ok = parse("mapreduce mapper key(k) value(v) kvpairs(8)").unwrap().unwrap();
+        let ok = parse("mapreduce mapper key(k) value(v) kvpairs(8)")
+            .unwrap()
+            .unwrap();
         assert_eq!(ok.kvpairs, Some(8));
         let e = parse("mapreduce combiner key(k) value(v) keyin(a) valuein(b) kvpairs(8)");
         assert!(e.is_err());

@@ -4,12 +4,12 @@
 //!
 //! 1. collects the variables used inside the region,
 //! 2. classifies each one — shared read-only scalar (→ constant memory),
-//!   shared read-only array (→ texture or global memory), private, or
-//!   firstprivate (with automatic inference when the clause is absent),
+//!    shared read-only array (→ texture or global memory), private, or
+//!    firstprivate (with automatic inference when the clause is absent),
 //! 3. validates the directive's variable references against the symbol
-//!   table, and
+//!    table, and
 //! 4. emits the paper's aliasing warning when privatization inference may
-//!   be inaccurate (§3.2).
+//!    be inaccurate (§3.2).
 
 use crate::ast::*;
 use crate::error::{CcError, Warning};
@@ -85,9 +85,8 @@ pub fn analyze(prog: &Program) -> Result<Analysis, CcError> {
 
     let mut regions = Vec::new();
     for (idx, dir) in prog.directives.iter().enumerate() {
-        let region = find_region(&main.body, idx).ok_or_else(|| {
-            CcError::sema(dir.line, "directive is not attached to a statement")
-        })?;
+        let region = find_region(&main.body, idx)
+            .ok_or_else(|| CcError::sema(dir.line, "directive is not attached to a statement"))?;
         regions.push(analyze_region(dir, idx, region, &types)?);
     }
     Ok(Analysis { regions })
@@ -189,23 +188,28 @@ fn analyze_region(
     // when the type is not compiler-derivable).
     let key_ty = lookup_ty(&dir.key, outer_types);
     let val_ty = lookup_ty(&dir.value, outer_types);
-    let derive_len = |ty: Option<&CType>, clause: Option<usize>, what: &str| -> Result<usize, CcError> {
-        if let Some(n) = clause {
-            return Ok(n);
-        }
-        match ty {
-            Some(CType::Array(el, Some(n))) => Ok(el.scalar_size() * n),
-            Some(t) if t.is_scalar() => Ok(t.scalar_size()),
-            _ => Err(CcError::sema(
-                line,
-                format!("{what} length is not compiler-derivable; add the {what}length clause"),
-            )),
-        }
-    };
+    let derive_len =
+        |ty: Option<&CType>, clause: Option<usize>, what: &str| -> Result<usize, CcError> {
+            if let Some(n) = clause {
+                return Ok(n);
+            }
+            match ty {
+                Some(CType::Array(el, Some(n))) => Ok(el.scalar_size() * n),
+                Some(t) if t.is_scalar() => Ok(t.scalar_size()),
+                _ => Err(CcError::sema(
+                    line,
+                    format!("{what} length is not compiler-derivable; add the {what}length clause"),
+                )),
+            }
+        };
     let key_length = derive_len(key_ty, dir.keylength, "key")?;
     let val_length = derive_len(val_ty, dir.vallength, "val")?;
-    let key_is_array = key_ty.map(|t| t.is_array() || matches!(t, CType::Ptr(_))).unwrap_or(false);
-    let val_is_array = val_ty.map(|t| t.is_array() || matches!(t, CType::Ptr(_))).unwrap_or(false);
+    let key_is_array = key_ty
+        .map(|t| t.is_array() || matches!(t, CType::Ptr(_)))
+        .unwrap_or(false);
+    let val_is_array = val_ty
+        .map(|t| t.is_array() || matches!(t, CType::Ptr(_)))
+        .unwrap_or(false);
 
     if alias_risk {
         warnings.push(Warning {
@@ -333,7 +337,7 @@ fn collect_usage(
             let write_args: &[usize] = match name.as_str() {
                 "strcpy" | "strncpy" | "strcat" => &[0],
                 "getWord" | "getTok" => &[2], // (line, off, word, read, max)
-                "scanf" => &[1, 2, 3],  // all conversion targets
+                "scanf" => &[1, 2, 3],        // all conversion targets
                 _ => &[],
             };
             for &i in write_args {
@@ -465,7 +469,10 @@ int main() {
 "#;
         let prog = parse(src).unwrap();
         let a = analyze(&prog).unwrap();
-        assert_eq!(a.regions[0].placements["centroids"], Placement::TextureArray);
+        assert_eq!(
+            a.regions[0].placements["centroids"],
+            Placement::TextureArray
+        );
     }
 
     #[test]

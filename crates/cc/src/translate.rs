@@ -162,11 +162,7 @@ fn translate_region(prog: &Program, region: &RegionInfo) -> Result<KernelSpec, C
     let mut textures = Vec::new();
     let mut renames: BTreeMap<String, String> = BTreeMap::new();
     for (var, placement) in &region.placements {
-        let ty = region
-            .types
-            .get(var)
-            .cloned()
-            .unwrap_or(CType::Int);
+        let ty = region.types.get(var).cloned().unwrap_or(CType::Int);
         let gpu_name = format!("gpu_{var}");
         match placement {
             Placement::ConstantScalar => {
@@ -306,7 +302,10 @@ fn rewrite_stmt(s: &Stmt, renames: &BTreeMap<String, String>, is_mapper: bool) -
             ds.iter()
                 .map(|d| Declarator {
                     ty: d.ty.clone(),
-                    name: renames.get(&d.name).cloned().unwrap_or_else(|| d.name.clone()),
+                    name: renames
+                        .get(&d.name)
+                        .cloned()
+                        .unwrap_or_else(|| d.name.clone()),
                     init: d.init.as_ref().map(|e| rewrite_expr(e, renames, is_mapper)),
                 })
                 .collect(),
@@ -339,18 +338,17 @@ fn rewrite_stmt(s: &Stmt, renames: &BTreeMap<String, String>, is_mapper: bool) -
         StmtKind::Return(e) => {
             StmtKind::Return(e.as_ref().map(|x| rewrite_expr(x, renames, is_mapper)))
         }
-        StmtKind::Block(v) => {
-            StmtKind::Block(v.iter().map(|st| rewrite_stmt(st, renames, is_mapper)).collect())
-        }
+        StmtKind::Block(v) => StmtKind::Block(
+            v.iter()
+                .map(|st| rewrite_stmt(st, renames, is_mapper))
+                .collect(),
+        ),
         StmtKind::Annotated(i, inner) => {
             StmtKind::Annotated(*i, Box::new(rewrite_stmt(inner, renames, is_mapper)))
         }
         other => other.clone(),
     };
-    Stmt {
-        kind,
-        span: s.span,
-    }
+    Stmt { kind, span: s.span }
 }
 
 fn rewrite_expr(e: &Expr, renames: &BTreeMap<String, String>, is_mapper: bool) -> Expr {
@@ -539,7 +537,11 @@ int main()
         assert!(pw.in_shared_mem);
         assert!(pw.firstprivate_init);
         assert_eq!(pw.elems, 30);
-        let count = spec.privates.iter().find(|p| p.original == "count").unwrap();
+        let count = spec
+            .privates
+            .iter()
+            .find(|p| p.original == "count")
+            .unwrap();
         assert!(!count.in_shared_mem); // scalars stay in registers
     }
 

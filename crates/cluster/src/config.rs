@@ -1,4 +1,5 @@
-//! Cluster configuration (the knobs of the paper's Table 3).
+//! Cluster configuration (the knobs of the paper's Table 3) and the
+//! deterministic fault-injection plan.
 
 use serde::{Deserialize, Serialize};
 
@@ -12,6 +13,59 @@ pub enum Scheduler {
     /// Tail scheduling (Algorithm 2): GPU-first until the job/task tail
     /// begins, then force remaining tasks onto the GPU(s).
     TailScheduling,
+}
+
+/// A seeded, deterministic plan of faults injected into a simulated run
+/// as first-class DES events. The same plan (same seed) reproduces the
+/// same schedule, which is what makes recovery costs measurable.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Seed for all probabilistic decisions (transient failures pick
+    /// their victims and failure points from hashes of this seed).
+    pub seed: u64,
+    /// `(node, time_s)`: the node crash-stops at `time_s` — no further
+    /// heartbeats, all in-flight work and local map outputs lost.
+    pub node_crashes: Vec<(u32, f64)>,
+    /// Probability that any single map-task attempt dies mid-run with a
+    /// transient error (Hadoop: a child JVM exit).
+    pub transient_fail_p: f64,
+    /// `(node, gpu, time_s)`: the GPU device faults permanently at
+    /// `time_s`; the node degrades to its CPU slots.
+    pub gpu_faults: Vec<(u32, u32, f64)>,
+    /// Map tasks whose first input read hits a corrupt block replica:
+    /// the attempt fails fast on the CRC mismatch and the retry reads a
+    /// healthy replica (the HDFS-level behavior lives in `hetero-hdfs`;
+    /// here only the schedule effect is modeled).
+    pub corrupt_task_inputs: Vec<u32>,
+    /// `(node, factor)`: map attempts placed on this node run `factor`×
+    /// their nominal duration — straggler injection for speculative
+    /// execution experiments.
+    pub stragglers: Vec<(u32, f64)>,
+}
+
+impl FaultPlan {
+    /// The empty plan: a perfect cluster.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Whether the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.node_crashes.is_empty()
+            && self.transient_fail_p == 0.0
+            && self.gpu_faults.is_empty()
+            && self.corrupt_task_inputs.is_empty()
+            && self.stragglers.is_empty()
+    }
+
+    /// Straggler slowdown factor for `node` (1.0 when not a straggler).
+    pub fn straggler_factor(&self, node: u32) -> f64 {
+        self.stragglers
+            .iter()
+            .find(|(n, _)| *n == node)
+            .map(|(_, f)| *f)
+            .unwrap_or(1.0)
+    }
 }
 
 /// Static cluster configuration.
@@ -40,6 +94,15 @@ pub struct ClusterConfig {
     pub speculative: bool,
     /// Shuffle bandwidth per reduce task, bytes/s (InfiniBand-class).
     pub shuffle_bw: f64,
+    /// Attempts per map task before the job aborts
+    /// (`mapred.map.max.attempts`, Hadoop default 4).
+    pub max_attempts: u32,
+    /// Seconds without a heartbeat before the JobTracker declares a
+    /// TaskTracker dead and blacklists it
+    /// (`mapred.tasktracker.expiry.interval`).
+    pub heartbeat_timeout_s: f64,
+    /// Injected faults (empty = perfect cluster).
+    pub faults: FaultPlan,
 }
 
 impl ClusterConfig {
@@ -56,6 +119,9 @@ impl ClusterConfig {
             reduce_start_frac: 0.2,
             speculative: false,
             shuffle_bw: 1e9,
+            max_attempts: 4,
+            heartbeat_timeout_s: 3.0,
+            faults: FaultPlan::none(),
         }
     }
 
@@ -80,5 +146,16 @@ mod tests {
         assert_eq!(c.effective_gpus(), 0);
         c.scheduler = Scheduler::GpuFirst;
         assert_eq!(c.effective_gpus(), 3);
+    }
+
+    #[test]
+    fn fault_plan_emptiness_and_stragglers() {
+        let mut p = FaultPlan::none();
+        assert!(p.is_empty());
+        assert_eq!(p.straggler_factor(3), 1.0);
+        p.stragglers.push((3, 2.5));
+        assert!(!p.is_empty());
+        assert_eq!(p.straggler_factor(3), 2.5);
+        assert_eq!(p.straggler_factor(4), 1.0);
     }
 }

@@ -43,14 +43,7 @@ pub struct JobSpec {
 impl JobSpec {
     /// Uniform job helper: `n` map tasks of fixed durations, replicas
     /// spread round-robin over `num_nodes` (replication `repl`).
-    pub fn uniform(
-        name: &str,
-        n: u32,
-        num_nodes: u32,
-        repl: u32,
-        cpu_s: f64,
-        gpu_s: f64,
-    ) -> Self {
+    pub fn uniform(name: &str, n: u32, num_nodes: u32, repl: u32, cpu_s: f64, gpu_s: f64) -> Self {
         let maps = (0..n)
             .map(|i| MapTaskSpec {
                 id: i,
@@ -79,7 +72,10 @@ impl JobSpec {
         if self.maps.is_empty() {
             return 1.0;
         }
-        self.maps.iter().map(|m| m.cpu_s / m.gpu_s.max(1e-12)).sum::<f64>()
+        self.maps
+            .iter()
+            .map(|m| m.cpu_s / m.gpu_s.max(1e-12))
+            .sum::<f64>()
             / self.maps.len() as f64
     }
 }

@@ -1,5 +1,7 @@
 //! The discrete-event cluster simulator: JobTracker, TaskTrackers,
-//! heartbeats, the GPU driver queue, and the three schedulers.
+//! heartbeats, the GPU driver queue, the three schedulers, and the
+//! fault-tolerance machinery (attempt retry, TaskTracker expiry,
+//! speculative execution, fault injection from a [`FaultPlan`]).
 //!
 //! The JobTracker assigns map tasks to TaskTrackers on heartbeats,
 //! preferring data-local placements (node > rack > any, Hadoop's FCFS
@@ -12,28 +14,43 @@
 //! the Fig. 3 walkthrough (forcing would begin at the *start* of the job
 //! as printed); we implement the semantics of Fig. 3: forcing begins when
 //! the remaining work per node drops to what the GPUs could finish within
-//! one CPU-task time.
+//! one CPU-task time. Both tail thresholds are computed from the *live*
+//! cluster, so losing a node mid-job shrinks the forcing window instead
+//! of leaving it sized for hardware that no longer heartbeats.
+//!
+//! **Fault model** (Hadoop 1.x semantics):
+//! * Every map execution is an *attempt*. Transient failures and corrupt
+//!   input reads fail the attempt; the task is re-queued until it
+//!   succeeds or `max_attempts` failures abort the job.
+//! * A TaskTracker silent for `heartbeat_timeout_s` is declared dead and
+//!   blacklisted; its running/queued attempts are lost (re-queued without
+//!   charging `max_attempts` — the task did nothing wrong), and its
+//!   *completed* map outputs are re-executed when the job still has
+//!   unfinished reduces, because map outputs live on the tracker's local
+//!   disk. Map-only jobs write straight to HDFS and lose nothing.
+//! * A GPU device fault kills the attempt on the device and retires the
+//!   GPU; the node degrades to its CPU slots.
+//! * Speculative execution (off by default, as in the paper's runs)
+//!   launches a backup attempt on another node when a task's progress
+//!   falls 0.2 below the job average; the first finisher wins and the
+//!   losers are killed immediately.
 
 use crate::config::{ClusterConfig, Scheduler};
 use crate::job::JobSpec;
-use crate::stats::{Device, JobStats};
-use hetero_hdfs::{NodeId, Topology};
+use crate::stats::{Device, JobStats, Outcome};
+use hetero_hdfs::{Locality, NodeId, Topology};
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::{BinaryHeap, HashSet, VecDeque};
 
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum Event {
     Heartbeat(u32),
-    MapDone {
-        node: u32,
-        task: u32,
-        device: Device,
-        gpu: u32,
-    },
-    ReduceDone {
-        node: u32,
-        task: u32,
-    },
+    ExpiryCheck,
+    NodeCrash(u32),
+    GpuFault { node: u32, gpu: u32 },
+    MapDone { attempt: usize },
+    MapFail { attempt: usize, outcome: Outcome },
+    ReduceDone { node: u32, task: u32, epoch: u32 },
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -64,10 +81,62 @@ impl Ord for Scheduled {
     }
 }
 
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum AttemptState {
+    /// Waiting in a GPU driver queue.
+    Queued,
+    Running,
+    Succeeded,
+    Failed,
+    /// Node declared dead under it.
+    Lost,
+    /// Another attempt of the task finished first.
+    Killed,
+}
+
+/// One execution attempt of a map task.
+struct Attempt {
+    task: u32,
+    node: u32,
+    device: Device,
+    gpu: u32,
+    /// Effective duration (straggler factor applied).
+    dur: f64,
+    start: f64,
+    /// Pre-drawn fault: fail at `start + frac * dur` with this outcome.
+    fail_frac: Option<(f64, Outcome)>,
+    state: AttemptState,
+    /// Index of the stats record.
+    rec: usize,
+}
+
+impl Attempt {
+    fn live(&self) -> bool {
+        matches!(self.state, AttemptState::Running | AttemptState::Queued)
+    }
+}
+
+#[derive(Default)]
+struct TaskState {
+    done: bool,
+    /// Node that ran the winning attempt (for output-loss re-execution).
+    winner_node: Option<u32>,
+    /// Failures charged against `max_attempts`.
+    failed_count: u32,
+    /// Attempt indices, in launch order.
+    attempts: Vec<usize>,
+}
+
 struct NodeState {
+    /// Ground truth: false once the crash event fires.
+    alive: bool,
+    /// JobTracker's view: declared dead + blacklisted after expiry.
+    dead_declared: bool,
+    last_heartbeat: f64,
     free_cpu: u32,
     gpu_busy: Vec<bool>,
-    gpu_queue: VecDeque<u32>, // forced tasks waiting for a GPU
+    gpu_dead: Vec<bool>,
+    gpu_queue: VecDeque<usize>, // queued attempt indices (forced tasks)
     free_reduce: u32,
     cpu_samples: (f64, u32), // (total task seconds, count)
     gpu_samples: (f64, u32),
@@ -87,283 +156,804 @@ impl NodeState {
             fallback
         }
     }
+
+    fn usable(&self) -> bool {
+        self.alive && !self.dead_declared
+    }
+
+    fn live_gpus(&self) -> u32 {
+        self.gpu_dead.iter().filter(|d| !**d).count() as u32
+    }
+
+    fn free_live_gpu(&self) -> Option<usize> {
+        self.gpu_busy
+            .iter()
+            .zip(&self.gpu_dead)
+            .position(|(b, d)| !*b && !*d)
+    }
+
+    fn free_live_gpu_count(&self) -> u32 {
+        self.gpu_busy
+            .iter()
+            .zip(&self.gpu_dead)
+            .filter(|(b, d)| !**b && !**d)
+            .count() as u32
+    }
+}
+
+/// splitmix64 finalizer — the deterministic fault die.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Uniform value in [0, 1) hashed from the fault seed and attempt identity.
+fn fault_unit(seed: u64, a: u64, b: u64, c: u64) -> f64 {
+    let h = mix64(seed ^ mix64(a ^ mix64(b ^ mix64(c))));
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+struct Sim<'a> {
+    cfg: &'a ClusterConfig,
+    job: &'a JobSpec,
+    topo: Topology,
+    nodes: Vec<NodeState>,
+    tasks: Vec<TaskState>,
+    attempts: Vec<Attempt>,
+    pending: Vec<u32>,
+    pending_reduces: VecDeque<u32>,
+    running_reduces: Vec<(u32, u32, f64)>, // (task, node, start)
+    maps_done: usize,
+    /// Bumped whenever a completed map is invalidated (node loss), so
+    /// stale scheduled ReduceDone events are ignored on pop.
+    maps_epoch: u32,
+    reduces_done: usize,
+    last_map_done_t: f64,
+    max_speedup: f64,
+    shuffle_per_reduce_s: f64,
+    planned_crashes: u32,
+    heap: BinaryHeap<Scheduled>,
+    seq: u64,
+    now: f64,
+    stats: JobStats,
 }
 
 /// Run `job` on a cluster described by `cfg`; returns the job statistics.
 pub fn simulate(cfg: &ClusterConfig, job: &JobSpec) -> JobStats {
-    let topo = Topology::new(cfg.num_slaves, cfg.nodes_per_rack);
-    let gpus = cfg.effective_gpus();
-    let mut nodes: Vec<NodeState> = (0..cfg.num_slaves)
-        .map(|_| NodeState {
-            free_cpu: cfg.map_slots_per_node,
-            gpu_busy: vec![false; gpus as usize],
-            gpu_queue: VecDeque::new(),
-            free_reduce: cfg.reduce_slots_per_node,
-            cpu_samples: (0.0, 0),
-            gpu_samples: (0.0, 0),
-        })
-        .collect();
+    let mut sim = Sim::new(cfg, job);
+    sim.run();
+    sim.stats
+}
 
-    let mut pending: Vec<u32> = (0..job.maps.len() as u32).collect();
-    let mut maps_done = 0usize;
-    let mut last_map_done_t = 0.0f64;
-    let mut pending_reduces: VecDeque<u32> = (0..job.reduces.len() as u32).collect();
-    let mut running_reduces: Vec<(u32, u32, f64)> = Vec::new(); // (task, node, start)
-    let mut reduces_done = 0usize;
-    let mut max_speedup = 1.0f64;
+impl<'a> Sim<'a> {
+    fn new(cfg: &'a ClusterConfig, job: &'a JobSpec) -> Self {
+        let gpus = cfg.effective_gpus();
+        let nodes: Vec<NodeState> = (0..cfg.num_slaves)
+            .map(|_| NodeState {
+                alive: true,
+                dead_declared: false,
+                last_heartbeat: 0.0,
+                free_cpu: cfg.map_slots_per_node,
+                gpu_busy: vec![false; gpus as usize],
+                gpu_dead: vec![false; gpus as usize],
+                gpu_queue: VecDeque::new(),
+                free_reduce: cfg.reduce_slots_per_node,
+                cpu_samples: (0.0, 0),
+                gpu_samples: (0.0, 0),
+            })
+            .collect();
 
-    let total_shuffle_bytes: u64 = job.maps.iter().map(|m| m.output_bytes).sum();
-    let shuffle_per_reduce_s = if job.reduces.is_empty() {
-        0.0
-    } else {
-        total_shuffle_bytes as f64 / job.reduces.len() as f64 / cfg.shuffle_bw
-    };
+        let total_shuffle_bytes: u64 = job.maps.iter().map(|m| m.output_bytes).sum();
+        let shuffle_per_reduce_s = if job.reduces.is_empty() {
+            0.0
+        } else {
+            total_shuffle_bytes as f64 / job.reduces.len() as f64 / cfg.shuffle_bw
+        };
 
-    let mut stats = JobStats::new(&job.name);
-    let mut heap: BinaryHeap<Scheduled> = BinaryHeap::new();
-    let mut seq = 0u64;
-    let push = |heap: &mut BinaryHeap<Scheduled>, seq: &mut u64, time: f64, event: Event| {
-        *seq += 1;
-        heap.push(Scheduled {
+        let mut sim = Sim {
+            cfg,
+            job,
+            topo: Topology::new(cfg.num_slaves, cfg.nodes_per_rack),
+            nodes,
+            tasks: (0..job.maps.len()).map(|_| TaskState::default()).collect(),
+            attempts: Vec::new(),
+            pending: (0..job.maps.len() as u32).collect(),
+            pending_reduces: (0..job.reduces.len() as u32).collect(),
+            running_reduces: Vec::new(),
+            maps_done: 0,
+            maps_epoch: 0,
+            reduces_done: 0,
+            last_map_done_t: 0.0,
+            max_speedup: 1.0,
+            shuffle_per_reduce_s,
+            planned_crashes: 0,
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: 0.0,
+            stats: JobStats::new(&job.name),
+        };
+
+        // Stagger initial heartbeats so nodes do not thundering-herd the JT.
+        for n in 0..cfg.num_slaves {
+            sim.push(
+                (n as f64 / cfg.num_slaves as f64) * cfg.heartbeat_s,
+                Event::Heartbeat(n),
+            );
+        }
+        // Inject the fault plan as first-class events.
+        let mut crash_nodes = HashSet::new();
+        for &(n, t) in &cfg.faults.node_crashes {
+            if n < cfg.num_slaves && crash_nodes.insert(n) {
+                sim.push(t, Event::NodeCrash(n));
+            }
+        }
+        sim.planned_crashes = crash_nodes.len() as u32;
+        for &(n, g, t) in &cfg.faults.gpu_faults {
+            sim.push(t, Event::GpuFault { node: n, gpu: g });
+        }
+        if sim.planned_crashes > 0 {
+            sim.push(cfg.heartbeat_s, Event::ExpiryCheck);
+        }
+        sim
+    }
+
+    fn push(&mut self, time: f64, event: Event) {
+        self.seq += 1;
+        self.heap.push(Scheduled {
             time,
-            seq: *seq,
+            seq: self.seq,
             event,
         });
-    };
-
-    // Stagger initial heartbeats so nodes do not thundering-herd the JT.
-    for n in 0..cfg.num_slaves {
-        push(
-            &mut heap,
-            &mut seq,
-            (n as f64 / cfg.num_slaves as f64) * cfg.heartbeat_s,
-            Event::Heartbeat(n),
-        );
     }
 
-    let mut now = 0.0f64;
-    while let Some(Scheduled { time, event, .. }) = heap.pop() {
-        now = time;
-        match event {
-            Event::Heartbeat(n) => {
-                let ni = n as usize;
+    fn work_remains(&self) -> bool {
+        self.maps_done < self.job.maps.len() || self.reduces_done < self.job.reduces.len()
+    }
 
-                // --- Reduce assignment (after reduce_start_frac maps). ---
-                if !job.maps.is_empty()
-                    && maps_done as f64 >= cfg.reduce_start_frac * job.maps.len() as f64
-                {
-                    while nodes[ni].free_reduce > 0 && !pending_reduces.is_empty() {
-                        let r = pending_reduces.pop_front().unwrap();
-                        nodes[ni].free_reduce -= 1;
-                        running_reduces.push((r, n, now));
-                        if maps_done == job.maps.len() {
-                            let done_t = reduce_finish_time(
-                                now,
-                                now,
-                                shuffle_per_reduce_s,
-                                job.reduces[r as usize].compute_s,
-                            );
-                            push(
-                                &mut heap,
-                                &mut seq,
-                                done_t,
-                                Event::ReduceDone { node: n, task: r },
-                            );
-                        }
-                        // Otherwise the completion is scheduled when the
-                        // last map finishes.
-                    }
-                }
+    fn run(&mut self) {
+        while let Some(Scheduled { time, event, .. }) = self.heap.pop() {
+            self.now = time;
+            match event {
+                Event::Heartbeat(n) => self.heartbeat(n),
+                Event::ExpiryCheck => self.expiry_check(),
+                Event::NodeCrash(n) => self.nodes[n as usize].alive = false,
+                Event::GpuFault { node, gpu } => self.gpu_fault(node, gpu),
+                Event::MapDone { attempt } => self.map_done(attempt),
+                Event::MapFail { attempt, outcome } => self.map_fail(attempt, outcome),
+                Event::ReduceDone { node, task, epoch } => self.reduce_done_ev(node, task, epoch),
+            }
+            if self.stats.aborted || !self.work_remains() {
+                break;
+            }
+        }
+        if self.work_remains() {
+            self.stats.aborted = true;
+        }
+        self.stats.makespan_s = self.now;
+        self.stats.map_phase_s = self.last_map_done_t;
+        self.stats.max_speedup_seen = self.max_speedup;
+    }
 
-                // --- Map assignment (Algorithm 2, JobTracker side). ---
-                if !pending.is_empty() {
-                    let remaining = pending.len() as f64;
-                    let job_tail =
-                        gpus as f64 * max_speedup * cfg.num_slaves as f64;
-                    let in_job_tail =
-                        cfg.scheduler == Scheduler::TailScheduling && remaining <= job_tail;
-                    let free_gpus =
-                        nodes[ni].gpu_busy.iter().filter(|b| !**b).count() as u32;
-                    // scheduleNumGPUTasksAtMax vs default (fill all slots).
-                    let max_assign = if in_job_tail {
-                        gpus.min(free_gpus.max(1))
+    // ---------------------------------------------------------- heartbeats
+
+    fn heartbeat(&mut self, n: u32) {
+        let ni = n as usize;
+        if !self.nodes[ni].alive {
+            return; // crashed: the tracker falls silent
+        }
+        self.nodes[ni].last_heartbeat = self.now;
+        if !self.nodes[ni].dead_declared {
+            self.assign_reduces(n);
+            self.assign_maps(n);
+            if self.cfg.speculative {
+                self.try_speculate(n);
+            }
+        }
+        if self.work_remains() {
+            self.push(self.now + self.cfg.heartbeat_s, Event::Heartbeat(n));
+        }
+    }
+
+    fn assign_reduces(&mut self, n: u32) {
+        let ni = n as usize;
+        if (self.maps_done as f64) < self.cfg.reduce_start_frac * self.job.maps.len() as f64 {
+            return;
+        }
+        while self.nodes[ni].free_reduce > 0 && !self.pending_reduces.is_empty() {
+            let r = self.pending_reduces.pop_front().unwrap();
+            self.nodes[ni].free_reduce -= 1;
+            self.running_reduces.push((r, n, self.now));
+            if self.maps_done == self.job.maps.len() {
+                let done_t = reduce_finish_time(
+                    self.now,
+                    self.now,
+                    self.shuffle_per_reduce_s,
+                    self.job.reduces[r as usize].compute_s,
+                );
+                self.push(
+                    done_t,
+                    Event::ReduceDone {
+                        node: n,
+                        task: r,
+                        epoch: self.maps_epoch,
+                    },
+                );
+            }
+            // Otherwise the completion is scheduled when the last map
+            // finishes.
+        }
+    }
+
+    /// Map assignment (Algorithm 2, JobTracker side), with both tail
+    /// thresholds derived from the surviving cluster.
+    fn assign_maps(&mut self, n: u32) {
+        let ni = n as usize;
+        if self.pending.is_empty() {
+            return;
+        }
+        let live_nodes = self.nodes.iter().filter(|nd| nd.usable()).count().max(1) as f64;
+        let cluster_live_gpus: u32 = self
+            .nodes
+            .iter()
+            .filter(|nd| nd.usable())
+            .map(|nd| nd.live_gpus())
+            .sum();
+        let remaining = self.pending.len() as f64;
+        let job_tail = cluster_live_gpus as f64 * self.max_speedup;
+        let in_job_tail = self.cfg.scheduler == Scheduler::TailScheduling && remaining <= job_tail;
+        let node_live_gpus = self.nodes[ni].live_gpus();
+        let free_gpus = self.nodes[ni].free_live_gpu_count();
+        // scheduleNumGPUTasksAtMax vs default (fill all slots).
+        let max_assign = if in_job_tail {
+            if node_live_gpus > 0 {
+                node_live_gpus.min(free_gpus.max(1))
+            } else {
+                self.nodes[ni].free_cpu
+            }
+        } else {
+            self.nodes[ni].free_cpu + free_gpus
+        };
+        let remaining_per_node = remaining / live_nodes;
+
+        for _ in 0..max_assign {
+            if self.pending.is_empty() {
+                break;
+            }
+            // Locality-aware FCFS pick.
+            let (idx, loc) = self.pick_task(n);
+            let task = self.pending.remove(idx);
+            self.stats.record_locality(loc);
+
+            // --- TaskTracker side placement. ---
+            let ave = self.nodes[ni].ave_speedup(self.max_speedup);
+            let task_tail = node_live_gpus as f64 * ave;
+            let force_gpu = self.cfg.scheduler == Scheduler::TailScheduling
+                && node_live_gpus > 0
+                && remaining_per_node <= task_tail;
+            let gpu_free = self.nodes[ni].free_live_gpu();
+
+            let placed = match (self.cfg.scheduler, gpu_free) {
+                (Scheduler::CpuOnly, _) => Device::Cpu,
+                (_, Some(_)) => Device::Gpu,
+                (Scheduler::GpuFirst, None) => Device::Cpu,
+                (Scheduler::TailScheduling, None) => {
+                    if force_gpu {
+                        Device::Gpu // queued on the driver
                     } else {
-                        nodes[ni].free_cpu + free_gpus
-                    };
-                    let remaining_per_node = remaining / cfg.num_slaves as f64;
-
-                    for _ in 0..max_assign {
-                        if pending.is_empty() {
-                            break;
-                        }
-                        // Locality-aware FCFS pick.
-                        let pick = pick_task(&pending, job, &topo, NodeId(n));
-                        let task = pending.remove(pick.0);
-                        stats.record_locality(pick.1);
-
-                        // --- TaskTracker side placement. ---
-                        let spec = &job.maps[task as usize];
-                        let ave = nodes[ni].ave_speedup(max_speedup);
-                        let task_tail = gpus as f64 * ave;
-                        let force_gpu = cfg.scheduler == Scheduler::TailScheduling
-                            && gpus > 0
-                            && remaining_per_node <= task_tail;
-                        let gpu_free = nodes[ni].gpu_busy.iter().position(|b| !*b);
-
-                        let placed = match (cfg.scheduler, gpu_free) {
-                            (Scheduler::CpuOnly, _) => Device::Cpu,
-                            (_, Some(_)) => Device::Gpu,
-                            (Scheduler::GpuFirst, None) => Device::Cpu,
-                            (Scheduler::TailScheduling, None) => {
-                                if force_gpu {
-                                    Device::Gpu // queued on the driver
-                                } else {
-                                    Device::Cpu
-                                }
-                            }
-                        };
-                        match placed {
-                            Device::Cpu => {
-                                if nodes[ni].free_cpu == 0 {
-                                    // No CPU slot after all: requeue task.
-                                    pending.push(task);
-                                    continue;
-                                }
-                                nodes[ni].free_cpu -= 1;
-                                push(
-                                    &mut heap,
-                                    &mut seq,
-                                    now + spec.cpu_s,
-                                    Event::MapDone {
-                                        node: n,
-                                        task,
-                                        device: Device::Cpu,
-                                        gpu: 0,
-                                    },
-                                );
-                                stats.start_task(task, n, Device::Cpu, now);
-                            }
-                            Device::Gpu => match gpu_free {
-                                Some(g) => {
-                                    nodes[ni].gpu_busy[g] = true;
-                                    push(
-                                        &mut heap,
-                                        &mut seq,
-                                        now + spec.gpu_s,
-                                        Event::MapDone {
-                                            node: n,
-                                            task,
-                                            device: Device::Gpu,
-                                            gpu: g as u32,
-                                        },
-                                    );
-                                    stats.start_task(task, n, Device::Gpu, now);
-                                }
-                                None => {
-                                    nodes[ni].gpu_queue.push_back(task);
-                                    stats.start_task(task, n, Device::Gpu, now);
-                                }
-                            },
-                        }
+                        Device::Cpu
                     }
                 }
-
-                // Next heartbeat while work remains.
-                if maps_done < job.maps.len() || reduces_done < job.reduces.len() {
-                    push(
-                        &mut heap,
-                        &mut seq,
-                        now + cfg.heartbeat_s,
-                        Event::Heartbeat(n),
-                    );
+            };
+            match placed {
+                Device::Cpu => {
+                    if self.nodes[ni].free_cpu == 0 {
+                        // No CPU slot after all: requeue task.
+                        self.pending.push(task);
+                        continue;
+                    }
+                    self.launch(task, n, Device::Cpu, None, false);
                 }
+                Device::Gpu => self.launch(task, n, Device::Gpu, gpu_free, false),
             }
-
-            Event::MapDone {
-                node,
-                task,
-                device,
-                gpu,
-            } => {
-                let ni = node as usize;
-                maps_done += 1;
-                last_map_done_t = now;
-                let spec = &job.maps[task as usize];
-                stats.finish_task(task, now, device);
-                match device {
-                    Device::Cpu => {
-                        nodes[ni].free_cpu += 1;
-                        nodes[ni].cpu_samples.0 += spec.cpu_s;
-                        nodes[ni].cpu_samples.1 += 1;
-                    }
-                    Device::Gpu => {
-                        nodes[ni].gpu_samples.0 += spec.gpu_s;
-                        nodes[ni].gpu_samples.1 += 1;
-                        stats.gpu_busy_s += spec.gpu_s;
-                        // The driver starts the next queued forced task.
-                        if let Some(next) = nodes[ni].gpu_queue.pop_front() {
-                            let nspec = &job.maps[next as usize];
-                            push(
-                                &mut heap,
-                                &mut seq,
-                                now + nspec.gpu_s,
-                                Event::MapDone {
-                                    node,
-                                    task: next,
-                                    device: Device::Gpu,
-                                    gpu,
-                                },
-                            );
-                        } else {
-                            nodes[ni].gpu_busy[gpu as usize] = false;
-                        }
-                    }
-                }
-                // TTs report their speedup; the JT remembers the max (§6.2).
-                let ave = nodes[ni].ave_speedup(max_speedup);
-                if ave > max_speedup {
-                    max_speedup = ave;
-                }
-
-                // When the final map finishes, running reduces can complete.
-                if maps_done == job.maps.len() {
-                    for &(r, rn, start) in &running_reduces {
-                        if stats.reduce_done(r) {
-                            continue;
-                        }
-                        let done_t = reduce_finish_time(
-                            start,
-                            now,
-                            shuffle_per_reduce_s,
-                            job.reduces[r as usize].compute_s,
-                        );
-                        push(
-                            &mut heap,
-                            &mut seq,
-                            done_t.max(now),
-                            Event::ReduceDone { node: rn, task: r },
-                        );
-                    }
-                }
-            }
-
-            Event::ReduceDone { node, task } => {
-                if stats.mark_reduce_done(task, now) {
-                    reduces_done += 1;
-                    nodes[node as usize].free_reduce += 1;
-                }
-            }
-        }
-
-        if maps_done == job.maps.len() && reduces_done == job.reduces.len() {
-            break;
         }
     }
 
-    stats.makespan_s = now;
-    stats.map_phase_s = last_map_done_t;
-    stats.max_speedup_seen = max_speedup;
-    stats
+    /// Choose a pending task for `node`: node-local, then rack-local, then
+    /// the queue head. Replicas on crashed nodes are unreadable and do not
+    /// count toward locality.
+    fn pick_task(&self, n: u32) -> (usize, Locality) {
+        let node = NodeId(n);
+        let mut rack_pick: Option<usize> = None;
+        let mut live_replicas: Vec<NodeId> = Vec::new();
+        for (i, &t) in self.pending.iter().enumerate() {
+            live_replicas.clear();
+            live_replicas.extend(
+                self.job.maps[t as usize]
+                    .replicas
+                    .iter()
+                    .copied()
+                    .filter(|r| self.nodes.get(r.0 as usize).is_some_and(|nd| nd.alive)),
+            );
+            match self.topo.locality(node, &live_replicas) {
+                Locality::NodeLocal => return (i, Locality::NodeLocal),
+                Locality::RackLocal if rack_pick.is_none() => rack_pick = Some(i),
+                _ => {}
+            }
+        }
+        match rack_pick {
+            Some(i) => (i, Locality::RackLocal),
+            None => (0, Locality::OffRack),
+        }
+    }
+
+    // ---------------------------------------------------------- attempts
+
+    /// Start (or queue) a new attempt of `task` on `n`. Fault decisions
+    /// are drawn deterministically from the plan seed here.
+    fn launch(&mut self, task: u32, n: u32, device: Device, gpu: Option<usize>, speculative: bool) {
+        let ni = n as usize;
+        let ti = task as usize;
+        let attempt_no = self.tasks[ti].attempts.len() as u32;
+        let spec = &self.job.maps[ti];
+        let base = match device {
+            Device::Cpu => spec.cpu_s,
+            Device::Gpu => spec.gpu_s,
+        };
+        let dur = base * self.cfg.faults.straggler_factor(n);
+
+        let fp = &self.cfg.faults;
+        let fail_frac = if fp.corrupt_task_inputs.contains(&task) && attempt_no == 0 {
+            // First read hits the corrupt replica: the CRC check fails
+            // fast and the retry reads a healthy replica (the HDFS-level
+            // behavior lives in `hetero-hdfs`; here only the schedule
+            // effect is modeled).
+            Some((0.05, Outcome::ChecksumFail))
+        } else if fp.transient_fail_p > 0.0
+            && fault_unit(fp.seed, task as u64, attempt_no as u64, n as u64) < fp.transient_fail_p
+        {
+            let frac = 0.1
+                + 0.8
+                    * fault_unit(
+                        fp.seed ^ 0xA5A5_A5A5_A5A5_A5A5,
+                        task as u64,
+                        attempt_no as u64,
+                        n as u64,
+                    );
+            Some((frac, Outcome::TransientFail))
+        } else {
+            None
+        };
+
+        let rec = self
+            .stats
+            .start_attempt(task, attempt_no, n, device, speculative, self.now);
+        if speculative {
+            self.stats.speculative_attempts += 1;
+        }
+        let aidx = self.attempts.len();
+        self.attempts.push(Attempt {
+            task,
+            node: n,
+            device,
+            gpu: gpu.unwrap_or(0) as u32,
+            dur,
+            start: self.now,
+            fail_frac,
+            state: AttemptState::Queued,
+            rec,
+        });
+        self.tasks[ti].attempts.push(aidx);
+        match device {
+            Device::Cpu => {
+                self.nodes[ni].free_cpu -= 1;
+                self.ignite(aidx);
+            }
+            Device::Gpu => match gpu {
+                Some(g) => {
+                    self.nodes[ni].gpu_busy[g] = true;
+                    self.ignite(aidx);
+                }
+                None => self.nodes[ni].gpu_queue.push_back(aidx),
+            },
+        }
+    }
+
+    /// Begin executing an attempt: schedule its completion or pre-drawn
+    /// failure.
+    fn ignite(&mut self, aidx: usize) {
+        self.attempts[aidx].state = AttemptState::Running;
+        let dur = self.attempts[aidx].dur;
+        match self.attempts[aidx].fail_frac {
+            Some((frac, outcome)) => self.push(
+                self.now + frac * dur,
+                Event::MapFail {
+                    attempt: aidx,
+                    outcome,
+                },
+            ),
+            None => self.push(self.now + dur, Event::MapDone { attempt: aidx }),
+        }
+    }
+
+    /// Free a GPU: start the next still-valid queued attempt, else idle it.
+    fn release_gpu(&mut self, ni: usize, g: usize) {
+        if self.nodes[ni].gpu_dead[g] {
+            return;
+        }
+        while let Some(next) = self.nodes[ni].gpu_queue.pop_front() {
+            if self.attempts[next].state == AttemptState::Queued {
+                self.attempts[next].gpu = g as u32;
+                self.ignite(next);
+                return;
+            }
+        }
+        self.nodes[ni].gpu_busy[g] = false;
+    }
+
+    fn map_done(&mut self, aidx: usize) {
+        // Stale-event validation: the attempt may have been killed, lost,
+        // or its node crashed since this completion was scheduled.
+        if self.attempts[aidx].state != AttemptState::Running {
+            return;
+        }
+        let (task, n, device, gpu, dur) = {
+            let a = &self.attempts[aidx];
+            (a.task, a.node, a.device, a.gpu as usize, a.dur)
+        };
+        let ni = n as usize;
+        if !self.nodes[ni].alive {
+            return; // died mid-run; the expiry check will reap it
+        }
+        if self.tasks[task as usize].done {
+            return; // another attempt already won (guard; losers are killed)
+        }
+        self.attempts[aidx].state = AttemptState::Succeeded;
+        let rec = self.attempts[aidx].rec;
+        self.stats.finish_attempt(rec, self.now, Outcome::Success);
+        self.tasks[task as usize].done = true;
+        self.tasks[task as usize].winner_node = Some(n);
+        self.maps_done += 1;
+        self.last_map_done_t = self.now;
+        self.kill_losers(task, aidx);
+        match device {
+            Device::Cpu => {
+                self.nodes[ni].free_cpu += 1;
+                self.nodes[ni].cpu_samples.0 += dur;
+                self.nodes[ni].cpu_samples.1 += 1;
+            }
+            Device::Gpu => {
+                self.nodes[ni].gpu_samples.0 += dur;
+                self.nodes[ni].gpu_samples.1 += 1;
+                self.stats.gpu_busy_s += dur;
+                self.release_gpu(ni, gpu);
+            }
+        }
+        // TTs report their speedup; the JT remembers the max (§6.2).
+        let ave = self.nodes[ni].ave_speedup(self.max_speedup);
+        if ave > self.max_speedup {
+            self.max_speedup = ave;
+        }
+        // When the final map finishes, running reduces can complete.
+        if self.maps_done == self.job.maps.len() {
+            self.schedule_running_reduce_completions();
+        }
+    }
+
+    /// First finisher wins: kill every other live attempt of the task and
+    /// free its slot right away.
+    fn kill_losers(&mut self, task: u32, winner: usize) {
+        let idxs = self.tasks[task as usize].attempts.clone();
+        for ai in idxs {
+            if ai == winner || !self.attempts[ai].live() {
+                continue;
+            }
+            let was_running = self.attempts[ai].state == AttemptState::Running;
+            self.attempts[ai].state = AttemptState::Killed;
+            let rec = self.attempts[ai].rec;
+            self.stats
+                .finish_attempt(rec, self.now, Outcome::SpeculativeKilled);
+            let ni = self.attempts[ai].node as usize;
+            if was_running && self.nodes[ni].alive {
+                match self.attempts[ai].device {
+                    Device::Cpu => self.nodes[ni].free_cpu += 1,
+                    Device::Gpu => {
+                        let g = self.attempts[ai].gpu as usize;
+                        self.release_gpu(ni, g);
+                    }
+                }
+            }
+            // Queued losers stay in their gpu_queue; release_gpu skips
+            // non-Queued entries lazily.
+        }
+    }
+
+    fn map_fail(&mut self, aidx: usize, outcome: Outcome) {
+        if self.attempts[aidx].state != AttemptState::Running {
+            return;
+        }
+        let (task, n, device, gpu) = {
+            let a = &self.attempts[aidx];
+            (a.task, a.node, a.device, a.gpu as usize)
+        };
+        let ni = n as usize;
+        if !self.nodes[ni].alive {
+            return; // the node death supersedes the task failure
+        }
+        self.attempts[aidx].state = AttemptState::Failed;
+        let rec = self.attempts[aidx].rec;
+        self.stats.finish_attempt(rec, self.now, outcome);
+        if outcome == Outcome::ChecksumFail {
+            self.stats.checksum_failures += 1;
+        }
+        match device {
+            Device::Cpu => self.nodes[ni].free_cpu += 1,
+            Device::Gpu => self.release_gpu(ni, gpu),
+        }
+        self.task_attempt_failed(task, outcome);
+    }
+
+    /// Charge a failed attempt to its task and re-queue or abort.
+    fn task_attempt_failed(&mut self, task: u32, outcome: Outcome) {
+        let ti = task as usize;
+        if self.tasks[ti].done {
+            return;
+        }
+        // Task-caused failures count toward `max_attempts`; environment
+        // faults (GPU death, node loss) do not — Hadoop charges those to
+        // the tracker (blacklisting), not the task.
+        if matches!(outcome, Outcome::TransientFail | Outcome::ChecksumFail) {
+            self.tasks[ti].failed_count += 1;
+            if self.tasks[ti].failed_count >= self.cfg.max_attempts {
+                // mapred.map.max.attempts exhausted: the job fails.
+                self.stats.aborted = true;
+                return;
+            }
+        }
+        let has_live = self.tasks[ti]
+            .attempts
+            .iter()
+            .any(|&ai| self.attempts[ai].live());
+        if !has_live && !self.pending.contains(&task) {
+            self.pending.push(task);
+        }
+    }
+
+    // ---------------------------------------------------------- faults
+
+    fn gpu_fault(&mut self, node: u32, gpu: u32) {
+        let ni = node as usize;
+        let g = gpu as usize;
+        if ni >= self.nodes.len() || g >= self.nodes[ni].gpu_dead.len() {
+            return;
+        }
+        if self.nodes[ni].gpu_dead[g] {
+            return;
+        }
+        self.nodes[ni].gpu_dead[g] = true;
+        self.stats.gpu_faults_seen += 1;
+        // The attempt on the device dies with it.
+        let victim = self.attempts.iter().position(|a| {
+            a.state == AttemptState::Running
+                && a.node == node
+                && a.device == Device::Gpu
+                && a.gpu == gpu
+        });
+        if let Some(ai) = victim {
+            self.attempts[ai].state = AttemptState::Failed;
+            let rec = self.attempts[ai].rec;
+            let task = self.attempts[ai].task;
+            self.stats.finish_attempt(rec, self.now, Outcome::GpuFault);
+            self.task_attempt_failed(task, Outcome::GpuFault);
+        }
+        // With no GPU left on the node, queued-for-GPU attempts go back
+        // to the JobTracker; the node degrades to its CPU slots.
+        if self.nodes[ni].live_gpus() == 0 {
+            while let Some(ai) = self.nodes[ni].gpu_queue.pop_front() {
+                if self.attempts[ai].state != AttemptState::Queued {
+                    continue;
+                }
+                self.attempts[ai].state = AttemptState::Failed;
+                let rec = self.attempts[ai].rec;
+                let task = self.attempts[ai].task;
+                self.stats.finish_attempt(rec, self.now, Outcome::GpuFault);
+                self.task_attempt_failed(task, Outcome::GpuFault);
+            }
+        }
+    }
+
+    fn expiry_check(&mut self) {
+        for n in 0..self.nodes.len() as u32 {
+            if !self.nodes[n as usize].dead_declared
+                && self.now - self.nodes[n as usize].last_heartbeat > self.cfg.heartbeat_timeout_s
+            {
+                self.declare_dead(n);
+            }
+        }
+        // Keep checking until every planned crash has been detected.
+        if self.stats.nodes_lost < self.planned_crashes && !self.stats.aborted {
+            self.push(self.now + self.cfg.heartbeat_s, Event::ExpiryCheck);
+        }
+    }
+
+    /// The JobTracker declares a silent TaskTracker dead: blacklist it,
+    /// lose its in-flight attempts, and re-execute its completed maps if
+    /// reduces still need their outputs.
+    fn declare_dead(&mut self, n: u32) {
+        let ni = n as usize;
+        self.nodes[ni].dead_declared = true;
+        self.stats.nodes_lost += 1;
+        self.stats.node_loss_detected.push((n, self.now));
+        // Reap in-flight map attempts; node loss is not the task's fault,
+        // so nothing is charged against max_attempts.
+        for ai in 0..self.attempts.len() {
+            if self.attempts[ai].node != n || !self.attempts[ai].live() {
+                continue;
+            }
+            self.attempts[ai].state = AttemptState::Lost;
+            let rec = self.attempts[ai].rec;
+            self.stats.finish_attempt(rec, self.now, Outcome::NodeLost);
+            let task = self.attempts[ai].task;
+            let ti = task as usize;
+            let has_live = self.tasks[ti]
+                .attempts
+                .iter()
+                .any(|&a2| self.attempts[a2].live());
+            if !self.tasks[ti].done && !has_live && !self.pending.contains(&task) {
+                self.pending.push(task);
+            }
+        }
+        self.nodes[ni].gpu_queue.clear();
+        // Map outputs live on the tracker's local disk: completed maps
+        // must re-run while reduces still need to fetch them. Map-only
+        // jobs write straight to HDFS and lose nothing (Hadoop 1.x).
+        if !self.job.reduces.is_empty() && self.reduces_done < self.job.reduces.len() {
+            let mut re_ran = false;
+            for t in 0..self.tasks.len() {
+                if self.tasks[t].done && self.tasks[t].winner_node == Some(n) {
+                    self.tasks[t].done = false;
+                    self.tasks[t].winner_node = None;
+                    self.maps_done -= 1;
+                    self.stats.re_executed += 1;
+                    re_ran = true;
+                    let id = t as u32;
+                    if !self.pending.contains(&id) {
+                        self.pending.push(id);
+                    }
+                }
+            }
+            if re_ran {
+                self.maps_epoch += 1; // invalidate scheduled reduce finishes
+            }
+        }
+        // Reduces running on the dead node restart elsewhere.
+        let mut kept = Vec::new();
+        for &(r, rn, start) in &self.running_reduces {
+            if rn == n && !self.stats.reduce_done(r) {
+                self.pending_reduces.push_back(r);
+                self.stats.reduce_attempts_lost += 1;
+            } else {
+                kept.push((r, rn, start));
+            }
+        }
+        self.running_reduces = kept;
+        // With nobody left alive the job can never finish.
+        if self.work_remains() && !self.nodes.iter().any(|nd| nd.usable()) {
+            self.stats.aborted = true;
+        }
+    }
+
+    // ---------------------------------------------------------- reduces
+
+    fn schedule_running_reduce_completions(&mut self) {
+        let epoch = self.maps_epoch;
+        let items = self.running_reduces.clone();
+        for (r, rn, start) in items {
+            if self.stats.reduce_done(r) {
+                continue;
+            }
+            let done_t = reduce_finish_time(
+                start,
+                self.now,
+                self.shuffle_per_reduce_s,
+                self.job.reduces[r as usize].compute_s,
+            );
+            self.push(
+                done_t.max(self.now),
+                Event::ReduceDone {
+                    node: rn,
+                    task: r,
+                    epoch,
+                },
+            );
+        }
+    }
+
+    fn reduce_done_ev(&mut self, node: u32, task: u32, epoch: u32) {
+        // Stale if a completed map was invalidated since scheduling, if
+        // the map phase regressed, or if the node died under the reduce.
+        if epoch != self.maps_epoch
+            || self.maps_done != self.job.maps.len()
+            || !self.nodes[node as usize].alive
+        {
+            return;
+        }
+        if self.stats.mark_reduce_done(task, self.now) {
+            self.reduces_done += 1;
+            self.nodes[node as usize].free_reduce += 1;
+        }
+    }
+
+    // ------------------------------------------------------- speculation
+
+    /// Hadoop-style speculative execution: once no fresh work is pending,
+    /// back up the slowest task whose progress trails the job average by
+    /// more than 0.2, on a node other than the one running it.
+    fn try_speculate(&mut self, n: u32) {
+        if !self.pending.is_empty() || self.maps_done == self.job.maps.len() {
+            return;
+        }
+        let ni = n as usize;
+        loop {
+            let has_cpu = self.nodes[ni].free_cpu > 0;
+            let gpu_free = if self.cfg.scheduler == Scheduler::CpuOnly {
+                None
+            } else {
+                self.nodes[ni].free_live_gpu()
+            };
+            if !has_cpu && gpu_free.is_none() {
+                return;
+            }
+            let mut sum = 0.0;
+            let mut cnt = 0u32;
+            // Slowest backup candidate: single live attempt, off-node.
+            let mut cand: Option<(u32, f64)> = None;
+            for (t, ts) in self.tasks.iter().enumerate() {
+                if ts.done {
+                    sum += 1.0;
+                    cnt += 1;
+                    continue;
+                }
+                let live: Vec<usize> = ts
+                    .attempts
+                    .iter()
+                    .copied()
+                    .filter(|&ai| self.attempts[ai].live())
+                    .collect();
+                if live.is_empty() {
+                    continue;
+                }
+                let p = live
+                    .iter()
+                    .map(|&ai| {
+                        let a = &self.attempts[ai];
+                        ((self.now - a.start) / a.dur.max(1e-9)).clamp(0.0, 1.0)
+                    })
+                    .fold(0.0f64, f64::max);
+                sum += p;
+                cnt += 1;
+                if live.len() == 1 && self.attempts[live[0]].node != n {
+                    match cand {
+                        Some((_, cp)) if cp <= p => {}
+                        _ => cand = Some((t as u32, p)),
+                    }
+                }
+            }
+            if cnt == 0 {
+                return;
+            }
+            let avg = sum / cnt as f64;
+            let Some((t, p)) = cand else { return };
+            if p >= avg - 0.2 {
+                return;
+            }
+            match gpu_free {
+                Some(g) => self.launch(t, n, Device::Gpu, Some(g), true),
+                None => self.launch(t, n, Device::Cpu, None, true),
+            }
+        }
+    }
 }
 
 /// A reduce that started shuffling at `start` completes its shuffle+merge
@@ -373,33 +963,10 @@ fn reduce_finish_time(start: f64, maps_done_t: f64, shuffle_s: f64, compute_s: f
     (start + shuffle_s).max(maps_done_t) + compute_s
 }
 
-/// Choose a pending task for `node`: node-local, then rack-local, then
-/// the queue head. Returns (index into pending, locality level).
-fn pick_task(
-    pending: &[u32],
-    job: &JobSpec,
-    topo: &Topology,
-    node: NodeId,
-) -> (usize, hetero_hdfs::Locality) {
-    use hetero_hdfs::Locality;
-    let mut rack_pick: Option<usize> = None;
-    for (i, &t) in pending.iter().enumerate() {
-        let replicas = &job.maps[t as usize].replicas;
-        match topo.locality(node, replicas) {
-            Locality::NodeLocal => return (i, Locality::NodeLocal),
-            Locality::RackLocal if rack_pick.is_none() => rack_pick = Some(i),
-            _ => {}
-        }
-    }
-    match rack_pick {
-        Some(i) => (i, Locality::RackLocal),
-        None => (0, Locality::OffRack),
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::FaultPlan;
 
     /// The Fig. 3 scenario: 19 tasks, one 6x GPU, two CPU slots, one node.
     fn fig3_cluster(s: Scheduler) -> ClusterConfig {
@@ -414,6 +981,9 @@ mod tests {
             reduce_start_frac: 0.2,
             speculative: false,
             shuffle_bw: 1e9,
+            max_attempts: 4,
+            heartbeat_timeout_s: 3.0,
+            faults: FaultPlan::none(),
         }
     }
 
@@ -449,7 +1019,11 @@ mod tests {
         assert_eq!(st.gpu_tasks(), 0);
         assert_eq!(st.completed_maps(), 19);
         // 19 tasks on 2 slots at 6s: ceil(19/2)*6 = 60s.
-        assert!(st.makespan_s >= 59.0 && st.makespan_s < 63.0, "{}", st.makespan_s);
+        assert!(
+            st.makespan_s >= 59.0 && st.makespan_s < 63.0,
+            "{}",
+            st.makespan_s
+        );
     }
 
     #[test]
@@ -461,7 +1035,11 @@ mod tests {
 
     #[test]
     fn every_task_runs_exactly_once() {
-        for s in [Scheduler::CpuOnly, Scheduler::GpuFirst, Scheduler::TailScheduling] {
+        for s in [
+            Scheduler::CpuOnly,
+            Scheduler::GpuFirst,
+            Scheduler::TailScheduling,
+        ] {
             let cfg = ClusterConfig::small(4, s);
             let job = JobSpec::uniform("j", 100, 4, 2, 3.0, 0.5);
             let st = simulate(&cfg, &job);
@@ -470,6 +1048,7 @@ mod tests {
             ids.sort_unstable();
             ids.dedup();
             assert_eq!(ids.len(), 100, "duplicate executions under {s:?}");
+            assert_eq!(st.map_attempts(), 100, "extra attempts under {s:?}");
         }
     }
 
@@ -506,8 +1085,8 @@ mod tests {
         let cfg = ClusterConfig::small(8, Scheduler::CpuOnly);
         let job = JobSpec::uniform("j", 160, 8, 3, 1.0, 1.0);
         let st = simulate(&cfg, &job);
-        let local_frac = st.node_local as f64
-            / (st.node_local + st.rack_local + st.off_rack).max(1) as f64;
+        let local_frac =
+            st.node_local as f64 / (st.node_local + st.rack_local + st.off_rack).max(1) as f64;
         assert!(
             local_frac > 0.5,
             "most tasks should be node-local, got {local_frac}"
@@ -540,5 +1119,201 @@ mod tests {
         let st = simulate(&cfg, &job);
         assert_eq!(st.completed_maps(), 40);
         assert_eq!(st.completed_reduces(), 0);
+    }
+
+    // ------------------------------------------------- fault tolerance
+
+    #[test]
+    fn transient_failures_retry_until_success() {
+        let mut cfg = ClusterConfig::small(4, Scheduler::GpuFirst);
+        cfg.faults.seed = 42;
+        cfg.faults.transient_fail_p = 0.10;
+        let job = JobSpec::uniform("j", 100, 4, 2, 3.0, 0.5);
+        let st = simulate(&cfg, &job);
+        assert!(!st.aborted);
+        assert_eq!(st.completed_maps(), 100);
+        assert!(st.failed_attempts > 0, "10% of 100+ attempts should fail");
+        assert_eq!(st.map_attempts(), 100 + st.failed_attempts as usize);
+        assert!(st.wasted_work_s > 0.0);
+    }
+
+    #[test]
+    fn same_seed_reproduces_same_schedule() {
+        let mut cfg = ClusterConfig::small(4, Scheduler::TailScheduling);
+        cfg.faults.seed = 7;
+        cfg.faults.transient_fail_p = 0.08;
+        cfg.faults.node_crashes = vec![(2, 5.0)];
+        cfg.faults.corrupt_task_inputs = vec![11];
+        let job = JobSpec::uniform("j", 120, 4, 2, 2.0, 0.5);
+        let a = simulate(&cfg, &job);
+        let b = simulate(&cfg, &job);
+        assert_eq!(a.makespan_s, b.makespan_s);
+        assert_eq!(a.map_attempts(), b.map_attempts());
+        assert_eq!(a.failed_attempts, b.failed_attempts);
+        assert_eq!(a.wasted_work_s, b.wasted_work_s);
+        let key = |s: &JobStats| -> Vec<(u32, u32, u32)> {
+            s.tasks.iter().map(|t| (t.id, t.attempt, t.node)).collect()
+        };
+        assert_eq!(key(&a), key(&b));
+    }
+
+    #[test]
+    fn corrupt_input_fails_fast_then_retries() {
+        let mut cfg = ClusterConfig::small(2, Scheduler::CpuOnly);
+        cfg.faults.corrupt_task_inputs = vec![3];
+        let job = JobSpec::uniform("j", 10, 2, 2, 2.0, 1.0);
+        let st = simulate(&cfg, &job);
+        assert!(!st.aborted);
+        assert_eq!(st.completed_maps(), 10);
+        assert_eq!(st.checksum_failures, 1);
+        let t3: Vec<_> = st.tasks.iter().filter(|t| t.id == 3).collect();
+        assert_eq!(t3.len(), 2, "one checksum failure + one retry");
+        assert!(t3.iter().any(|t| t.outcome == Outcome::ChecksumFail));
+        assert!(t3.iter().any(|t| t.outcome == Outcome::Success));
+    }
+
+    #[test]
+    fn job_aborts_after_max_attempts() {
+        let mut cfg = ClusterConfig::small(2, Scheduler::CpuOnly);
+        cfg.faults.transient_fail_p = 1.0; // every attempt dies
+        let job = JobSpec::uniform("j", 5, 2, 1, 2.0, 1.0);
+        let st = simulate(&cfg, &job);
+        assert!(st.aborted);
+        assert!(st.completed_maps() < 5);
+        assert!(st.failed_attempts >= cfg.max_attempts);
+    }
+
+    #[test]
+    fn node_crash_is_detected_and_work_rescued() {
+        let mut cfg = ClusterConfig::small(3, Scheduler::CpuOnly);
+        cfg.faults.node_crashes = vec![(2, 3.0)];
+        let job = JobSpec::uniform("j", 60, 3, 2, 1.0, 1.0);
+        let st = simulate(&cfg, &job);
+        assert!(!st.aborted);
+        assert_eq!(st.completed_maps(), 60);
+        assert_eq!(st.nodes_lost, 1);
+        let (n, detected) = st.node_loss_detected[0];
+        assert_eq!(n, 2);
+        // Detection fires a full expiry interval after the node's last
+        // heartbeat, which lands within one heartbeat of the crash.
+        assert!(
+            detected >= 3.0 + cfg.heartbeat_timeout_s - 2.0 * cfg.heartbeat_s,
+            "detection {detected} before the expiry interval elapsed"
+        );
+        // Nothing succeeds on the dead node after it crashed.
+        assert!(st
+            .tasks
+            .iter()
+            .filter(|t| t.node == 2 && t.succeeded())
+            .all(|t| t.end_s.unwrap() <= 3.0));
+        // Map-only job: completed maps on the dead node are NOT re-run.
+        assert_eq!(st.re_executed, 0);
+    }
+
+    #[test]
+    fn dead_node_completed_maps_rerun_when_reduces_pending() {
+        let mut cfg = ClusterConfig::small(3, Scheduler::CpuOnly);
+        cfg.faults.node_crashes = vec![(2, 3.0)];
+        let mut job = JobSpec::uniform("j", 60, 3, 2, 1.0, 1.0);
+        job.reduces = (0..2)
+            .map(|id| crate::job::ReduceTaskSpec { id, compute_s: 1.0 })
+            .collect();
+        let st = simulate(&cfg, &job);
+        assert!(!st.aborted);
+        assert_eq!(st.completed_maps(), 60);
+        assert_eq!(st.completed_reduces(), 2);
+        assert!(
+            st.re_executed > 0,
+            "maps completed on the dead node must re-run for the shuffle"
+        );
+    }
+
+    #[test]
+    fn all_nodes_dead_aborts_the_job() {
+        let mut cfg = ClusterConfig::small(1, Scheduler::CpuOnly);
+        cfg.faults.node_crashes = vec![(0, 1.0)];
+        let job = JobSpec::uniform("j", 20, 1, 1, 2.0, 1.0);
+        let st = simulate(&cfg, &job);
+        assert!(st.aborted);
+        assert_eq!(st.nodes_lost, 1);
+    }
+
+    #[test]
+    fn gpu_fault_degrades_node_to_cpu() {
+        let mut cfg = ClusterConfig::small(1, Scheduler::GpuFirst);
+        cfg.faults.gpu_faults = vec![(0, 0, 3.0)];
+        let job = JobSpec::uniform("j", 30, 1, 1, 2.0, 0.5);
+        let st = simulate(&cfg, &job);
+        assert!(!st.aborted);
+        assert_eq!(st.completed_maps(), 30);
+        assert_eq!(st.gpu_faults_seen, 1);
+        // No GPU success after the fault; the job still finishes on CPUs.
+        assert!(st
+            .tasks
+            .iter()
+            .filter(|t| t.device == Device::Gpu && t.succeeded())
+            .all(|t| t.end_s.unwrap() <= 3.0 + 1e-9));
+        assert!(st.cpu_tasks() > 0);
+    }
+
+    #[test]
+    fn speculative_execution_rescues_stragglers() {
+        let mut cfg = ClusterConfig::small(2, Scheduler::CpuOnly);
+        cfg.faults.stragglers = vec![(0, 20.0)];
+        let job = JobSpec::uniform("j", 10, 2, 2, 2.0, 1.0);
+        let base = simulate(&cfg, &job);
+        cfg.speculative = true;
+        let spec = simulate(&cfg, &job);
+        assert_eq!(base.completed_maps(), 10);
+        assert_eq!(spec.completed_maps(), 10);
+        assert_eq!(base.speculative_attempts, 0);
+        assert!(spec.speculative_attempts > 0);
+        assert!(
+            spec.makespan_s < base.makespan_s / 2.0,
+            "speculation {specs} should rescue the straggler tail {bases}",
+            specs = spec.makespan_s,
+            bases = base.makespan_s
+        );
+        // First finisher wins exactly once per task.
+        let mut winners: Vec<u32> = spec
+            .tasks
+            .iter()
+            .filter(|t| t.succeeded())
+            .map(|t| t.id)
+            .collect();
+        winners.sort_unstable();
+        winners.dedup();
+        assert_eq!(winners.len(), 10);
+    }
+
+    #[test]
+    fn tail_forcing_threshold_tracks_surviving_nodes() {
+        // Satellite: losing a node mid-job must shrink the tail forcing
+        // threshold to the surviving cluster instead of stalling the job.
+        let mut cfg_t = ClusterConfig::small(4, Scheduler::TailScheduling);
+        cfg_t.map_slots_per_node = 4;
+        cfg_t.faults.node_crashes = vec![(3, 8.0)];
+        let mut cfg_g = cfg_t.clone();
+        cfg_g.scheduler = Scheduler::GpuFirst;
+        let job = JobSpec::uniform("j", 200, 4, 2, 4.0, 1.0);
+        let t = simulate(&cfg_t, &job);
+        let g = simulate(&cfg_g, &job);
+        assert!(!t.aborted);
+        assert_eq!(t.completed_maps(), 200);
+        assert_eq!(t.nodes_lost, 1);
+        // Recovery happened: work succeeded after the crash was detected.
+        let detected = t.node_loss_detected[0].1;
+        assert!(t
+            .tasks
+            .iter()
+            .any(|r| r.succeeded() && r.end_s.unwrap() > detected));
+        // With the threshold recomputed from 3 live nodes, tail stays
+        // competitive with GPU-first under the same crash.
+        assert!(
+            t.makespan_s <= g.makespan_s * 1.10 + 2.0 * cfg_t.heartbeat_s,
+            "tail-under-crash {t} vs gpu-first-under-crash {g}",
+            t = t.makespan_s,
+            g = g.makespan_s
+        );
     }
 }

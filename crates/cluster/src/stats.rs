@@ -1,4 +1,6 @@
-//! Job execution statistics gathered by the simulator.
+//! Job execution statistics gathered by the simulator, now tracking one
+//! record per *attempt* so re-execution, speculation, and wasted work are
+//! first-class measurements.
 
 use hetero_hdfs::Locality;
 use serde::{Deserialize, Serialize};
@@ -13,19 +15,53 @@ pub enum Device {
     Gpu,
 }
 
-/// Execution record of one map task.
+/// How a map-task attempt ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Outcome {
+    /// Still running when the simulation ended (aborted jobs).
+    Running,
+    /// Finished and won the task.
+    Success,
+    /// Died mid-run with a transient error (child JVM exit).
+    TransientFail,
+    /// Input read hit a corrupt replica; the attempt failed fast.
+    ChecksumFail,
+    /// The executing GPU faulted under the attempt.
+    GpuFault,
+    /// The executing TaskTracker was declared dead.
+    NodeLost,
+    /// Killed because another attempt of the task finished first.
+    SpeculativeKilled,
+}
+
+/// Execution record of one map-task *attempt*.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct TaskRecord {
     /// Task id.
     pub id: u32,
+    /// Attempt number for this task (0 = first attempt).
+    pub attempt: u32,
     /// Executing node.
     pub node: u32,
     /// Device class.
     pub device: Device,
+    /// Whether this was a speculative backup attempt.
+    pub speculative: bool,
     /// Assignment time (for queued GPU tasks: when queued).
     pub start_s: f64,
-    /// Completion time (NaN until finished).
-    pub end_s: f64,
+    /// Completion time; `None` until the attempt ends. (A previous
+    /// revision used an `f64::NAN` sentinel, which serializes to JSON
+    /// `null` and breaks round-trips — hence the `Option`.)
+    pub end_s: Option<f64>,
+    /// How the attempt ended.
+    pub outcome: Outcome,
+}
+
+impl TaskRecord {
+    /// Whether this attempt completed successfully.
+    pub fn succeeded(&self) -> bool {
+        self.outcome == Outcome::Success
+    }
 }
 
 /// Statistics of one simulated job run.
@@ -47,8 +83,34 @@ pub struct JobStats {
     pub rack_local: u32,
     /// Off-rack map assignments.
     pub off_rack: u32,
-    /// Per-task execution records.
+    /// Per-attempt execution records.
     pub tasks: Vec<TaskRecord>,
+    /// Map attempts that failed (transient, checksum, or GPU fault; lost
+    /// and speculatively killed attempts are not failures).
+    pub failed_attempts: u32,
+    /// Completed map tasks re-executed because their node was lost
+    /// (their map outputs died with the TaskTracker).
+    pub re_executed: u32,
+    /// Speculative backup attempts launched.
+    pub speculative_attempts: u32,
+    /// Seconds burned by speculative attempts that lost the race.
+    pub speculative_wasted_s: f64,
+    /// Total seconds burned by attempts that did not win their task
+    /// (failed, lost, and speculatively killed).
+    pub wasted_work_s: f64,
+    /// TaskTrackers declared dead and blacklisted.
+    pub nodes_lost: u32,
+    /// `(node, detected_at_s)` for each lost TaskTracker.
+    pub node_loss_detected: Vec<(u32, f64)>,
+    /// GPU device faults observed.
+    pub gpu_faults_seen: u32,
+    /// Corrupt-replica reads detected by checksum.
+    pub checksum_failures: u32,
+    /// Running reduce attempts lost to node death and re-queued.
+    pub reduce_attempts_lost: u32,
+    /// Whether the job aborted (a task exhausted `max_attempts`, or no
+    /// live node remained to finish the work).
+    pub aborted: bool,
     reduces_finished: Vec<(u32, f64)>,
     reduce_done_set: HashSet<u32>,
 }
@@ -65,6 +127,17 @@ impl JobStats {
             rack_local: 0,
             off_rack: 0,
             tasks: Vec::new(),
+            failed_attempts: 0,
+            re_executed: 0,
+            speculative_attempts: 0,
+            speculative_wasted_s: 0.0,
+            wasted_work_s: 0.0,
+            nodes_lost: 0,
+            node_loss_detected: Vec::new(),
+            gpu_faults_seen: 0,
+            checksum_failures: 0,
+            reduce_attempts_lost: 0,
+            aborted: false,
             reduces_finished: Vec::new(),
             reduce_done_set: HashSet::new(),
         }
@@ -78,25 +151,48 @@ impl JobStats {
         }
     }
 
-    pub(crate) fn start_task(&mut self, id: u32, node: u32, device: Device, t: f64) {
+    /// Record the start of an attempt; returns its record index.
+    pub(crate) fn start_attempt(
+        &mut self,
+        id: u32,
+        attempt: u32,
+        node: u32,
+        device: Device,
+        speculative: bool,
+        t: f64,
+    ) -> usize {
         self.tasks.push(TaskRecord {
             id,
+            attempt,
             node,
             device,
+            speculative,
             start_s: t,
-            end_s: f64::NAN,
+            end_s: None,
+            outcome: Outcome::Running,
         });
+        self.tasks.len() - 1
     }
 
-    pub(crate) fn finish_task(&mut self, id: u32, t: f64, device: Device) {
-        if let Some(rec) = self
-            .tasks
-            .iter_mut()
-            .rev()
-            .find(|r| r.id == id && r.end_s.is_nan())
-        {
-            rec.end_s = t;
-            rec.device = device;
+    /// Record the end of an attempt (by record index).
+    pub(crate) fn finish_attempt(&mut self, rec: usize, t: f64, outcome: Outcome) {
+        let r = &mut self.tasks[rec];
+        r.end_s = Some(t);
+        r.outcome = outcome;
+        let elapsed = (t - r.start_s).max(0.0);
+        match outcome {
+            Outcome::Success | Outcome::Running => {}
+            Outcome::SpeculativeKilled => {
+                self.wasted_work_s += elapsed;
+                if r.speculative {
+                    self.speculative_wasted_s += elapsed;
+                }
+            }
+            Outcome::NodeLost => self.wasted_work_s += elapsed,
+            Outcome::TransientFail | Outcome::ChecksumFail | Outcome::GpuFault => {
+                self.failed_attempts += 1;
+                self.wasted_work_s += elapsed;
+            }
         }
     }
 
@@ -113,9 +209,14 @@ impl JobStats {
         }
     }
 
-    /// Completed map tasks.
+    /// Completed map tasks (unique tasks with a winning attempt).
     pub fn completed_maps(&self) -> usize {
-        self.tasks.iter().filter(|t| !t.end_s.is_nan()).count()
+        self.tasks
+            .iter()
+            .filter(|t| t.succeeded())
+            .map(|t| t.id)
+            .collect::<HashSet<_>>()
+            .len()
     }
 
     /// Completed reduce tasks.
@@ -123,19 +224,30 @@ impl JobStats {
         self.reduces_finished.len()
     }
 
-    /// Map tasks that ran on a GPU.
+    /// Total map attempts started.
+    pub fn map_attempts(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Map attempts beyond each task's first (the retry/recovery volume).
+    pub fn extra_attempts(&self) -> usize {
+        let unique: HashSet<u32> = self.tasks.iter().map(|t| t.id).collect();
+        self.tasks.len() - unique.len()
+    }
+
+    /// Winning map attempts that ran on a GPU.
     pub fn gpu_tasks(&self) -> usize {
         self.tasks
             .iter()
-            .filter(|t| t.device == Device::Gpu && !t.end_s.is_nan())
+            .filter(|t| t.device == Device::Gpu && t.succeeded())
             .count()
     }
 
-    /// Map tasks that ran on CPU slots.
+    /// Winning map attempts that ran on CPU slots.
     pub fn cpu_tasks(&self) -> usize {
         self.tasks
             .iter()
-            .filter(|t| t.device == Device::Cpu && !t.end_s.is_nan())
+            .filter(|t| t.device == Device::Cpu && t.succeeded())
             .count()
     }
 }
@@ -145,17 +257,45 @@ mod tests {
     use super::*;
 
     #[test]
-    fn task_lifecycle() {
+    fn attempt_lifecycle() {
         let mut s = JobStats::new("t");
-        s.start_task(0, 1, Device::Cpu, 0.0);
-        s.start_task(1, 1, Device::Gpu, 0.0);
+        let a = s.start_attempt(0, 0, 1, Device::Cpu, false, 0.0);
+        let b = s.start_attempt(1, 0, 1, Device::Gpu, false, 0.0);
         assert_eq!(s.completed_maps(), 0);
-        s.finish_task(0, 5.0, Device::Cpu);
+        s.finish_attempt(a, 5.0, Outcome::Success);
         assert_eq!(s.completed_maps(), 1);
         assert_eq!(s.cpu_tasks(), 1);
         assert_eq!(s.gpu_tasks(), 0);
-        s.finish_task(1, 2.0, Device::Gpu);
+        s.finish_attempt(b, 2.0, Outcome::Success);
         assert_eq!(s.gpu_tasks(), 1);
+    }
+
+    #[test]
+    fn end_s_is_none_until_finished() {
+        let mut s = JobStats::new("t");
+        let a = s.start_attempt(0, 0, 1, Device::Cpu, false, 1.0);
+        assert_eq!(s.tasks[a].end_s, None);
+        s.finish_attempt(a, 4.0, Outcome::Success);
+        assert_eq!(s.tasks[a].end_s, Some(4.0));
+    }
+
+    #[test]
+    fn failures_and_waste_accounting() {
+        let mut s = JobStats::new("t");
+        let a = s.start_attempt(0, 0, 1, Device::Cpu, false, 0.0);
+        s.finish_attempt(a, 3.0, Outcome::TransientFail);
+        let b = s.start_attempt(0, 1, 2, Device::Cpu, false, 3.0);
+        s.finish_attempt(b, 9.0, Outcome::Success);
+        // A speculative backup that lost.
+        let c = s.start_attempt(1, 0, 1, Device::Cpu, false, 0.0);
+        let d = s.start_attempt(1, 1, 2, Device::Cpu, true, 4.0);
+        s.finish_attempt(c, 8.0, Outcome::Success);
+        s.finish_attempt(d, 8.0, Outcome::SpeculativeKilled);
+        assert_eq!(s.failed_attempts, 1);
+        assert_eq!(s.completed_maps(), 2);
+        assert_eq!(s.extra_attempts(), 2);
+        assert!((s.wasted_work_s - 7.0).abs() < 1e-9);
+        assert!((s.speculative_wasted_s - 4.0).abs() < 1e-9);
     }
 
     #[test]

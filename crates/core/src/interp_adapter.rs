@@ -61,12 +61,7 @@ impl Combiner for InterpCombiner {
     fn combine(&self, run: &[(&[u8], &[u8])], out: &mut dyn Emit) {
         let kvs: Vec<(Vec<u8>, Vec<u8>)> = run
             .iter()
-            .map(|(k, v)| {
-                (
-                    k.to_vec(),
-                    hetero_runtime::types::trim_key(v).to_vec(),
-                )
-            })
+            .map(|(k, v)| (k.to_vec(), hetero_runtime::types::trim_key(v).to_vec()))
             .collect();
         let mut io = StreamIo::kvs(kvs);
         if let Ok(stats) = Interp::new(&self.compiled.program).run_main(&mut io) {
@@ -98,7 +93,9 @@ mod tests {
         fn read_ro(&mut self, _: u64) {}
     }
 
-    fn run_both(app: &dyn App, records: usize, seed: u64) -> (Vec<(Vec<u8>, Vec<u8>)>, Vec<(Vec<u8>, Vec<u8>)>) {
+    type Pairs = Vec<(Vec<u8>, Vec<u8>)>;
+
+    fn run_both(app: &dyn App, records: usize, seed: u64) -> (Pairs, Pairs) {
         let split = app.generate_split(records, seed);
         let native = app.mapper();
         let compiled = Arc::new(hetero_cc::compile(app.mapper_source()).unwrap());
@@ -124,7 +121,10 @@ mod tests {
     fn interpreted_wc_mapper_matches_native() {
         let app = app_by_code("WC").unwrap();
         let (native, interp) = run_both(app.as_ref(), 60, 5);
-        assert_eq!(native, interp, "WC native and interpreted KV streams differ");
+        assert_eq!(
+            native, interp,
+            "WC native and interpreted KV streams differ"
+        );
     }
 
     #[test]

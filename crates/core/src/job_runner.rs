@@ -22,6 +22,9 @@ pub struct FunctionalJob {
     pub map_tasks: usize,
     /// Map tasks that ran on the GPU.
     pub gpu_tasks: usize,
+    /// Map tasks meant for the GPU that fell back to the CPU because the
+    /// device was faulted (graceful degradation, not job failure).
+    pub gpu_fallbacks: usize,
     /// Total simulated task seconds (map + reduce; not a makespan —
     /// placement is the DES's job).
     pub task_seconds: f64,
@@ -37,6 +40,21 @@ pub fn run_functional_job(
     gpu_every: usize,
     opts: OptFlags,
 ) -> Result<FunctionalJob, GpuError> {
+    let dev = Device::new(preset.gpu.clone());
+    run_functional_job_on(app, preset, input, gpu_every, opts, &dev)
+}
+
+/// Like [`run_functional_job`] but on a caller-supplied [`Device`], so a
+/// device fault can be injected (`Device::inject_fault`) to exercise the
+/// GPU→CPU degradation path.
+pub fn run_functional_job_on(
+    app: &dyn App,
+    preset: &Preset,
+    input: &[u8],
+    gpu_every: usize,
+    opts: OptFlags,
+    dev: &Device,
+) -> Result<FunctionalJob, GpuError> {
     let fs = Hdfs::new(
         Topology::new(preset.cluster.num_slaves, preset.cluster.nodes_per_rack),
         preset.hdfs_block,
@@ -50,13 +68,14 @@ pub fn run_functional_job(
     let cfg = crate::pipeline::task_config(app, preset, opts);
     let mapper = app.mapper();
     let combiner = app.combiner();
-    let dev = Device::new(preset.gpu.clone());
 
     let nr = cfg.num_reducers.max(1) as usize;
     // Per-reduce-partition inputs: one sorted run per map task.
-    let mut shuffle: Vec<Vec<Vec<(Vec<u8>, Vec<u8>)>>> = vec![Vec::new(); nr];
+    type SortedRun = Vec<(Vec<u8>, Vec<u8>)>;
+    let mut shuffle: Vec<Vec<SortedRun>> = vec![Vec::new(); nr];
     let mut task_seconds = 0.0;
     let mut gpu_tasks = 0usize;
+    let mut gpu_fallbacks = 0usize;
 
     for (i, split) in splits.iter().enumerate() {
         // Hadoop record semantics: a task reads past its split end to
@@ -64,16 +83,29 @@ pub fn run_functional_job(
         let (lo, hi) = reader::fetch_range(&file, split.offset, split.len);
         let task_input = &file[lo as usize..hi as usize];
         let on_gpu = gpu_every > 0 && i % gpu_every == 0;
-        let partitions = if on_gpu {
-            gpu_tasks += 1;
-            let r = run_gpu_task(
-                &dev,
+        // A faulted device degrades the task to the CPU path instead of
+        // failing the job — output must stay identical either way.
+        let gpu_result = if on_gpu {
+            match run_gpu_task(
+                dev,
                 &preset.env,
                 task_input,
                 mapper.as_ref(),
                 combiner.as_deref(),
                 &cfg,
-            )?;
+            ) {
+                Ok(r) => Some(r),
+                Err(GpuError::DeviceFault(_)) => {
+                    gpu_fallbacks += 1;
+                    None
+                }
+                Err(e) => return Err(e),
+            }
+        } else {
+            None
+        };
+        let partitions = if let Some(r) = gpu_result {
+            gpu_tasks += 1;
             task_seconds += r.breakdown.total_s();
             r.partitions
         } else {
@@ -109,8 +141,7 @@ pub fn run_functional_job(
         }
         _ => {
             for part_inputs in shuffle {
-                let mut flat: Vec<(Vec<u8>, Vec<u8>)> =
-                    part_inputs.into_iter().flatten().collect();
+                let mut flat: Vec<(Vec<u8>, Vec<u8>)> = part_inputs.into_iter().flatten().collect();
                 flat.sort_by(|a, b| a.0.cmp(&b.0));
                 output.push(flat);
             }
@@ -128,6 +159,7 @@ pub fn run_functional_job(
         output,
         map_tasks: splits.len(),
         gpu_tasks,
+        gpu_fallbacks,
         task_seconds,
     })
 }
@@ -200,6 +232,36 @@ mod tests {
         let on = run_functional_job(app.as_ref(), &p, &input, 1, OptFlags::all()).unwrap();
         let off = run_functional_job(app.as_ref(), &p, &input, 1, OptFlags::none()).unwrap();
         assert_eq!(word_totals(&on), word_totals(&off));
+    }
+
+    #[test]
+    fn device_fault_degrades_to_cpu_with_identical_output() {
+        let app = hetero_apps::app_by_code("WC").unwrap();
+        let p = Preset::cluster1();
+        let input = app.generate_split(2000, 13);
+        let clean = run_functional_job(app.as_ref(), &p, &input, 2, OptFlags::all()).unwrap();
+        assert!(clean.gpu_tasks > 0);
+        assert_eq!(clean.gpu_fallbacks, 0);
+
+        let dev = Device::new(p.gpu.clone());
+        dev.inject_fault("xid 62: uncorrectable ECC error");
+        let faulted =
+            run_functional_job_on(app.as_ref(), &p, &input, 2, OptFlags::all(), &dev).unwrap();
+        assert_eq!(faulted.gpu_tasks, 0, "faulted device runs nothing");
+        assert_eq!(
+            faulted.gpu_fallbacks, clean.gpu_tasks,
+            "every GPU-designated task must fall back to the CPU"
+        );
+        // Byte-identical output, not just equal word totals.
+        assert_eq!(clean.output, faulted.output);
+
+        // A revived device stops degrading.
+        dev.revive();
+        let healed =
+            run_functional_job_on(app.as_ref(), &p, &input, 2, OptFlags::all(), &dev).unwrap();
+        assert_eq!(healed.gpu_fallbacks, 0);
+        assert_eq!(healed.gpu_tasks, clean.gpu_tasks);
+        assert_eq!(healed.output, clean.output);
     }
 
     #[test]

@@ -12,10 +12,10 @@ use crate::presets::Preset;
 use hetero_apps::App;
 use hetero_cluster::{simulate, JobSpec, JobStats, MapTaskSpec, ReduceTaskSpec, Scheduler};
 use hetero_gpusim::{Device, GpuError};
+use hetero_hdfs::NodeId;
 use hetero_runtime::cpu::run_cpu_task;
 use hetero_runtime::task::{run_gpu_task, GpuTaskConfig};
 use hetero_runtime::{OptFlags, TaskBreakdown};
-use hetero_hdfs::NodeId;
 
 /// Per-task measurement of one benchmark on one platform.
 #[derive(Debug, Clone)]
@@ -114,12 +114,7 @@ fn jitter(id: u32, amplitude: f64) -> f64 {
 ///
 /// Reduce-task durations are sized so that the map+combine phases cover
 /// the benchmark's Table 2 `%Exec` share of the CPU-only job.
-pub fn build_job(
-    app: &dyn App,
-    preset: &Preset,
-    m: &TaskMeasurement,
-    n_maps: u32,
-) -> JobSpec {
+pub fn build_job(app: &dyn App, preset: &Preset, m: &TaskMeasurement, n_maps: u32) -> JobSpec {
     let spec = app.spec();
     let n_nodes = preset.cluster.num_slaves;
     let repl = preset.replication.min(n_nodes);
@@ -239,17 +234,33 @@ mod tests {
         let p = Preset::cluster1();
         let m = measure_task(app.as_ref(), &p, OptFlags::all(), 2000, 1).unwrap();
         assert_eq!(m.records, 2000);
-        assert!(m.speedup > 1.0, "GPU task should beat one core: {}", m.speedup);
+        assert!(
+            m.speedup > 1.0,
+            "GPU task should beat one core: {}",
+            m.speedup
+        );
         assert!(m.gpu.total_s() > 0.0 && m.cpu.total_s() > 0.0);
     }
 
     #[test]
     fn compute_apps_speed_up_more_than_io_apps() {
         let p = Preset::cluster1();
-        let gr = measure_task(app_by_code("GR").unwrap().as_ref(), &p, OptFlags::all(), 2000, 1)
-            .unwrap();
-        let bs = measure_task(app_by_code("BS").unwrap().as_ref(), &p, OptFlags::all(), 2000, 1)
-            .unwrap();
+        let gr = measure_task(
+            app_by_code("GR").unwrap().as_ref(),
+            &p,
+            OptFlags::all(),
+            2000,
+            1,
+        )
+        .unwrap();
+        let bs = measure_task(
+            app_by_code("BS").unwrap().as_ref(),
+            &p,
+            OptFlags::all(),
+            2000,
+            1,
+        )
+        .unwrap();
         assert!(
             bs.speedup > 2.0 * gr.speedup,
             "BS {} should far exceed GR {}",
@@ -268,8 +279,7 @@ mod tests {
         assert!(job.maps.iter().all(|t| t.replicas.len() == 3));
         assert_eq!(job.reduces.len(), 48);
         // Jitter keeps durations near the measurement.
-        let mean: f64 =
-            job.maps.iter().map(|t| t.cpu_s).sum::<f64>() / job.maps.len() as f64;
+        let mean: f64 = job.maps.iter().map(|t| t.cpu_s).sum::<f64>() / job.maps.len() as f64;
         assert!((mean / (m.cpu.total_s() * SCALE_UP) - 1.0).abs() < 0.05);
     }
 

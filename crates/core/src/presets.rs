@@ -1,6 +1,6 @@
 //! The two evaluation platforms of the paper's Table 3.
 
-use hetero_cluster::{ClusterConfig, Scheduler};
+use hetero_cluster::{ClusterConfig, FaultPlan, Scheduler};
 use hetero_gpusim::GpuSpec;
 use hetero_runtime::cpu::CpuCostModel;
 use hetero_runtime::TaskEnv;
@@ -42,6 +42,9 @@ impl Preset {
                 reduce_start_frac: 0.2,
                 speculative: false,
                 shuffle_bw: 6e9, // FDR InfiniBand
+                max_attempts: 4,
+                heartbeat_timeout_s: 3.0,
+                faults: FaultPlan::none(),
             },
             gpu: GpuSpec::tesla_k40(),
             env: TaskEnv::disk(),
@@ -67,6 +70,9 @@ impl Preset {
                 reduce_start_frac: 0.2,
                 speculative: false,
                 shuffle_bw: 4e9, // QDR InfiniBand
+                max_attempts: 4,
+                heartbeat_timeout_s: 3.0,
+                faults: FaultPlan::none(),
             },
             gpu: GpuSpec::tesla_m2090(),
             env: TaskEnv::in_memory(),
@@ -109,8 +115,16 @@ impl Preset {
             format!("3x{} (Fermi)", c2.gpu.name),
         );
         row("Disk", "500GB".into(), "none (in-memory)".into());
-        row("Communication", "FDR InfiniBand".into(), "QDR InfiniBand".into());
-        row("Hadoop Version", "1.2.1 (simulated)".into(), "1.2.1 (simulated)".into());
+        row(
+            "Communication",
+            "FDR InfiniBand".into(),
+            "QDR InfiniBand".into(),
+        );
+        row(
+            "Hadoop Version",
+            "1.2.1 (simulated)".into(),
+            "1.2.1 (simulated)".into(),
+        );
         row(
             "HDFS Block Size",
             "256MB (scaled)".into(),

@@ -370,11 +370,7 @@ impl<'a> BlockCtx<'a> {
     /// (an unbalanced warp cannot be hidden), AND by the memory pipe.
     pub(crate) fn block_cycles(&self) -> f64 {
         let issue = self.spec.issue_width.max(1) as f64;
-        let chain = self
-            .warp_totals
-            .iter()
-            .cloned()
-            .fold(0.0f64, f64::max);
+        let chain = self.warp_totals.iter().cloned().fold(0.0f64, f64::max);
         (self.compute_cycles / issue)
             .max(chain)
             .max(self.memory_cycles())

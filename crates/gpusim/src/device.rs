@@ -317,7 +317,9 @@ mod tests {
                 Ok(())
             })
             .unwrap();
-        let floor = dev.spec().bandwidth_floor_seconds(stats.counters.dram_bytes);
+        let floor = dev
+            .spec()
+            .bandwidth_floor_seconds(stats.counters.dram_bytes);
         assert!(stats.time_s >= floor);
     }
 

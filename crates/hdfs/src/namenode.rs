@@ -2,9 +2,15 @@
 //!
 //! For simulation purposes a single structure plays the roles of NameNode
 //! (path → block list, replica placement) and the DataNodes' storage
-//! (block id → bytes). Placement follows Hadoop's default policy: the
-//! first replica on a "writer" node chosen round-robin, the second on a
-//! different rack, the third on the second replica's rack.
+//! (block id → per-replica bytes). Placement follows Hadoop's default
+//! policy: the first replica on a "writer" node chosen round-robin, the
+//! second on a different rack, the third on the second replica's rack —
+//! skipping dead nodes throughout.
+//!
+//! Reads are checksum-verified per replica: a CRC-32 mismatch or a dead
+//! DataNode fails the read over to the next replica, the bad replica is
+//! dropped from the block map, and the block is re-replicated from a
+//! healthy copy, mirroring Hadoop's corrupt-replica handling.
 
 use crate::checksum::crc32;
 use crate::error::HdfsError;
@@ -37,12 +43,30 @@ pub struct FileSplit {
     pub checksum: u32,
 }
 
+/// Filesystem health counters (fault-recovery observability).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HdfsHealth {
+    /// Replica reads rejected by the CRC-32 check.
+    pub checksum_events: u64,
+    /// Replicas copied to restore the replication factor.
+    pub re_replications: u64,
+    /// Reads served by a non-first replica (dead or bad primary).
+    pub failovers: u64,
+    /// Nodes currently marked dead.
+    pub dead_nodes: u32,
+}
+
 #[derive(Debug, Default)]
 struct Inner {
     files: BTreeMap<String, Vec<BlockId>>,
     splits: HashMap<BlockId, FileSplit>,
-    data: HashMap<BlockId, Bytes>,
+    /// Per-replica stored bytes. `Bytes` is Arc-backed, so healthy
+    /// replicas of one block share a single buffer.
+    data: HashMap<BlockId, HashMap<NodeId, Bytes>>,
     dead_nodes: HashSet<NodeId>,
+    checksum_events: u64,
+    re_replications: u64,
+    failovers: u64,
     next_block: u64,
 }
 
@@ -88,15 +112,19 @@ impl Hdfs {
     }
 
     /// Write a new file, splitting `contents` into blocks and placing
-    /// replicas. HDFS files are write-once; rewriting a path is an error.
+    /// replicas on live nodes. HDFS files are write-once; rewriting a
+    /// path is an error.
     pub fn put(&self, path: &str, contents: &[u8]) -> Result<Vec<FileSplit>, HdfsError> {
         let mut inner = self.inner.write();
         if inner.files.contains_key(path) {
             return Err(HdfsError::AlreadyExists(path.to_string()));
         }
+        let n_nodes = self.topology.num_nodes();
+        if (inner.dead_nodes.len() as u32) >= n_nodes {
+            return Err(HdfsError::NoLiveNodes);
+        }
         let mut ids = Vec::new();
         let mut splits_out = Vec::new();
-        let n_nodes = self.topology.num_nodes();
         let chunks: Vec<&[u8]> = if contents.is_empty() {
             vec![&[][..]]
         } else {
@@ -105,20 +133,27 @@ impl Hdfs {
         for (i, chunk) in chunks.iter().enumerate() {
             let id = BlockId(inner.next_block);
             inner.next_block += 1;
-            // Default placement: writer node round-robin by block id, then
-            // spread across racks.
-            let first = NodeId((id.0 as u32).wrapping_mul(2654435761) % n_nodes);
-            let replicas = self.place_replicas(first);
+            // Default placement: writer node round-robin by block id
+            // (skipping dead nodes), then spread across racks.
+            let seed = NodeId((id.0 as u32).wrapping_mul(2654435761) % n_nodes);
+            let first = (0..n_nodes)
+                .map(|k| NodeId((seed.0 + k) % n_nodes))
+                .find(|c| !inner.dead_nodes.contains(c))
+                .expect("checked above: at least one live node");
+            let replicas = self.place_replicas(first, &inner.dead_nodes);
+            let bytes = Bytes::copy_from_slice(chunk);
             let split = FileSplit {
                 id,
                 path: path.to_string(),
                 index: i as u32,
                 offset: i as u64 * self.block_size,
                 len: chunk.len() as u64,
-                replicas,
+                replicas: replicas.clone(),
                 checksum: crc32(chunk),
             };
-            inner.data.insert(id, Bytes::copy_from_slice(chunk));
+            let copies: HashMap<NodeId, Bytes> =
+                replicas.iter().map(|&r| (r, bytes.clone())).collect();
+            inner.data.insert(id, copies);
             inner.splits.insert(id, split.clone());
             ids.push(id);
             splits_out.push(split);
@@ -127,15 +162,17 @@ impl Hdfs {
         Ok(splits_out)
     }
 
-    fn place_replicas(&self, first: NodeId) -> Vec<NodeId> {
+    fn place_replicas(&self, first: NodeId, dead: &HashSet<NodeId>) -> Vec<NodeId> {
         let n = self.topology.num_nodes();
         let first_rack = self.topology.rack_of(first);
         let mut replicas = vec![first];
-        // Second replica: first node found on a different rack.
+        let usable =
+            |c: &NodeId, replicas: &Vec<NodeId>| !replicas.contains(c) && !dead.contains(c);
+        // Second replica: first live node found on a different rack.
         if self.replication >= 2 {
             let second = (0..n)
                 .map(|k| NodeId((first.0 + 1 + k) % n))
-                .find(|&c| self.topology.rack_of(c) != first_rack && !replicas.contains(&c));
+                .find(|c| usable(c, &replicas) && self.topology.rack_of(*c) != first_rack);
             if let Some(s) = second {
                 replicas.push(s);
             }
@@ -146,11 +183,11 @@ impl Hdfs {
             let anchor_rack = self.topology.rack_of(anchor);
             let next = (0..n)
                 .map(|k| NodeId((anchor.0 + 1 + k) % n))
-                .find(|c| !replicas.contains(c) && self.topology.rack_of(*c) == anchor_rack)
+                .find(|c| usable(c, &replicas) && self.topology.rack_of(*c) == anchor_rack)
                 .or_else(|| {
                     (0..n)
                         .map(|k| NodeId((anchor.0 + 1 + k) % n))
-                        .find(|c| !replicas.contains(c))
+                        .find(|c| usable(c, &replicas))
                 });
             match next {
                 Some(nx) => replicas.push(nx),
@@ -170,24 +207,96 @@ impl Hdfs {
         Ok(ids.iter().map(|id| inner.splits[id].clone()).collect())
     }
 
-    /// Read one block, verifying its checksum. Fails if every replica
-    /// lives on a dead node.
+    /// Read one block with per-replica CRC-32 verification.
+    ///
+    /// Replicas are tried in placement order: dead nodes are skipped, a
+    /// checksum mismatch drops the bad replica and fails over to the
+    /// next one, and a successful read re-replicates the block if the
+    /// replication factor degraded. Errors only when no healthy live
+    /// replica remains.
     pub fn read_block(&self, id: BlockId) -> Result<Bytes, HdfsError> {
-        let inner = self.inner.read();
-        let split = inner.splits.get(&id).ok_or(HdfsError::BlockMissing(id.0))?;
-        if split.replicas.iter().all(|r| inner.dead_nodes.contains(r)) {
-            return Err(HdfsError::AllReplicasLost(id.0));
+        let mut inner = self.inner.write();
+        let split = inner
+            .splits
+            .get(&id)
+            .ok_or(HdfsError::BlockMissing(id.0))?
+            .clone();
+        let mut bad: Vec<NodeId> = Vec::new();
+        let mut last_corrupt: Option<HdfsError> = None;
+        let mut healthy: Option<(NodeId, Bytes)> = None;
+        for (i, &r) in split.replicas.iter().enumerate() {
+            if inner.dead_nodes.contains(&r) {
+                if i == 0 {
+                    inner.failovers += 1;
+                }
+                continue;
+            }
+            let Some(bytes) = inner.data.get(&id).and_then(|m| m.get(&r)).cloned() else {
+                continue;
+            };
+            let actual = crc32(&bytes);
+            if actual != split.checksum {
+                // Corrupt replica: record, drop it, fail over.
+                inner.checksum_events += 1;
+                if i == 0 {
+                    inner.failovers += 1;
+                }
+                bad.push(r);
+                last_corrupt = Some(HdfsError::ChecksumMismatch {
+                    block: id.0,
+                    expected: split.checksum,
+                    actual,
+                });
+                continue;
+            }
+            healthy = Some((r, bytes));
+            break;
         }
-        let data = inner.data.get(&id).ok_or(HdfsError::BlockMissing(id.0))?;
-        let actual = crc32(data);
-        if actual != split.checksum {
-            return Err(HdfsError::ChecksumMismatch {
-                block: id.0,
-                expected: split.checksum,
-                actual,
-            });
+        // Drop corrupt replicas from the block map.
+        if !bad.is_empty() {
+            if let Some(s) = inner.splits.get_mut(&id) {
+                s.replicas.retain(|r| !bad.contains(r));
+            }
+            if let Some(m) = inner.data.get_mut(&id) {
+                for r in &bad {
+                    m.remove(r);
+                }
+            }
         }
-        Ok(data.clone())
+        match healthy {
+            Some((source, bytes)) => {
+                self.re_replicate(&mut inner, id, source, &bytes);
+                Ok(bytes)
+            }
+            None => Err(last_corrupt.unwrap_or(HdfsError::AllReplicasLost(id.0))),
+        }
+    }
+
+    /// Restore the replication factor of `id` by copying `bytes` from
+    /// `source` onto live nodes that hold no replica.
+    fn re_replicate(&self, inner: &mut Inner, id: BlockId, source: NodeId, bytes: &Bytes) {
+        let n = self.topology.num_nodes();
+        loop {
+            let Some(split) = inner.splits.get(&id) else {
+                return;
+            };
+            let live_replicas = split
+                .replicas
+                .iter()
+                .filter(|r| !inner.dead_nodes.contains(r))
+                .count() as u32;
+            let live_nodes = n - inner.dead_nodes.len() as u32;
+            if live_replicas >= self.replication.min(live_nodes) {
+                return;
+            }
+            let target = (0..n)
+                .map(|k| NodeId((source.0 + 1 + k) % n))
+                .find(|c| !inner.dead_nodes.contains(c) && !split.replicas.contains(c));
+            let Some(t) = target else { return };
+            inner.splits.get_mut(&id).unwrap().replicas.push(t);
+            inner.data.entry(id).or_default().insert(t, bytes.clone());
+            inner.re_replications += 1;
+        }
     }
 
     /// Read an entire file back.
@@ -217,7 +326,8 @@ impl Hdfs {
     }
 
     /// Mark a node dead (fault injection); its replicas become
-    /// unavailable.
+    /// unavailable until it is revived or the blocks re-replicate on
+    /// the next verified read.
     pub fn kill_node(&self, node: NodeId) {
         self.inner.write().dead_nodes.insert(node);
     }
@@ -227,23 +337,64 @@ impl Hdfs {
         self.inner.write().dead_nodes.remove(&node);
     }
 
-    /// Corrupt a block in place (fault injection for checksum tests).
+    /// Whether a node is currently marked dead.
+    pub fn is_dead(&self, node: NodeId) -> bool {
+        self.inner.read().dead_nodes.contains(&node)
+    }
+
+    /// Corrupt one replica of a block (fault injection for checksum
+    /// tests). Defaults to the first replica; reads recover from the
+    /// others.
     pub fn corrupt_block(&self, id: BlockId) -> Result<(), HdfsError> {
+        let first = {
+            let inner = self.inner.read();
+            let split = inner.splits.get(&id).ok_or(HdfsError::BlockMissing(id.0))?;
+            *split
+                .replicas
+                .first()
+                .ok_or(HdfsError::AllReplicasLost(id.0))?
+        };
+        self.corrupt_replica(id, first)
+    }
+
+    /// Corrupt a specific replica of a block.
+    pub fn corrupt_replica(&self, id: BlockId, node: NodeId) -> Result<(), HdfsError> {
         let mut inner = self.inner.write();
-        let data = inner.data.get(&id).ok_or(HdfsError::BlockMissing(id.0))?;
-        let mut v = data.to_vec();
+        let copies = inner
+            .data
+            .get_mut(&id)
+            .ok_or(HdfsError::BlockMissing(id.0))?;
+        let bytes = copies.get(&node).ok_or(HdfsError::UnknownNode(node.0))?;
+        let mut v = bytes.to_vec();
         if v.is_empty() {
             v.push(0xFF);
         } else {
             v[0] ^= 0xFF;
         }
-        inner.data.insert(id, Bytes::from(v));
+        copies.insert(node, Bytes::from(v));
         Ok(())
     }
 
-    /// Total bytes stored (one copy; replicas share the simulated store).
+    /// Fault-recovery health counters.
+    pub fn health(&self) -> HdfsHealth {
+        let inner = self.inner.read();
+        HdfsHealth {
+            checksum_events: inner.checksum_events,
+            re_replications: inner.re_replications,
+            failovers: inner.failovers,
+            dead_nodes: inner.dead_nodes.len() as u32,
+        }
+    }
+
+    /// Total bytes stored across every replica.
     pub fn used_bytes(&self) -> u64 {
-        self.inner.read().data.values().map(|d| d.len() as u64).sum()
+        self.inner
+            .read()
+            .data
+            .values()
+            .flat_map(|m| m.values())
+            .map(|d| d.len() as u64)
+            .sum()
     }
 }
 
@@ -279,7 +430,11 @@ mod tests {
                 .iter()
                 .map(|&r| fs.topology().rack_of(r))
                 .collect();
-            assert!(racks.len() >= 2, "replicas should span racks: {:?}", s.replicas);
+            assert!(
+                racks.len() >= 2,
+                "replicas should span racks: {:?}",
+                s.replicas
+            );
         }
     }
 
@@ -287,13 +442,19 @@ mod tests {
     fn write_once_semantics() {
         let fs = fs();
         fs.put("/x", b"abc").unwrap();
-        assert!(matches!(fs.put("/x", b"def"), Err(HdfsError::AlreadyExists(_))));
+        assert!(matches!(
+            fs.put("/x", b"def"),
+            Err(HdfsError::AlreadyExists(_))
+        ));
     }
 
     #[test]
     fn missing_file_errors() {
         let fs = fs();
-        assert!(matches!(fs.splits("/nope"), Err(HdfsError::FileNotFound(_))));
+        assert!(matches!(
+            fs.splits("/nope"),
+            Err(HdfsError::FileNotFound(_))
+        ));
     }
 
     #[test]
@@ -312,14 +473,81 @@ mod tests {
     }
 
     #[test]
-    fn corruption_detected_by_checksum() {
+    fn corrupt_replica_fails_over_and_heals() {
         let fs = fs();
         let splits = fs.put("/f", b"some data here").unwrap();
-        fs.corrupt_block(splits[0].id).unwrap();
+        let id = splits[0].id;
+        fs.corrupt_block(id).unwrap();
+        // The read survives via the second replica...
+        assert_eq!(&fs.read_block(id).unwrap()[..], b"some data here");
+        let h = fs.health();
+        assert_eq!(h.checksum_events, 1);
+        assert_eq!(h.failovers, 1);
+        // ...and the bad replica was replaced to restore the factor.
+        assert_eq!(h.re_replications, 1);
+        let healed = fs.splits("/f").unwrap();
+        assert_eq!(healed[0].replicas.len(), 3);
+        assert!(!healed[0].replicas.contains(&splits[0].replicas[0]));
+        // Subsequent reads are clean.
+        assert_eq!(&fs.read_block(id).unwrap()[..], b"some data here");
+        assert_eq!(fs.health().checksum_events, 1);
+    }
+
+    #[test]
+    fn all_replicas_corrupt_is_an_error() {
+        let fs = fs();
+        let splits = fs.put("/f", b"doomed").unwrap();
+        let id = splits[0].id;
+        for &r in &splits[0].replicas {
+            fs.corrupt_replica(id, r).unwrap();
+        }
         assert!(matches!(
-            fs.read_block(splits[0].id),
+            fs.read_block(id),
             Err(HdfsError::ChecksumMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn dead_node_read_fails_over_and_rereplicates() {
+        let fs = fs();
+        let splits = fs.put("/f", b"payload").unwrap();
+        let id = splits[0].id;
+        let primary = splits[0].replicas[0];
+        fs.kill_node(primary);
+        assert_eq!(&fs.read_block(id).unwrap()[..], b"payload");
+        let h = fs.health();
+        assert_eq!(h.failovers, 1);
+        assert_eq!(h.re_replications, 1, "factor restored on a live node");
+        let healed = fs.splits("/f").unwrap();
+        let live = healed[0]
+            .replicas
+            .iter()
+            .filter(|&&r| !fs.is_dead(r))
+            .count();
+        assert_eq!(live as u32, fs.replication());
+    }
+
+    #[test]
+    fn placement_avoids_dead_nodes() {
+        // Satellite: dead_nodes must steer replica placement, not just
+        // reads.
+        let fs = fs();
+        fs.kill_node(NodeId(0));
+        fs.kill_node(NodeId(3));
+        let splits = fs.put("/f", &[7u8; 900]).unwrap();
+        for s in &splits {
+            assert_eq!(s.replicas.len(), 3);
+            assert!(
+                !s.replicas.contains(&NodeId(0)) && !s.replicas.contains(&NodeId(3)),
+                "replica placed on a dead node: {:?}",
+                s.replicas
+            );
+        }
+        // A fully-dead cluster cannot accept writes.
+        let tiny = Hdfs::new(Topology::new(2, 2), 100, 1).unwrap();
+        tiny.kill_node(NodeId(0));
+        tiny.kill_node(NodeId(1));
+        assert!(matches!(tiny.put("/g", b"x"), Err(HdfsError::NoLiveNodes)));
     }
 
     #[test]
@@ -328,7 +556,10 @@ mod tests {
         let splits = fs.put("/f", &[0u8; 500]).unwrap();
         for s in &splits {
             let local = s.replicas[0];
-            assert_eq!(fs.topology().locality(local, &s.replicas), Locality::NodeLocal);
+            assert_eq!(
+                fs.topology().locality(local, &s.replicas),
+                Locality::NodeLocal
+            );
         }
     }
 
@@ -362,5 +593,12 @@ mod tests {
             Hdfs::new(Topology::new(2, 2), 100, 5),
             Err(HdfsError::BadReplication(5))
         ));
+    }
+
+    #[test]
+    fn used_bytes_counts_every_replica() {
+        let fs = fs();
+        fs.put("/f", &[1u8; 100]).unwrap();
+        assert_eq!(fs.used_bytes(), 300); // 100 bytes x 3 replicas
     }
 }

@@ -32,11 +32,7 @@ pub struct RecordSpan {
 ///
 /// Generic over the byte source so it works both on an in-memory file and
 /// on a split-plus-next-split pair.
-pub fn records_for_range(
-    file: &[u8],
-    offset: u64,
-    len: u64,
-) -> Vec<RecordSpan> {
+pub fn records_for_range(file: &[u8], offset: u64, len: u64) -> Vec<RecordSpan> {
     let file_len = file.len() as u64;
     let split_end = (offset + len).min(file_len);
     // Rule 1: skip the partial record at the head of non-first splits.

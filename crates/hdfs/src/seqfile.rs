@@ -31,9 +31,12 @@ pub fn encode<'a>(pairs: impl IntoIterator<Item = (&'a [u8], &'a [u8])>) -> Vec<
     out
 }
 
+/// Owned `(key, value)` pairs decoded from a SequenceFile.
+pub type KvPairs = Vec<(Vec<u8>, Vec<u8>)>;
+
 /// Decode SequenceFile bytes back into `(key, value)` pairs, verifying
 /// the checksum.
-pub fn decode(data: &[u8]) -> Result<Vec<(Vec<u8>, Vec<u8>)>, HdfsError> {
+pub fn decode(data: &[u8]) -> Result<KvPairs, HdfsError> {
     if data.len() < 16 || &data[0..4] != MAGIC {
         return Err(HdfsError::BadSequenceFile("missing magic".to_string()));
     }

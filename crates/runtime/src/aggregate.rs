@@ -45,7 +45,7 @@ pub fn aggregate(dev: &Device, store: &KvStore) -> Result<Aggregated, GpuError> 
                     let c = chunk.get(lane as usize).copied().unwrap_or(0) as u64;
                     t.gld(4, Access::Coalesced); // own count
                     t.gld(8, Access::Coalesced); // own prefix offset
-                    // One partition-tag read and one index store per pair.
+                                                 // One partition-tag read and one index store per pair.
                     t.gld(4 * c, Access::Coalesced);
                     t.gst(4 * c, Access::Coalesced);
                     t.alu(2 * c + 2);
@@ -109,8 +109,13 @@ mod tests {
 
     fn store_with_pairs() -> KvStore {
         let mut s = KvStore::new(4, 8, 8, 4, 3);
-        for (tid, key) in [(0, "apple"), (0, "pear"), (2, "plum"), (3, "fig"), (3, "date")]
-        {
+        for (tid, key) in [
+            (0, "apple"),
+            (0, "pear"),
+            (2, "plum"),
+            (3, "fig"),
+            (3, "date"),
+        ] {
             assert!(s.emit(tid, key.as_bytes(), b"1"));
         }
         s
@@ -149,11 +154,7 @@ mod tests {
         let un = unaggregated_partitions(&s);
         let total: usize = un.iter().map(|p| p.len()).sum();
         assert_eq!(total, s.total_slots()); // 4 threads * 8 slots
-        let whitespace = un
-            .iter()
-            .flatten()
-            .filter(|&&i| i == u32::MAX)
-            .count();
+        let whitespace = un.iter().flatten().filter(|&&i| i == u32::MAX).count();
         assert_eq!(whitespace, s.total_slots() - s.total_pairs());
     }
 

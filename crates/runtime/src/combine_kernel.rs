@@ -18,6 +18,9 @@ use crate::types::{trim_key, Combiner, Emit, OpCount};
 use hetero_gpusim::{Access, Device, GpuError, KernelStats};
 use std::sync::Mutex;
 
+/// Partially combined output of one threadblock: `(block_no, pairs)`.
+type BlockPairs = Vec<(usize, Vec<(Vec<u8>, Vec<u8>)>)>;
+
 /// Configuration for a combine-kernel launch over one partition.
 #[derive(Debug, Clone)]
 pub struct CombineConfig {
@@ -107,7 +110,7 @@ pub fn run_combine(
         .map(|(i, c)| (i, c.to_vec()))
         .collect();
 
-    let results: Mutex<Vec<(usize, Vec<(Vec<u8>, Vec<u8>)>)>> = Mutex::new(Vec::new());
+    let results: Mutex<BlockPairs> = Mutex::new(Vec::new());
     let vectorize = cfg.opts.vectorize_combine;
     let (key_len, val_len) = (cfg.key_len, cfg.val_len);
     let in_key = store.key_len;
@@ -120,7 +123,7 @@ pub fn run_combine(
             // Per-warp shared-memory buffers for the private arrays
             // (Listing 4 lines 9–10).
             blk.alloc_shared((warps_per_block * (key_len + in_key)) as u32)?;
-            let mut block_out: Vec<(usize, Vec<(Vec<u8>, Vec<u8>)>)> = Vec::new();
+            let mut block_out: BlockPairs = Vec::new();
             for (w, chunk) in warp_chunks.iter().enumerate() {
                 let mut pairs = Vec::new();
                 let run: Vec<(&[u8], &[u8])> = chunk

@@ -81,8 +81,10 @@ pub fn run_cpu_task(
     num_reducers: u32,
     map_only: bool,
 ) -> CpuTaskResult {
-    let mut bd = TaskBreakdown::default();
-    bd.input_read_s = env.io_latency_s + split.len() as f64 / env.read_bw;
+    let mut bd = TaskBreakdown {
+        input_read_s: env.io_latency_s + split.len() as f64 / env.read_bw,
+        ..Default::default()
+    };
 
     // --- Map phase: stream records through the map filter. ---
     let mut em = CpuEmit {
@@ -122,8 +124,7 @@ pub fn run_cpu_task(
     let mut sort_time = emitted_bytes as f64 * (1.0 / env.write_bw + model.byte_s);
     for part in &mut partitions {
         let n = part.len().max(1) as f64;
-        let avg_key: f64 =
-            part.iter().map(|(k, _)| k.len() as f64).sum::<f64>() / n;
+        let avg_key: f64 = part.iter().map(|(k, _)| k.len() as f64).sum::<f64>() / n;
         part.sort_by(|a, b| a.0.cmp(&b.0));
         sort_time += n * n.log2().max(1.0) * avg_key.max(1.0) * model.sort_cmp_byte_s;
     }
@@ -290,8 +291,24 @@ mod tests {
     #[test]
     fn task_time_scales_with_input() {
         let m = CpuCostModel::default();
-        let a = run_cpu_task(&TaskEnv::disk(), &m, &split_text(100), &WcMap, None, 2, false);
-        let b = run_cpu_task(&TaskEnv::disk(), &m, &split_text(1000), &WcMap, None, 2, false);
+        let a = run_cpu_task(
+            &TaskEnv::disk(),
+            &m,
+            &split_text(100),
+            &WcMap,
+            None,
+            2,
+            false,
+        );
+        let b = run_cpu_task(
+            &TaskEnv::disk(),
+            &m,
+            &split_text(1000),
+            &WcMap,
+            None,
+            2,
+            false,
+        );
         // Fixed IO latencies mask small inputs; compare the compute
         // stages, which must scale superlinearly-free (map linear, sort
         // n log n).
@@ -317,8 +334,8 @@ mod tests {
         let mut cfg = GpuTaskConfig::new(16, 8, 4);
         cfg.blocks = 8;
         cfg.threads_per_block = 64;
-        let gpu = run_gpu_task(&dev, &TaskEnv::disk(), &split, &WcMap, Some(&SumComb), &cfg)
-            .unwrap();
+        let gpu =
+            run_gpu_task(&dev, &TaskEnv::disk(), &split, &WcMap, Some(&SumComb), &cfg).unwrap();
         let mut gpu_totals = BTreeMap::new();
         for p in &gpu.partitions {
             for (k, v) in p {

@@ -20,6 +20,10 @@ use crate::types::{default_partition, Emit, Mapper, OpCount};
 use hetero_gpusim::{Access, Device, GpuError, KernelStats, LaneCtx, TexBinding};
 use std::cell::RefCell;
 
+/// One thread's mutable view of the KV store: key bytes, value bytes,
+/// partition ids, and the thread's emitted-pair counter.
+type Region<'a> = RefCell<(&'a mut [u8], &'a mut [u8], &'a mut [u32], &'a mut u32)>;
+
 /// Configuration for one map-kernel launch.
 #[derive(Debug, Clone)]
 pub struct MapConfig {
@@ -177,10 +181,7 @@ pub fn run_map(
 
     let stats = {
         let block_views = store.split_blocks(tpb);
-        let payloads: Vec<_> = record_chunks
-            .into_iter()
-            .zip(block_views)
-            .collect();
+        let payloads: Vec<_> = record_chunks.into_iter().zip(block_views).collect();
         dev.launch(cfg.threads_per_block, payloads, |blk, (recs, view)| {
             // The shared-memory record counter of Listing 3 line 9.
             blk.alloc_shared(4)?;
@@ -188,7 +189,7 @@ pub fn run_map(
 
             // Per-thread region views, interior-mutable so warp_round
             // closures can reach the right lane's region.
-            let regions: Vec<RefCell<(/*keys*/ &mut [u8], &mut [u8], &mut [u32], &mut u32)>> = {
+            let regions: Vec<Region<'_>> = {
                 let mut v = Vec::with_capacity(tpb);
                 let mut k_rest = keys;
                 let mut v_rest = vals;
@@ -211,10 +212,7 @@ pub fn run_map(
             let warps = blk.num_warps();
             let ws = blk.warp_size() as usize;
 
-            let map_one = |lane: &mut LaneCtx<'_>,
-                           rec: &Record,
-                           region: &RefCell<(&mut [u8], &mut [u8], &mut [u32], &mut u32)>|
-             -> bool {
+            let map_one = |lane: &mut LaneCtx<'_>, rec: &Record, region: &Region<'_>| -> bool {
                 let data = &input[rec.start..rec.start + rec.len];
                 // Fetching the record: streamed bytes + per-byte scan work
                 // (getRecord + the mapper's own parsing loop).
@@ -267,16 +265,16 @@ pub fn run_map(
                             full[tid] = true;
                             continue;
                         }
-                        if pick.map(|p| lane_clock[tid] < lane_clock[p]).unwrap_or(true) {
+                        if pick
+                            .map(|p| lane_clock[tid] < lane_clock[p])
+                            .unwrap_or(true)
+                        {
                             pick = Some(tid);
                         }
                     }
                     let Some(tid) = pick else {
                         // Every thread is full; remaining records drop.
-                        dropped.fetch_add(
-                            recs.len() - next,
-                            std::sync::atomic::Ordering::Relaxed,
-                        );
+                        dropped.fetch_add(recs.len() - next, std::sync::atomic::Ordering::Relaxed);
                         break;
                     };
                     let rec = &recs[next];
@@ -292,10 +290,7 @@ pub fn run_map(
                 for w in 0..warps {
                     let lo = w as usize * ws;
                     let hi = (lo + ws).min(n_threads);
-                    let chain = lane_clock[lo..hi]
-                        .iter()
-                        .cloned()
-                        .fold(0.0f64, f64::max);
+                    let chain = lane_clock[lo..hi].iter().cloned().fold(0.0f64, f64::max);
                     blk.charge_warp_chain(w, chain);
                 }
             } else {
@@ -398,7 +393,8 @@ mod tests {
     #[test]
     fn map_kernel_produces_correct_kv_pairs() {
         let dev = Device::new(GpuSpec::tesla_k40());
-        let (buf, recs) = make_input(&["the quick brown fox", "jumps over the lazy dog", "the end"]);
+        let (buf, recs) =
+            make_input(&["the quick brown fox", "jumps over the lazy dog", "the end"]);
         let out = run_map(&dev, &buf, &recs, &WcMap, &cfg()).unwrap();
         assert_eq!(out.dropped_records, 0);
         let h = histogram(&out);

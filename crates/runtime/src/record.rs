@@ -109,7 +109,10 @@ mod tests {
         let dev = Device::new(GpuSpec::tesla_k40());
         let input = b"alpha\nbeta\ngamma\n";
         let loc = locate_records(&dev, input).unwrap();
-        assert_eq!(rec_strings(input, &loc.records), vec!["alpha", "beta", "gamma"]);
+        assert_eq!(
+            rec_strings(input, &loc.records),
+            vec!["alpha", "beta", "gamma"]
+        );
     }
 
     #[test]

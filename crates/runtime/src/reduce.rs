@@ -44,8 +44,8 @@ pub fn run_reduce_task(
     // (the cost model charges merge-class work, not sort-class).
     merged.sort_by(|a, b| a.0.cmp(&b.0));
     let k_ways = 16f64.max(2.0);
-    let merge_time = total_pairs as f64 * k_ways.log2() * 8.0 * model.alu_s
-        + in_bytes as f64 * model.byte_s;
+    let merge_time =
+        total_pairs as f64 * k_ways.log2() * 8.0 * model.alu_s + in_bytes as f64 * model.byte_s;
 
     // --- Reduce phase: group by key and apply the reduce function. ---
     let mut output: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();

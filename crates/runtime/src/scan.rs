@@ -114,18 +114,14 @@ pub fn exclusive_scan(dev: &Device, input: &[u32]) -> Result<ScanResult, GpuErro
     })?;
 
     // Phase 3: uniform add of each block's offset.
-    let stats3 = dev.launch(
-        threads_per_block,
-        vec![(); n_blocks],
-        |blk, _| {
-            blk.warp_round(|_, t| {
-                t.gld(8, Access::Coalesced);
-                t.alu(2);
-                t.gst(8, Access::Coalesced);
-            });
-            Ok(())
-        },
-    )?;
+    let stats3 = dev.launch(threads_per_block, vec![(); n_blocks], |blk, _| {
+        blk.warp_round(|_, t| {
+            t.gld(8, Access::Coalesced);
+            t.alu(2);
+            t.gst(8, Access::Coalesced);
+        });
+        Ok(())
+    })?;
 
     let mut prefix = Vec::with_capacity(input.len());
     for (i, (_, chunk, _)) in per_block.iter().enumerate() {
@@ -167,12 +163,7 @@ mod tests {
     #[test]
     fn matches_reference_on_small_inputs() {
         let dev = Device::new(GpuSpec::tesla_k40());
-        for input in [
-            vec![],
-            vec![5],
-            vec![1, 2, 3, 4, 5],
-            vec![0, 0, 7, 0, 0, 3],
-        ] {
+        for input in [vec![], vec![5], vec![1, 2, 3, 4, 5], vec![0, 0, 7, 0, 0, 3]] {
             let r = exclusive_scan(&dev, &input).unwrap();
             let (expect, total) = reference(&input);
             assert_eq!(r.prefix, expect, "input {input:?}");

@@ -26,7 +26,7 @@ pub struct SortResult {
 
 /// Average prefix of a key actually inspected per comparison.
 fn cmp_bytes(key_len: usize) -> u64 {
-    key_len.min(12).max(1) as u64
+    key_len.clamp(1, 12) as u64
 }
 
 /// Sort `indices` (slot numbers into `store`) by key bytes on the device.
@@ -98,8 +98,8 @@ pub fn sort_partition(
                     blk.warp_round(|_, t| {
                         for _ in 0..per_lane {
                             t.gld(4, Access::Coalesced); // index in
-                            // Own key via indirection (random, word-wise);
-                            // the rival run's key stays staged on-chip.
+                                                         // Own key via indirection (random, word-wise);
+                                                         // the rival run's key stays staged on-chip.
                             for _ in 0..kb.div_ceil(8) {
                                 t.gld(8, Access::Random);
                             }
@@ -204,7 +204,7 @@ mod tests {
         }
         let dense: Vec<u32> = (0..m as u32).collect();
         let mut sparse: Vec<u32> = dense.clone();
-        sparse.extend(std::iter::repeat(u32::MAX).take(m * 15));
+        sparse.extend(std::iter::repeat_n(u32::MAX, m * 15));
         let fast = sort_partition(&dev, &s, &dense).unwrap();
         let slow = sort_partition(&dev, &s, &sparse).unwrap();
         assert!(

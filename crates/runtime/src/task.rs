@@ -167,10 +167,11 @@ pub fn run_gpu_task(
     combiner: Option<&dyn Combiner>,
     cfg: &GpuTaskConfig,
 ) -> Result<GpuTaskResult, GpuError> {
-    let mut bd = TaskBreakdown::default();
-
     // --- Input read: storage → host → device. ---
-    bd.input_read_s = env.io_latency_s + split.len() as f64 / env.read_bw;
+    let mut bd = TaskBreakdown {
+        input_read_s: env.io_latency_s + split.len() as f64 / env.read_bw,
+        ..Default::default()
+    };
     let input_buf = dev.alloc(split.len() as u64)?;
     bd.input_read_s += dev.h2d(split.len() as u64)?;
 
@@ -368,9 +369,7 @@ mod tests {
     fn split_text(n: usize) -> Vec<u8> {
         let mut s = Vec::new();
         for i in 0..n {
-            s.extend_from_slice(
-                format!("the quick word{} fox the {}\n", i % 23, i % 7).as_bytes(),
-            );
+            s.extend_from_slice(format!("the quick word{} fox the {}\n", i % 23, i % 7).as_bytes());
         }
         s
     }
@@ -398,8 +397,15 @@ mod tests {
     fn full_task_produces_correct_wordcount() {
         let dev = Device::new(GpuSpec::tesla_k40());
         let split = split_text(500);
-        let res = run_gpu_task(&dev, &TaskEnv::disk(), &split, &WcMap, Some(&SumComb), &cfg())
-            .unwrap();
+        let res = run_gpu_task(
+            &dev,
+            &TaskEnv::disk(),
+            &split,
+            &WcMap,
+            Some(&SumComb),
+            &cfg(),
+        )
+        .unwrap();
         assert_eq!(res.records, 500);
         let t = word_totals(&res);
         assert_eq!(t["the"], 1000);
@@ -413,8 +419,15 @@ mod tests {
     fn breakdown_stages_all_populated() {
         let dev = Device::new(GpuSpec::tesla_k40());
         let split = split_text(800);
-        let res = run_gpu_task(&dev, &TaskEnv::disk(), &split, &WcMap, Some(&SumComb), &cfg())
-            .unwrap();
+        let res = run_gpu_task(
+            &dev,
+            &TaskEnv::disk(),
+            &split,
+            &WcMap,
+            Some(&SumComb),
+            &cfg(),
+        )
+        .unwrap();
         let bd = res.breakdown;
         for (name, t) in bd.stages() {
             assert!(t > 0.0, "stage {name} should have nonzero time");
@@ -428,10 +441,24 @@ mod tests {
         let split = split_text(400);
         let mut hinted = cfg();
         hinted.kvpairs_hint = Some(8);
-        let a = run_gpu_task(&dev, &TaskEnv::disk(), &split, &WcMap, Some(&SumComb), &hinted)
-            .unwrap();
-        let b = run_gpu_task(&dev, &TaskEnv::disk(), &split, &WcMap, Some(&SumComb), &cfg())
-            .unwrap();
+        let a = run_gpu_task(
+            &dev,
+            &TaskEnv::disk(),
+            &split,
+            &WcMap,
+            Some(&SumComb),
+            &hinted,
+        )
+        .unwrap();
+        let b = run_gpu_task(
+            &dev,
+            &TaskEnv::disk(),
+            &split,
+            &WcMap,
+            Some(&SumComb),
+            &cfg(),
+        )
+        .unwrap();
         assert!(a.kv_occupancy > b.kv_occupancy);
         assert_eq!(word_totals(&a), word_totals(&b));
     }
@@ -442,10 +469,24 @@ mod tests {
         let split = split_text(600);
         let mut no_agg = cfg();
         no_agg.opts.aggregate_before_sort = false;
-        let a = run_gpu_task(&dev, &TaskEnv::disk(), &split, &WcMap, Some(&SumComb), &cfg())
-            .unwrap();
-        let b = run_gpu_task(&dev, &TaskEnv::disk(), &split, &WcMap, Some(&SumComb), &no_agg)
-            .unwrap();
+        let a = run_gpu_task(
+            &dev,
+            &TaskEnv::disk(),
+            &split,
+            &WcMap,
+            Some(&SumComb),
+            &cfg(),
+        )
+        .unwrap();
+        let b = run_gpu_task(
+            &dev,
+            &TaskEnv::disk(),
+            &split,
+            &WcMap,
+            Some(&SumComb),
+            &no_agg,
+        )
+        .unwrap();
         assert!(
             b.breakdown.sort_s > 2.0 * a.breakdown.sort_s,
             "unaggregated sort {} should far exceed aggregated {}",
@@ -471,8 +512,15 @@ mod tests {
     fn in_memory_env_has_faster_io() {
         let dev = Device::new(GpuSpec::tesla_k40());
         let split = split_text(1000);
-        let a = run_gpu_task(&dev, &TaskEnv::disk(), &split, &WcMap, Some(&SumComb), &cfg())
-            .unwrap();
+        let a = run_gpu_task(
+            &dev,
+            &TaskEnv::disk(),
+            &split,
+            &WcMap,
+            Some(&SumComb),
+            &cfg(),
+        )
+        .unwrap();
         let b = run_gpu_task(
             &dev,
             &TaskEnv::in_memory(),

@@ -26,11 +26,7 @@ fn main() {
         "\njob ({} map tasks): CPU-only {:.0}s, HeteroDoop+tail {:.0}s -> {:.2}x",
         n_maps, cmp.cpu_only_s, cmp.hetero_s, cmp.speedup
     );
-    println!(
-        "GPU ran {} of {} map tasks",
-        cmp.stats.gpu_tasks(),
-        n_maps
-    );
+    println!("GPU ran {} of {} map tasks", cmp.stats.gpu_tasks(), n_maps);
 
     // Why Fig. 4b has no KM bar: the working set exceeds the M2090.
     let p2 = Preset::cluster2();

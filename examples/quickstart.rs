@@ -25,10 +25,18 @@ fn main() {
         fn charge(&mut self, _: hetero_runtime::OpCount) {}
         fn read_ro(&mut self, _: u64) {}
     }
-    hetero_runtime::Mapper::map(&mapper, b"the quick brown fox the", &mut Collect(&mut pairs));
+    hetero_runtime::Mapper::map(
+        &mapper,
+        b"the quick brown fox the",
+        &mut Collect(&mut pairs),
+    );
     println!("== mapped 'the quick brown fox the' ==");
     for (k, v) in &pairs {
-        println!("  {} -> {}", String::from_utf8_lossy(k), String::from_utf8_lossy(v));
+        println!(
+            "  {} -> {}",
+            String::from_utf8_lossy(k),
+            String::from_utf8_lossy(v)
+        );
     }
 
     // 3. Measure one fileSplit as a GPU task vs a CPU-core task.

@@ -133,8 +133,15 @@ fn fig5_speedup_bands_hold() {
     }
     let max = speedups.values().cloned().fold(0.0f64, f64::max);
     assert_eq!(speedups["BS"], max, "BS must be the fastest task");
-    assert!(speedups["BS"] > 20.0, "BS should be tens of x: {}", speedups["BS"]);
-    assert!(speedups["GR"] > 1.0, "even IO apps beat one core on the GPU");
+    assert!(
+        speedups["BS"] > 20.0,
+        "BS should be tens of x: {}",
+        speedups["BS"]
+    );
+    assert!(
+        speedups["GR"] > 1.0,
+        "even IO apps beat one core on the GPU"
+    );
 }
 
 /// End-to-end Fig. 4a shape on a reduced Cluster1: HeteroDoop beats
@@ -226,24 +233,12 @@ fn gpu_fault_and_revival() {
     let cfg = heterodoop::task_config(app.as_ref(), &p, OptFlags::all());
     let dev = hetero_gpusim::Device::new(p.gpu.clone());
     dev.inject_fault("simulated xid error");
-    let err = hetero_runtime::task::run_gpu_task(
-        &dev,
-        &p.env,
-        &split,
-        app.mapper().as_ref(),
-        None,
-        &cfg,
-    );
+    let err =
+        hetero_runtime::task::run_gpu_task(&dev, &p.env, &split, app.mapper().as_ref(), None, &cfg);
     assert!(err.is_err(), "faulted device must fail the task");
     dev.revive();
     dev.reset();
-    let ok = hetero_runtime::task::run_gpu_task(
-        &dev,
-        &p.env,
-        &split,
-        app.mapper().as_ref(),
-        None,
-        &cfg,
-    );
+    let ok =
+        hetero_runtime::task::run_gpu_task(&dev, &p.env, &split, app.mapper().as_ref(), None, &cfg);
     assert!(ok.is_ok(), "revived device must run tasks again");
 }

@@ -1,0 +1,70 @@
+//! Offline stand-in for `rayon`: the parallel-iterator entry points this
+//! workspace uses, executed sequentially. The gpusim block loop is the
+//! only consumer (`into_par_iter().enumerate().map().collect()`); running
+//! it sequentially changes wall-clock time but not simulated results —
+//! the cycle cost model is deterministic per block.
+
+/// Sequential `prelude` mirroring `rayon::prelude`.
+pub mod prelude {
+    /// Conversion into a (sequentially executed) "parallel" iterator.
+    pub trait IntoParallelIterator {
+        /// Element type.
+        type Item;
+        /// Underlying iterator type.
+        type Iter: Iterator<Item = Self::Item>;
+        /// Begin iteration; sequential in the stub.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<T> IntoParallelIterator for Vec<T> {
+        type Item = T;
+        type Iter = std::vec::IntoIter<T>;
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    impl<'a, T> IntoParallelIterator for &'a [T] {
+        type Item = &'a T;
+        type Iter = std::slice::Iter<'a, T>;
+        fn into_par_iter(self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    impl<'a, T> IntoParallelIterator for &'a Vec<T> {
+        type Item = &'a T;
+        type Iter = std::slice::Iter<'a, T>;
+        fn into_par_iter(self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    /// Sequential stand-ins for slice parallel iteration.
+    pub trait ParallelSlice<T> {
+        /// `par_iter` — sequential in the stub.
+        fn par_iter(&self) -> std::slice::Iter<'_, T>;
+    }
+
+    impl<T> ParallelSlice<T> for [T] {
+        fn par_iter(&self) -> std::slice::Iter<'_, T> {
+            self.iter()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn into_par_iter_matches_sequential() {
+        let v = vec![1, 2, 3];
+        let out: Vec<(usize, i32)> = v
+            .into_par_iter()
+            .enumerate()
+            .map(|(i, x)| (i, x * 2))
+            .collect();
+        assert_eq!(out, vec![(0, 2), (1, 4), (2, 6)]);
+    }
+}

@@ -1,0 +1,16 @@
+//! Offline stand-in for `serde`: marker traits plus no-op derive macros.
+//!
+//! The container building this repository has no network access and no
+//! crate cache, so the real serde cannot be fetched. The workspace only
+//! *derives* `Serialize`/`Deserialize` (nothing serializes — there is no
+//! serde_json dependency), so empty derives keep every annotation
+//! compiling without behavioral change. Swap back to crates.io serde by
+//! deleting the `[patch.crates-io]` entry in the workspace Cargo.toml.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker counterpart of `serde::Serialize` (no methods in the stub).
+pub trait SerializeTrait {}
+
+/// Marker counterpart of `serde::Deserialize` (no methods in the stub).
+pub trait DeserializeTrait {}

@@ -1,0 +1,20 @@
+//! No-op `#[derive(Serialize, Deserialize)]` macros.
+//!
+//! The workspace derives serde traits on many types but never calls a
+//! serializer (there is no `serde_json` in the tree), so in the offline
+//! build the derives expand to nothing. If real serialization lands,
+//! replace these stubs with the actual serde_derive from crates.io.
+
+use proc_macro::TokenStream;
+
+/// Accepts and ignores the input; emits no impl.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts and ignores the input; emits no impl.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
