@@ -1,6 +1,6 @@
 //! Regenerates Fig. 3: GPU-first vs tail scheduling on the paper's
 //! worked example — 19 tasks, one 6x GPU, two CPU slots.
-use hetero_cluster::{simulate, ClusterConfig, FaultPlan, JobSpec, Scheduler};
+use hetero_cluster::{simulate, ClusterConfig, FaultPlan, JobSpec, Scheduler, TraceConfig};
 
 fn cfg(s: Scheduler) -> ClusterConfig {
     ClusterConfig {
@@ -13,10 +13,12 @@ fn cfg(s: Scheduler) -> ClusterConfig {
         scheduler: s,
         reduce_start_frac: 0.2,
         speculative: false,
+        speculative_lag: 0.2,
         shuffle_bw: 1e9,
         max_attempts: 4,
         heartbeat_timeout_s: 3.0,
         faults: FaultPlan::none(),
+        trace: TraceConfig::default(),
     }
 }
 

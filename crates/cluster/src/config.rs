@@ -68,6 +68,30 @@ impl FaultPlan {
     }
 }
 
+/// Observability knobs for a simulated run. All off by default: with
+/// `enabled == false` the simulator never records an event, and a traced
+/// run produces the exact same schedule as an untraced one — tracing is
+/// pure observation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceConfig {
+    /// Record span/instant events into the tracer passed to
+    /// [`crate::sim::simulate_traced`].
+    pub enabled: bool,
+    /// Also record one instant per TaskTracker heartbeat. Off by default
+    /// even when tracing: heartbeats dominate event counts on long runs.
+    pub heartbeats: bool,
+}
+
+impl TraceConfig {
+    /// Tracing on (without per-heartbeat events).
+    pub fn on() -> Self {
+        TraceConfig {
+            enabled: true,
+            heartbeats: false,
+        }
+    }
+}
+
 /// Static cluster configuration.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ClusterConfig {
@@ -92,6 +116,9 @@ pub struct ClusterConfig {
     pub reduce_start_frac: f64,
     /// Speculative execution (off in the paper's experiments).
     pub speculative: bool,
+    /// How far a task's progress must trail the job-average progress
+    /// before a speculative backup launches (Hadoop's hardcoded 20%).
+    pub speculative_lag: f64,
     /// Shuffle bandwidth per reduce task, bytes/s (InfiniBand-class).
     pub shuffle_bw: f64,
     /// Attempts per map task before the job aborts
@@ -103,6 +130,8 @@ pub struct ClusterConfig {
     pub heartbeat_timeout_s: f64,
     /// Injected faults (empty = perfect cluster).
     pub faults: FaultPlan,
+    /// Observability: event tracing for this run (all off by default).
+    pub trace: TraceConfig,
 }
 
 impl ClusterConfig {
@@ -118,10 +147,12 @@ impl ClusterConfig {
             scheduler,
             reduce_start_frac: 0.2,
             speculative: false,
+            speculative_lag: 0.2,
             shuffle_bw: 1e9,
             max_attempts: 4,
             heartbeat_timeout_s: 3.0,
             faults: FaultPlan::none(),
+            trace: TraceConfig::default(),
         }
     }
 

@@ -17,7 +17,7 @@ pub mod job;
 pub mod sim;
 pub mod stats;
 
-pub use config::{ClusterConfig, FaultPlan, Scheduler};
+pub use config::{ClusterConfig, FaultPlan, Scheduler, TraceConfig};
 pub use job::{JobSpec, MapTaskSpec, ReduceTaskSpec};
-pub use sim::simulate;
+pub use sim::{simulate, simulate_traced};
 pub use stats::{Device, JobStats, Outcome, TaskRecord};

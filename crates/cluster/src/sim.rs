@@ -32,13 +32,15 @@
 //!   GPU; the node degrades to its CPU slots.
 //! * Speculative execution (off by default, as in the paper's runs)
 //!   launches a backup attempt on another node when a task's progress
-//!   falls 0.2 below the job average; the first finisher wins and the
-//!   losers are killed immediately.
+//!   falls [`ClusterConfig::speculative_lag`] (default 0.2) below the
+//!   job average; the first finisher wins and the losers are killed
+//!   immediately.
 
 use crate::config::{ClusterConfig, Scheduler};
 use crate::job::JobSpec;
 use crate::stats::{Device, JobStats, Outcome};
 use hetero_hdfs::{Locality, NodeId, Topology};
+use hetero_trace::{ArgValue, Category, Tracer};
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashSet, VecDeque};
 
@@ -99,10 +101,15 @@ struct Attempt {
     task: u32,
     node: u32,
     device: Device,
-    gpu: u32,
+    /// Slot index on the node: CPU-slot index for CPU attempts, GPU
+    /// index for GPU attempts.
+    slot: u32,
     /// Effective duration (straggler factor applied).
     dur: f64,
     start: f64,
+    /// When the attempt actually began executing (for GPU-queued
+    /// attempts this is later than `start`). Tracing only.
+    run_start: Option<f64>,
     /// Pre-drawn fault: fail at `start + frac * dur` with this outcome.
     fail_frac: Option<(f64, Outcome)>,
     state: AttemptState,
@@ -133,16 +140,54 @@ struct NodeState {
     /// JobTracker's view: declared dead + blacklisted after expiry.
     dead_declared: bool,
     last_heartbeat: f64,
-    free_cpu: u32,
+    /// Per-CPU-slot busy flags (slot identity matters for the trace).
+    cpu_busy: Vec<bool>,
     gpu_busy: Vec<bool>,
     gpu_dead: Vec<bool>,
     gpu_queue: VecDeque<usize>, // queued attempt indices (forced tasks)
-    free_reduce: u32,
+    /// Per-reduce-slot busy flags.
+    reduce_busy: Vec<bool>,
     cpu_samples: (f64, u32), // (total task seconds, count)
     gpu_samples: (f64, u32),
 }
 
 impl NodeState {
+    fn free_cpu(&self) -> u32 {
+        self.cpu_busy.iter().filter(|b| !**b).count() as u32
+    }
+
+    /// Claim the lowest-numbered free CPU slot.
+    fn grab_cpu(&mut self) -> u32 {
+        let i = self
+            .cpu_busy
+            .iter()
+            .position(|b| !*b)
+            .expect("grab_cpu with no free slot");
+        self.cpu_busy[i] = true;
+        i as u32
+    }
+
+    fn release_cpu(&mut self, slot: u32) {
+        self.cpu_busy[slot as usize] = false;
+    }
+
+    fn free_reduce(&self) -> u32 {
+        self.reduce_busy.iter().filter(|b| !**b).count() as u32
+    }
+
+    fn grab_reduce(&mut self) -> u32 {
+        let i = self
+            .reduce_busy
+            .iter()
+            .position(|b| !*b)
+            .expect("grab_reduce with no free slot");
+        self.reduce_busy[i] = true;
+        i as u32
+    }
+
+    fn release_reduce(&mut self, slot: u32) {
+        self.reduce_busy[slot as usize] = false;
+    }
     fn ave_speedup(&self, fallback: f64) -> f64 {
         if self.cpu_samples.1 > 0 && self.gpu_samples.1 > 0 {
             let cpu = self.cpu_samples.0 / self.cpu_samples.1 as f64;
@@ -195,6 +240,15 @@ fn fault_unit(seed: u64, a: u64, b: u64, c: u64) -> f64 {
     (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
 }
 
+/// A reduce task currently holding a slot.
+#[derive(Debug, Clone, Copy)]
+struct RunningReduce {
+    task: u32,
+    node: u32,
+    slot: u32,
+    start: f64,
+}
+
 struct Sim<'a> {
     cfg: &'a ClusterConfig,
     job: &'a JobSpec,
@@ -204,7 +258,7 @@ struct Sim<'a> {
     attempts: Vec<Attempt>,
     pending: Vec<u32>,
     pending_reduces: VecDeque<u32>,
-    running_reduces: Vec<(u32, u32, f64)>, // (task, node, start)
+    running_reduces: Vec<RunningReduce>,
     maps_done: usize,
     /// Bumped whenever a completed map is invalidated (node loss), so
     /// stale scheduled ReduceDone events are ignored on pop.
@@ -218,28 +272,38 @@ struct Sim<'a> {
     seq: u64,
     now: f64,
     stats: JobStats,
+    tracer: &'a Tracer,
+    /// `tracer.is_enabled() && cfg.trace.enabled`, cached.
+    trace_on: bool,
 }
 
 /// Run `job` on a cluster described by `cfg`; returns the job statistics.
 pub fn simulate(cfg: &ClusterConfig, job: &JobSpec) -> JobStats {
-    let mut sim = Sim::new(cfg, job);
+    simulate_traced(cfg, job, &Tracer::off())
+}
+
+/// [`simulate`], recording a simulated-time event log into `tracer`.
+/// Events are recorded only when both the tracer and `cfg.trace.enabled`
+/// are on; either way the schedule is identical to an untraced run.
+pub fn simulate_traced(cfg: &ClusterConfig, job: &JobSpec, tracer: &Tracer) -> JobStats {
+    let mut sim = Sim::new(cfg, job, tracer);
     sim.run();
     sim.stats
 }
 
 impl<'a> Sim<'a> {
-    fn new(cfg: &'a ClusterConfig, job: &'a JobSpec) -> Self {
+    fn new(cfg: &'a ClusterConfig, job: &'a JobSpec, tracer: &'a Tracer) -> Self {
         let gpus = cfg.effective_gpus();
         let nodes: Vec<NodeState> = (0..cfg.num_slaves)
             .map(|_| NodeState {
                 alive: true,
                 dead_declared: false,
                 last_heartbeat: 0.0,
-                free_cpu: cfg.map_slots_per_node,
+                cpu_busy: vec![false; cfg.map_slots_per_node as usize],
                 gpu_busy: vec![false; gpus as usize],
                 gpu_dead: vec![false; gpus as usize],
                 gpu_queue: VecDeque::new(),
-                free_reduce: cfg.reduce_slots_per_node,
+                reduce_busy: vec![false; cfg.reduce_slots_per_node as usize],
                 cpu_samples: (0.0, 0),
                 gpu_samples: (0.0, 0),
             })
@@ -273,7 +337,10 @@ impl<'a> Sim<'a> {
             seq: 0,
             now: 0.0,
             stats: JobStats::new(&job.name),
+            tracer,
+            trace_on: tracer.is_enabled() && cfg.trace.enabled,
         };
+        sim.trace_name_lanes();
 
         // Stagger initial heartbeats so nodes do not thundering-herd the JT.
         for n in 0..cfg.num_slaves {
@@ -308,6 +375,124 @@ impl<'a> Sim<'a> {
         });
     }
 
+    // ---------------------------------------------------------- tracing
+    //
+    // Lane layout: pid = node id, one pid past the last node = the
+    // JobTracker. Within a node, tids are CPU map slots, then GPUs, then
+    // reduce slots, then one "events" lane for instants.
+
+    fn lane_cpu(&self, slot: u32) -> u32 {
+        slot
+    }
+
+    fn lane_gpu(&self, g: u32) -> u32 {
+        self.cfg.map_slots_per_node + g
+    }
+
+    fn lane_reduce(&self, slot: u32) -> u32 {
+        self.cfg.map_slots_per_node + self.cfg.effective_gpus() + slot
+    }
+
+    fn lane_events(&self) -> u32 {
+        self.cfg.map_slots_per_node + self.cfg.effective_gpus() + self.cfg.reduce_slots_per_node
+    }
+
+    fn jobtracker_pid(&self) -> u32 {
+        self.cfg.num_slaves
+    }
+
+    fn trace_name_lanes(&self) {
+        if !self.trace_on {
+            return;
+        }
+        for n in 0..self.cfg.num_slaves {
+            self.tracer.name_process(n, format!("node {n}"));
+            for s in 0..self.cfg.map_slots_per_node {
+                self.tracer
+                    .name_lane(n, self.lane_cpu(s), format!("cpu slot {s}"));
+            }
+            for g in 0..self.cfg.effective_gpus() {
+                self.tracer
+                    .name_lane(n, self.lane_gpu(g), format!("gpu {g}"));
+            }
+            for r in 0..self.cfg.reduce_slots_per_node {
+                self.tracer
+                    .name_lane(n, self.lane_reduce(r), format!("reduce slot {r}"));
+            }
+            self.tracer.name_lane(n, self.lane_events(), "events");
+        }
+        self.tracer
+            .name_process(self.jobtracker_pid(), "jobtracker");
+        self.tracer.name_lane(self.jobtracker_pid(), 0, "events");
+    }
+
+    /// The lane an attempt executes on.
+    fn attempt_lane(&self, a: &Attempt) -> u32 {
+        match a.device {
+            Device::Cpu => self.lane_cpu(a.slot),
+            Device::Gpu => self.lane_gpu(a.slot),
+        }
+    }
+
+    /// Emit the execution span of a finished attempt (however it ended).
+    fn trace_attempt_end(&self, aidx: usize, outcome: Outcome) {
+        if !self.trace_on {
+            return;
+        }
+        let a = &self.attempts[aidx];
+        let Some(run_start) = a.run_start else {
+            return; // never executed (died in a GPU queue)
+        };
+        let attempt_no = self.tasks[a.task as usize]
+            .attempts
+            .iter()
+            .position(|&ai| ai == aidx)
+            .unwrap_or(0);
+        let cat = match outcome {
+            Outcome::Success => Category::Task,
+            Outcome::SpeculativeKilled => Category::Speculation,
+            _ => Category::Fault,
+        };
+        self.tracer.span(
+            cat,
+            format!("map {} a{}", a.task, attempt_no),
+            a.node,
+            self.attempt_lane(a),
+            run_start,
+            self.now,
+            vec![
+                ("task", ArgValue::from(a.task)),
+                ("attempt", ArgValue::from(attempt_no)),
+                (
+                    "device",
+                    ArgValue::from(match a.device {
+                        Device::Cpu => "cpu",
+                        Device::Gpu => "gpu",
+                    }),
+                ),
+                ("outcome", ArgValue::from(format!("{outcome:?}"))),
+            ],
+        );
+    }
+
+    /// Emit an instant on a node's events lane.
+    fn trace_node_instant(&self, cat: Category, name: &str, node: u32) {
+        if !self.trace_on {
+            return;
+        }
+        self.tracer
+            .instant(cat, name, node, self.lane_events(), self.now, vec![]);
+    }
+
+    /// Emit an instant on the JobTracker lane.
+    fn trace_jt_instant(&self, cat: Category, name: String, args: Vec<(&'static str, ArgValue)>) {
+        if !self.trace_on {
+            return;
+        }
+        self.tracer
+            .instant(cat, name, self.jobtracker_pid(), 0, self.now, args);
+    }
+
     fn work_remains(&self) -> bool {
         self.maps_done < self.job.maps.len() || self.reduces_done < self.job.reduces.len()
     }
@@ -318,7 +503,10 @@ impl<'a> Sim<'a> {
             match event {
                 Event::Heartbeat(n) => self.heartbeat(n),
                 Event::ExpiryCheck => self.expiry_check(),
-                Event::NodeCrash(n) => self.nodes[n as usize].alive = false,
+                Event::NodeCrash(n) => {
+                    self.nodes[n as usize].alive = false;
+                    self.trace_node_instant(Category::Fault, "node crash", n);
+                }
                 Event::GpuFault { node, gpu } => self.gpu_fault(node, gpu),
                 Event::MapDone { attempt } => self.map_done(attempt),
                 Event::MapFail { attempt, outcome } => self.map_fail(attempt, outcome),
@@ -344,6 +532,9 @@ impl<'a> Sim<'a> {
             return; // crashed: the tracker falls silent
         }
         self.nodes[ni].last_heartbeat = self.now;
+        if self.trace_on && self.cfg.trace.heartbeats {
+            self.trace_node_instant(Category::Heartbeat, "heartbeat", n);
+        }
         if !self.nodes[ni].dead_declared {
             self.assign_reduces(n);
             self.assign_maps(n);
@@ -361,10 +552,15 @@ impl<'a> Sim<'a> {
         if (self.maps_done as f64) < self.cfg.reduce_start_frac * self.job.maps.len() as f64 {
             return;
         }
-        while self.nodes[ni].free_reduce > 0 && !self.pending_reduces.is_empty() {
+        while self.nodes[ni].free_reduce() > 0 && !self.pending_reduces.is_empty() {
             let r = self.pending_reduces.pop_front().unwrap();
-            self.nodes[ni].free_reduce -= 1;
-            self.running_reduces.push((r, n, self.now));
+            let slot = self.nodes[ni].grab_reduce();
+            self.running_reduces.push(RunningReduce {
+                task: r,
+                node: n,
+                slot,
+                start: self.now,
+            });
             if self.maps_done == self.job.maps.len() {
                 let done_t = reduce_finish_time(
                     self.now,
@@ -410,10 +606,10 @@ impl<'a> Sim<'a> {
             if node_live_gpus > 0 {
                 node_live_gpus.min(free_gpus.max(1))
             } else {
-                self.nodes[ni].free_cpu
+                self.nodes[ni].free_cpu()
             }
         } else {
-            self.nodes[ni].free_cpu + free_gpus
+            self.nodes[ni].free_cpu() + free_gpus
         };
         let remaining_per_node = remaining / live_nodes;
 
@@ -448,7 +644,7 @@ impl<'a> Sim<'a> {
             };
             match placed {
                 Device::Cpu => {
-                    if self.nodes[ni].free_cpu == 0 {
+                    if self.nodes[ni].free_cpu() == 0 {
                         // No CPU slot after all: requeue task.
                         self.pending.push(task);
                         continue;
@@ -537,9 +733,10 @@ impl<'a> Sim<'a> {
             task,
             node: n,
             device,
-            gpu: gpu.unwrap_or(0) as u32,
+            slot: gpu.unwrap_or(0) as u32,
             dur,
             start: self.now,
+            run_start: None,
             fail_frac,
             state: AttemptState::Queued,
             rec,
@@ -547,7 +744,8 @@ impl<'a> Sim<'a> {
         self.tasks[ti].attempts.push(aidx);
         match device {
             Device::Cpu => {
-                self.nodes[ni].free_cpu -= 1;
+                let slot = self.nodes[ni].grab_cpu();
+                self.attempts[aidx].slot = slot;
                 self.ignite(aidx);
             }
             Device::Gpu => match gpu {
@@ -564,6 +762,7 @@ impl<'a> Sim<'a> {
     /// failure.
     fn ignite(&mut self, aidx: usize) {
         self.attempts[aidx].state = AttemptState::Running;
+        self.attempts[aidx].run_start = Some(self.now);
         let dur = self.attempts[aidx].dur;
         match self.attempts[aidx].fail_frac {
             Some((frac, outcome)) => self.push(
@@ -584,7 +783,7 @@ impl<'a> Sim<'a> {
         }
         while let Some(next) = self.nodes[ni].gpu_queue.pop_front() {
             if self.attempts[next].state == AttemptState::Queued {
-                self.attempts[next].gpu = g as u32;
+                self.attempts[next].slot = g as u32;
                 self.ignite(next);
                 return;
             }
@@ -598,9 +797,9 @@ impl<'a> Sim<'a> {
         if self.attempts[aidx].state != AttemptState::Running {
             return;
         }
-        let (task, n, device, gpu, dur) = {
+        let (task, n, device, slot, dur) = {
             let a = &self.attempts[aidx];
-            (a.task, a.node, a.device, a.gpu as usize, a.dur)
+            (a.task, a.node, a.device, a.slot, a.dur)
         };
         let ni = n as usize;
         if !self.nodes[ni].alive {
@@ -612,6 +811,7 @@ impl<'a> Sim<'a> {
         self.attempts[aidx].state = AttemptState::Succeeded;
         let rec = self.attempts[aidx].rec;
         self.stats.finish_attempt(rec, self.now, Outcome::Success);
+        self.trace_attempt_end(aidx, Outcome::Success);
         self.tasks[task as usize].done = true;
         self.tasks[task as usize].winner_node = Some(n);
         self.maps_done += 1;
@@ -619,7 +819,7 @@ impl<'a> Sim<'a> {
         self.kill_losers(task, aidx);
         match device {
             Device::Cpu => {
-                self.nodes[ni].free_cpu += 1;
+                self.nodes[ni].release_cpu(slot);
                 self.nodes[ni].cpu_samples.0 += dur;
                 self.nodes[ni].cpu_samples.1 += 1;
             }
@@ -627,7 +827,7 @@ impl<'a> Sim<'a> {
                 self.nodes[ni].gpu_samples.0 += dur;
                 self.nodes[ni].gpu_samples.1 += 1;
                 self.stats.gpu_busy_s += dur;
-                self.release_gpu(ni, gpu);
+                self.release_gpu(ni, slot as usize);
             }
         }
         // TTs report their speedup; the JT remembers the max (§6.2).
@@ -654,12 +854,16 @@ impl<'a> Sim<'a> {
             let rec = self.attempts[ai].rec;
             self.stats
                 .finish_attempt(rec, self.now, Outcome::SpeculativeKilled);
+            self.trace_attempt_end(ai, Outcome::SpeculativeKilled);
             let ni = self.attempts[ai].node as usize;
             if was_running && self.nodes[ni].alive {
                 match self.attempts[ai].device {
-                    Device::Cpu => self.nodes[ni].free_cpu += 1,
+                    Device::Cpu => {
+                        let slot = self.attempts[ai].slot;
+                        self.nodes[ni].release_cpu(slot);
+                    }
                     Device::Gpu => {
-                        let g = self.attempts[ai].gpu as usize;
+                        let g = self.attempts[ai].slot as usize;
                         self.release_gpu(ni, g);
                     }
                 }
@@ -673,9 +877,9 @@ impl<'a> Sim<'a> {
         if self.attempts[aidx].state != AttemptState::Running {
             return;
         }
-        let (task, n, device, gpu) = {
+        let (task, n, device, slot) = {
             let a = &self.attempts[aidx];
-            (a.task, a.node, a.device, a.gpu as usize)
+            (a.task, a.node, a.device, a.slot)
         };
         let ni = n as usize;
         if !self.nodes[ni].alive {
@@ -684,12 +888,13 @@ impl<'a> Sim<'a> {
         self.attempts[aidx].state = AttemptState::Failed;
         let rec = self.attempts[aidx].rec;
         self.stats.finish_attempt(rec, self.now, outcome);
+        self.trace_attempt_end(aidx, outcome);
+        match device {
+            Device::Cpu => self.nodes[ni].release_cpu(slot),
+            Device::Gpu => self.release_gpu(ni, slot as usize),
+        }
         if outcome == Outcome::ChecksumFail {
             self.stats.checksum_failures += 1;
-        }
-        match device {
-            Device::Cpu => self.nodes[ni].free_cpu += 1,
-            Device::Gpu => self.release_gpu(ni, gpu),
         }
         self.task_attempt_failed(task, outcome);
     }
@@ -733,18 +938,29 @@ impl<'a> Sim<'a> {
         }
         self.nodes[ni].gpu_dead[g] = true;
         self.stats.gpu_faults_seen += 1;
+        if self.trace_on {
+            self.tracer.instant(
+                Category::Fault,
+                "gpu fault",
+                node,
+                self.lane_gpu(gpu),
+                self.now,
+                vec![("gpu", ArgValue::from(gpu))],
+            );
+        }
         // The attempt on the device dies with it.
         let victim = self.attempts.iter().position(|a| {
             a.state == AttemptState::Running
                 && a.node == node
                 && a.device == Device::Gpu
-                && a.gpu == gpu
+                && a.slot == gpu
         });
         if let Some(ai) = victim {
             self.attempts[ai].state = AttemptState::Failed;
             let rec = self.attempts[ai].rec;
             let task = self.attempts[ai].task;
             self.stats.finish_attempt(rec, self.now, Outcome::GpuFault);
+            self.trace_attempt_end(ai, Outcome::GpuFault);
             self.task_attempt_failed(task, Outcome::GpuFault);
         }
         // With no GPU left on the node, queued-for-GPU attempts go back
@@ -785,6 +1001,11 @@ impl<'a> Sim<'a> {
         self.nodes[ni].dead_declared = true;
         self.stats.nodes_lost += 1;
         self.stats.node_loss_detected.push((n, self.now));
+        self.trace_jt_instant(
+            Category::Fault,
+            format!("node {n} declared dead"),
+            vec![("node", ArgValue::from(n))],
+        );
         // Reap in-flight map attempts; node loss is not the task's fault,
         // so nothing is charged against max_attempts.
         for ai in 0..self.attempts.len() {
@@ -794,6 +1015,7 @@ impl<'a> Sim<'a> {
             self.attempts[ai].state = AttemptState::Lost;
             let rec = self.attempts[ai].rec;
             self.stats.finish_attempt(rec, self.now, Outcome::NodeLost);
+            self.trace_attempt_end(ai, Outcome::NodeLost);
             let task = self.attempts[ai].task;
             let ti = task as usize;
             let has_live = self.tasks[ti]
@@ -827,17 +1049,31 @@ impl<'a> Sim<'a> {
                 self.maps_epoch += 1; // invalidate scheduled reduce finishes
             }
         }
-        // Reduces running on the dead node restart elsewhere.
-        let mut kept = Vec::new();
-        for &(r, rn, start) in &self.running_reduces {
-            if rn == n && !self.stats.reduce_done(r) {
-                self.pending_reduces.push_back(r);
+        // Reduces running on the dead node restart elsewhere. In-place,
+        // order-preserving removal: the surviving entries keep their
+        // relative order (which downstream event scheduling depends on
+        // for determinism) and no per-declaration Vec is allocated.
+        let mut i = 0;
+        while i < self.running_reduces.len() {
+            let rr = self.running_reduces[i];
+            if rr.node == n && !self.stats.reduce_done(rr.task) {
+                self.running_reduces.remove(i);
+                self.pending_reduces.push_back(rr.task);
                 self.stats.reduce_attempts_lost += 1;
+                if self.trace_on {
+                    self.tracer.instant(
+                        Category::Fault,
+                        format!("reduce {} lost", rr.task),
+                        n,
+                        self.lane_reduce(rr.slot),
+                        self.now,
+                        vec![("task", ArgValue::from(rr.task))],
+                    );
+                }
             } else {
-                kept.push((r, rn, start));
+                i += 1;
             }
         }
-        self.running_reduces = kept;
         // With nobody left alive the job can never finish.
         if self.work_remains() && !self.nodes.iter().any(|nd| nd.usable()) {
             self.stats.aborted = true;
@@ -848,22 +1084,24 @@ impl<'a> Sim<'a> {
 
     fn schedule_running_reduce_completions(&mut self) {
         let epoch = self.maps_epoch;
-        let items = self.running_reduces.clone();
-        for (r, rn, start) in items {
-            if self.stats.reduce_done(r) {
+        // Indexed iteration over Copy entries: this runs on the final
+        // map-done heartbeat path and must not clone the whole vec.
+        for i in 0..self.running_reduces.len() {
+            let rr = self.running_reduces[i];
+            if self.stats.reduce_done(rr.task) {
                 continue;
             }
             let done_t = reduce_finish_time(
-                start,
+                rr.start,
                 self.now,
                 self.shuffle_per_reduce_s,
-                self.job.reduces[r as usize].compute_s,
+                self.job.reduces[rr.task as usize].compute_s,
             );
             self.push(
                 done_t.max(self.now),
                 Event::ReduceDone {
-                    node: rn,
-                    task: r,
+                    node: rr.node,
+                    task: rr.task,
                     epoch,
                 },
             );
@@ -881,7 +1119,40 @@ impl<'a> Sim<'a> {
         }
         if self.stats.mark_reduce_done(task, self.now) {
             self.reduces_done += 1;
-            self.nodes[node as usize].free_reduce += 1;
+            // Release the slot this reduce held (and drop its entry —
+            // it no longer needs rescheduling or rescue).
+            if let Some(i) = self
+                .running_reduces
+                .iter()
+                .position(|rr| rr.task == task && rr.node == node)
+            {
+                let rr = self.running_reduces.remove(i);
+                self.nodes[node as usize].release_reduce(rr.slot);
+                if self.trace_on {
+                    let compute_s = self.job.reduces[task as usize].compute_s;
+                    let shuffle_end =
+                        (rr.start + self.shuffle_per_reduce_s).min(self.now - compute_s);
+                    let lane = self.lane_reduce(rr.slot);
+                    self.tracer.span(
+                        Category::Shuffle,
+                        format!("shuffle r{task}"),
+                        node,
+                        lane,
+                        rr.start,
+                        shuffle_end.max(rr.start),
+                        vec![("task", ArgValue::from(task))],
+                    );
+                    self.tracer.span(
+                        Category::Task,
+                        format!("reduce {task}"),
+                        node,
+                        lane,
+                        self.now - compute_s,
+                        self.now,
+                        vec![("task", ArgValue::from(task))],
+                    );
+                }
+            }
         }
     }
 
@@ -889,14 +1160,15 @@ impl<'a> Sim<'a> {
 
     /// Hadoop-style speculative execution: once no fresh work is pending,
     /// back up the slowest task whose progress trails the job average by
-    /// more than 0.2, on a node other than the one running it.
+    /// more than `cfg.speculative_lag`, on a node other than the one
+    /// running it.
     fn try_speculate(&mut self, n: u32) {
         if !self.pending.is_empty() || self.maps_done == self.job.maps.len() {
             return;
         }
         let ni = n as usize;
         loop {
-            let has_cpu = self.nodes[ni].free_cpu > 0;
+            let has_cpu = self.nodes[ni].free_cpu() > 0;
             let gpu_free = if self.cfg.scheduler == Scheduler::CpuOnly {
                 None
             } else {
@@ -945,9 +1217,18 @@ impl<'a> Sim<'a> {
             }
             let avg = sum / cnt as f64;
             let Some((t, p)) = cand else { return };
-            if p >= avg - 0.2 {
+            if p >= avg - self.cfg.speculative_lag {
                 return;
             }
+            self.trace_jt_instant(
+                Category::Speculation,
+                format!("speculate map {t}"),
+                vec![
+                    ("task", ArgValue::from(t)),
+                    ("progress", ArgValue::from(p)),
+                    ("job_avg", ArgValue::from(avg)),
+                ],
+            );
             match gpu_free {
                 Some(g) => self.launch(t, n, Device::Gpu, Some(g), true),
                 None => self.launch(t, n, Device::Cpu, None, true),
@@ -980,10 +1261,12 @@ mod tests {
             scheduler: s,
             reduce_start_frac: 0.2,
             speculative: false,
+            speculative_lag: 0.2,
             shuffle_bw: 1e9,
             max_attempts: 4,
             heartbeat_timeout_s: 3.0,
             faults: FaultPlan::none(),
+            trace: crate::config::TraceConfig::default(),
         }
     }
 
@@ -1257,6 +1540,73 @@ mod tests {
     }
 
     #[test]
+    fn trace_is_deterministic_for_the_same_fault_seed() {
+        use hetero_trace::Tracer;
+        let mut cfg = ClusterConfig::small(4, Scheduler::TailScheduling);
+        cfg.trace = crate::config::TraceConfig::on();
+        cfg.faults = FaultPlan {
+            seed: 42,
+            node_crashes: vec![(2, 5.0)],
+            transient_fail_p: 0.05,
+            corrupt_task_inputs: vec![17],
+            ..FaultPlan::default()
+        };
+        let mut job = JobSpec::uniform("j", 60, 4, 4, 2.0, 1.0);
+        job.reduces = (0..8)
+            .map(|id| crate::job::ReduceTaskSpec { id, compute_s: 2.0 })
+            .collect();
+        let t1 = Tracer::new();
+        let t2 = Tracer::new();
+        let s1 = simulate_traced(&cfg, &job, &t1);
+        let s2 = simulate_traced(&cfg, &job, &t2);
+        assert!(!t1.is_empty());
+        let j1 = t1.to_chrome_json();
+        assert_eq!(
+            j1,
+            t2.to_chrome_json(),
+            "same seed must give identical bytes"
+        );
+        hetero_trace::json::validate(&j1).unwrap();
+        assert_eq!(s1.makespan_s, s2.makespan_s);
+        // The log saw the injected faults as first-class events.
+        let evs = t1.events();
+        assert!(evs.iter().any(|e| e.name == "node crash"));
+        assert!(evs.iter().any(|e| e.cat == hetero_trace::Category::Shuffle));
+    }
+
+    #[test]
+    fn tracing_does_not_perturb_the_schedule() {
+        use hetero_trace::Tracer;
+        let mut cfg = ClusterConfig::small(4, Scheduler::GpuFirst);
+        cfg.faults = FaultPlan {
+            seed: 7,
+            transient_fail_p: 0.08,
+            node_crashes: vec![(1, 10.0)],
+            ..FaultPlan::default()
+        };
+        let job = JobSpec::uniform("j", 80, 4, 4, 2.0, 1.0);
+        let untraced = simulate(&cfg, &job);
+        let mut cfg_on = cfg.clone();
+        cfg_on.trace = crate::config::TraceConfig::on();
+        let tracer = Tracer::new();
+        let traced = simulate_traced(&cfg_on, &job, &tracer);
+        assert!(!tracer.is_empty());
+        // Bit-identical schedule: every attempt record, both phases.
+        assert_eq!(
+            format!("{:?}", untraced.tasks),
+            format!("{:?}", traced.tasks)
+        );
+        assert_eq!(untraced.makespan_s, traced.makespan_s);
+        assert_eq!(untraced.map_phase_s, traced.map_phase_s);
+        // And an enabled TraceConfig with a disabled tracer records
+        // nothing but also changes nothing.
+        let off = Tracer::off();
+        let silent = simulate_traced(&cfg_on, &job, &off);
+        assert!(off.is_empty());
+        assert_eq!(silent.makespan_s, untraced.makespan_s);
+    }
+
+    #[test]
     fn speculative_execution_rescues_stragglers() {
         let mut cfg = ClusterConfig::small(2, Scheduler::CpuOnly);
         cfg.faults.stragglers = vec![(0, 20.0)];
@@ -1284,6 +1634,19 @@ mod tests {
         winners.sort_unstable();
         winners.dedup();
         assert_eq!(winners.len(), 10);
+
+        // The lag is a real knob now: with the whole progress range (1.0)
+        // as the required deficit, no attempt can ever qualify as slow,
+        // so speculation stays armed but silent.
+        cfg.speculative_lag = 1.0;
+        let lagless = simulate(&cfg, &job);
+        assert_eq!(lagless.speculative_attempts, 0);
+        assert!((lagless.makespan_s - base.makespan_s).abs() < 1e-9);
+        // ...and a tighter lag than the default 0.2 speculates at least
+        // as eagerly.
+        cfg.speculative_lag = 0.05;
+        let eager = simulate(&cfg, &job);
+        assert!(eager.speculative_attempts >= spec.speculative_attempts);
     }
 
     #[test]

@@ -243,6 +243,44 @@ impl JobStats {
             .count()
     }
 
+    /// Flatten the run into a metrics-registry snapshot (the third
+    /// observability exporter, next to the Chrome trace and the kernel
+    /// profile). Keys are stable and sorted, so the JSON is deterministic.
+    pub fn metrics(&self) -> hetero_trace::MetricsRegistry {
+        let mut m = hetero_trace::MetricsRegistry::new();
+        m.set("job.name", self.name.clone());
+        m.set("job.makespan_s", self.makespan_s);
+        m.set("job.map_phase_s", self.map_phase_s);
+        m.set("job.aborted", u64::from(self.aborted));
+        m.set("maps.completed", self.completed_maps() as u64);
+        m.set("maps.attempts", self.map_attempts() as u64);
+        m.set("maps.extra_attempts", self.extra_attempts() as u64);
+        m.set("maps.gpu", self.gpu_tasks() as u64);
+        m.set("maps.cpu", self.cpu_tasks() as u64);
+        m.set("reduces.completed", self.completed_reduces() as u64);
+        m.set("locality.node_local", u64::from(self.node_local));
+        m.set("locality.rack_local", u64::from(self.rack_local));
+        m.set("locality.off_rack", u64::from(self.off_rack));
+        m.set("gpu.busy_s", self.gpu_busy_s);
+        m.set("gpu.max_speedup_seen", self.max_speedup_seen);
+        m.set("faults.failed_attempts", u64::from(self.failed_attempts));
+        m.set("faults.re_executed", u64::from(self.re_executed));
+        m.set("faults.nodes_lost", u64::from(self.nodes_lost));
+        m.set("faults.gpu_faults_seen", u64::from(self.gpu_faults_seen));
+        m.set(
+            "faults.checksum_failures",
+            u64::from(self.checksum_failures),
+        );
+        m.set(
+            "faults.reduce_attempts_lost",
+            u64::from(self.reduce_attempts_lost),
+        );
+        m.set("speculation.attempts", u64::from(self.speculative_attempts));
+        m.set("speculation.wasted_s", self.speculative_wasted_s);
+        m.set("waste.total_s", self.wasted_work_s);
+        m
+    }
+
     /// Winning map attempts that ran on CPU slots.
     pub fn cpu_tasks(&self) -> usize {
         self.tasks

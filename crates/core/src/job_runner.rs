@@ -10,7 +10,17 @@ use hetero_hdfs::{reader, seqfile, Hdfs, Topology};
 use hetero_runtime::cpu::run_cpu_task;
 use hetero_runtime::reduce::run_reduce_task;
 use hetero_runtime::task::run_gpu_task;
-use hetero_runtime::OptFlags;
+use hetero_runtime::{OptFlags, TaskBreakdown};
+use hetero_trace::{Category, Tracer};
+
+/// Trace lanes of the functional job's single process (pid 0).
+mod lane {
+    pub const HDFS: u32 = 0;
+    pub const TASKS: u32 = 1;
+    pub const STAGES: u32 = 2;
+    pub const KERNELS: u32 = 3;
+    pub const PCIE: u32 = 4;
+}
 
 /// Outcome of a functional job run.
 #[derive(Debug)]
@@ -55,6 +65,71 @@ pub fn run_functional_job_on(
     opts: OptFlags,
     dev: &Device,
 ) -> Result<FunctionalJob, GpuError> {
+    run_functional_job_traced(app, preset, input, gpu_every, opts, dev, &Tracer::off())
+}
+
+/// Emit the per-stage spans of one task's [`TaskBreakdown`], back to back
+/// from `t0` on the stages lane. Returns the stage-sequence end time.
+fn trace_stages(tracer: &Tracer, t0: f64, bd: &TaskBreakdown) -> f64 {
+    let mut t = t0;
+    for (name, dur) in bd.stages() {
+        if dur > 0.0 {
+            tracer.span(Category::Task, name, 0, lane::STAGES, t, t + dur, vec![]);
+        }
+        t += dur;
+    }
+    t
+}
+
+/// Emit kernel-launch and PCIe-transfer spans from a drained device
+/// kernel log, re-based so the first entry starts at task time `t0`.
+fn trace_kernel_log(tracer: &Tracer, t0: f64, log: &[hetero_gpusim::KernelLogEntry]) {
+    let Some(base) = log.first().map(|e| e.start_s) else {
+        return;
+    };
+    for e in log {
+        let start = t0 + (e.start_s - base);
+        let end = start + e.stats.time_s;
+        if e.name.starts_with("[memcpy") {
+            let args = vec![("bytes", e.stats.counters.dram_bytes.into())];
+            tracer.span(Category::Pcie, e.name, 0, lane::PCIE, start, end, args);
+        } else {
+            let args = vec![
+                ("cycles", e.stats.cycles.into()),
+                ("dram_bytes", e.stats.counters.dram_bytes.into()),
+            ];
+            tracer.span(Category::Kernel, e.name, 0, lane::KERNELS, start, end, args);
+        }
+    }
+}
+
+/// Like [`run_functional_job_on`] but records the run into `tracer` as a
+/// simulated-time event log: one span per HDFS split read, per task, per
+/// pipeline stage, and — for GPU tasks — per kernel launch and PCIe
+/// transfer (drained from the device's kernel log). Tasks are laid out
+/// back to back on one timeline: the functional runner models the data
+/// plane, so the trace shows *work composition*, not cluster concurrency
+/// (that is [`hetero_cluster::simulate_traced`]'s job).
+#[allow(clippy::too_many_arguments)]
+pub fn run_functional_job_traced(
+    app: &dyn App,
+    preset: &Preset,
+    input: &[u8],
+    gpu_every: usize,
+    opts: OptFlags,
+    dev: &Device,
+    tracer: &Tracer,
+) -> Result<FunctionalJob, GpuError> {
+    let trace_on = tracer.is_enabled();
+    if trace_on {
+        tracer.name_process(0, "functional-job");
+        tracer.name_lane(0, lane::HDFS, "hdfs");
+        tracer.name_lane(0, lane::TASKS, "tasks");
+        tracer.name_lane(0, lane::STAGES, "stages");
+        tracer.name_lane(0, lane::KERNELS, "gpu-kernels");
+        tracer.name_lane(0, lane::PCIE, "pcie");
+        dev.enable_kernel_log();
+    }
     let fs = Hdfs::new(
         Topology::new(preset.cluster.num_slaves, preset.cluster.nodes_per_rack),
         preset.hdfs_block,
@@ -76,6 +151,8 @@ pub fn run_functional_job_on(
     let mut task_seconds = 0.0;
     let mut gpu_tasks = 0usize;
     let mut gpu_fallbacks = 0usize;
+    // Simulated-time cursor: tasks run back to back on one timeline.
+    let mut t_cursor = 0.0f64;
 
     for (i, split) in splits.iter().enumerate() {
         // Hadoop record semantics: a task reads past its split end to
@@ -97,6 +174,17 @@ pub fn run_functional_job_on(
                 Ok(r) => Some(r),
                 Err(GpuError::DeviceFault(_)) => {
                     gpu_fallbacks += 1;
+                    if trace_on {
+                        let _ = dev.take_kernel_log(); // drop the aborted task's entries
+                        tracer.instant(
+                            Category::Fault,
+                            format!("map {i}: gpu fault, cpu fallback"),
+                            0,
+                            lane::TASKS,
+                            t_cursor,
+                            vec![],
+                        );
+                    }
                     None
                 }
                 Err(e) => return Err(e),
@@ -104,10 +192,12 @@ pub fn run_functional_job_on(
         } else {
             None
         };
-        let partitions = if let Some(r) = gpu_result {
+        let (partitions, breakdown, device) = if let Some(r) = gpu_result {
             gpu_tasks += 1;
-            task_seconds += r.breakdown.total_s();
-            r.partitions
+            if trace_on {
+                trace_kernel_log(tracer, t_cursor, &dev.take_kernel_log());
+            }
+            (r.partitions, r.breakdown, "gpu")
         } else {
             let r = run_cpu_task(
                 &preset.env,
@@ -118,9 +208,32 @@ pub fn run_functional_job_on(
                 cfg.num_reducers,
                 cfg.map_only,
             );
-            task_seconds += r.breakdown.total_s();
-            r.partitions
+            (r.partitions, r.breakdown, "cpu")
         };
+        let total = breakdown.total_s();
+        if trace_on {
+            tracer.span(
+                Category::Hdfs,
+                format!("split {i}"),
+                0,
+                lane::HDFS,
+                t_cursor,
+                t_cursor + breakdown.input_read_s,
+                vec![("offset", split.offset.into()), ("len", split.len.into())],
+            );
+            tracer.span(
+                Category::Task,
+                format!("map {i}"),
+                0,
+                lane::TASKS,
+                t_cursor,
+                t_cursor + total,
+                vec![("device", device.into())],
+            );
+            trace_stages(tracer, t_cursor, &breakdown);
+        }
+        t_cursor += total;
+        task_seconds += total;
         for (p, pairs) in partitions.into_iter().enumerate() {
             if !pairs.is_empty() {
                 shuffle[p % nr].push(pairs);
@@ -133,8 +246,20 @@ pub fn run_functional_job_on(
     let mut output = Vec::with_capacity(nr);
     match app.reducer() {
         Some(red) if !cfg.map_only => {
-            for part_inputs in shuffle {
+            for (p, part_inputs) in shuffle.into_iter().enumerate() {
                 let r = run_reduce_task(&preset.env, &preset.cpu, part_inputs, red.as_ref());
+                if trace_on {
+                    tracer.span(
+                        Category::Task,
+                        format!("reduce {p}"),
+                        0,
+                        lane::TASKS,
+                        t_cursor,
+                        t_cursor + r.time_s,
+                        vec![("device", "cpu".into())],
+                    );
+                }
+                t_cursor += r.time_s;
                 task_seconds += r.time_s;
                 output.push(r.output);
             }
@@ -262,6 +387,39 @@ mod tests {
         assert_eq!(healed.gpu_fallbacks, 0);
         assert_eq!(healed.gpu_tasks, clean.gpu_tasks);
         assert_eq!(healed.output, clean.output);
+    }
+
+    #[test]
+    fn traced_run_is_observation_only_and_exports_valid_json() {
+        let app = hetero_apps::app_by_code("WC").unwrap();
+        let p = Preset::cluster1();
+        let input = app.generate_split(800, 5);
+        let dev = Device::new(p.gpu.clone());
+        let tracer = Tracer::new();
+        let traced =
+            run_functional_job_traced(app.as_ref(), &p, &input, 2, OptFlags::all(), &dev, &tracer)
+                .unwrap();
+        let plain = run_functional_job(app.as_ref(), &p, &input, 2, OptFlags::all()).unwrap();
+        // Tracing is pure observation: bit-identical output and identical
+        // simulated task time.
+        assert_eq!(traced.output, plain.output);
+        assert_eq!(traced.task_seconds, plain.task_seconds);
+
+        let evs = tracer.events();
+        assert!(!evs.is_empty());
+        for cat in [
+            Category::Task,
+            Category::Hdfs,
+            Category::Kernel,
+            Category::Pcie,
+        ] {
+            assert!(evs.iter().any(|e| e.cat == cat), "missing category {cat:?}");
+        }
+        // Named kernels (not "[unnamed kernel]") and both copy directions.
+        assert!(evs.iter().any(|e| e.name == "map_kernel"));
+        assert!(evs.iter().any(|e| e.name == "[memcpy HtoD]"));
+        assert!(evs.iter().any(|e| e.name == "[memcpy DtoH]"));
+        hetero_trace::json::validate(&tracer.to_chrome_json()).unwrap();
     }
 
     #[test]

@@ -44,7 +44,9 @@ pub mod presets;
 
 pub use hetero_runtime::OptFlags;
 pub use interp_adapter::{InterpCombiner, InterpMapper};
-pub use job_runner::{run_functional_job, run_functional_job_on, FunctionalJob};
+pub use job_runner::{
+    run_functional_job, run_functional_job_on, run_functional_job_traced, FunctionalJob,
+};
 pub use pipeline::{
     build_job, job_speedup, measure_task, optimization_effect, task_config, JobComparison,
     TaskMeasurement, DEFAULT_SPLIT_RECORDS,

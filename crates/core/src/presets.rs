@@ -1,6 +1,6 @@
 //! The two evaluation platforms of the paper's Table 3.
 
-use hetero_cluster::{ClusterConfig, FaultPlan, Scheduler};
+use hetero_cluster::{ClusterConfig, FaultPlan, Scheduler, TraceConfig};
 use hetero_gpusim::GpuSpec;
 use hetero_runtime::cpu::CpuCostModel;
 use hetero_runtime::TaskEnv;
@@ -41,10 +41,12 @@ impl Preset {
                 scheduler: Scheduler::GpuFirst,
                 reduce_start_frac: 0.2,
                 speculative: false,
+                speculative_lag: 0.2,
                 shuffle_bw: 6e9, // FDR InfiniBand
                 max_attempts: 4,
                 heartbeat_timeout_s: 3.0,
                 faults: FaultPlan::none(),
+                trace: TraceConfig::default(),
             },
             gpu: GpuSpec::tesla_k40(),
             env: TaskEnv::disk(),
@@ -69,10 +71,12 @@ impl Preset {
                 scheduler: Scheduler::GpuFirst,
                 reduce_start_frac: 0.2,
                 speculative: false,
+                speculative_lag: 0.2,
                 shuffle_bw: 4e9, // QDR InfiniBand
                 max_attempts: 4,
                 heartbeat_timeout_s: 3.0,
                 faults: FaultPlan::none(),
+                trace: TraceConfig::default(),
             },
             gpu: GpuSpec::tesla_m2090(),
             env: TaskEnv::in_memory(),

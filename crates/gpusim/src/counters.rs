@@ -31,6 +31,12 @@ pub struct Counters {
     pub tex_misses: u64,
     /// Bytes moved to/from global memory (for the bandwidth floor).
     pub dram_bytes: u64,
+    /// Global transactions (×1000) caused by `Access::Random` requests —
+    /// the non-coalesced share of `gld_txn_milli + gst_txn_milli`.
+    pub random_txn_milli: u64,
+    /// Lanes left idle by partially-active warp rounds (branch
+    /// divergence): for each `warp_round_partial`, `warp_size - active`.
+    pub divergent_lanes: u64,
 }
 
 impl Counters {
@@ -48,6 +54,17 @@ impl Counters {
     pub fn global_txns(&self) -> f64 {
         self.gld_txns() + self.gst_txns()
     }
+
+    /// Global transactions caused by uncoalesced (`Access::Random`) requests.
+    pub fn random_txns(&self) -> f64 {
+        self.random_txn_milli as f64 / 1000.0
+    }
+
+    /// Global transactions from coalesced/broadcast requests
+    /// (total − random).
+    pub fn coalesced_txns(&self) -> f64 {
+        (self.global_txns() - self.random_txns()).max(0.0)
+    }
 }
 
 impl AddAssign for Counters {
@@ -62,6 +79,8 @@ impl AddAssign for Counters {
         self.tex_hits += o.tex_hits;
         self.tex_misses += o.tex_misses;
         self.dram_bytes += o.dram_bytes;
+        self.random_txn_milli += o.random_txn_milli;
+        self.divergent_lanes += o.divergent_lanes;
     }
 }
 
@@ -102,11 +121,15 @@ mod tests {
             tex_hits: 8,
             tex_misses: 9,
             dram_bytes: 10,
+            random_txn_milli: 11,
+            divergent_lanes: 12,
         };
         a += a;
         assert_eq!(a.alu_ops, 2);
         assert_eq!(a.dram_bytes, 20);
         assert_eq!(a.tex_misses, 18);
+        assert_eq!(a.random_txn_milli, 22);
+        assert_eq!(a.divergent_lanes, 24);
     }
 
     #[test]

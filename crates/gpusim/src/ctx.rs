@@ -96,7 +96,7 @@ impl<'a> LaneCtx<'a> {
         self.cycles += self.spec.costs.alu_cycles;
     }
 
-    fn txn_cost(&self, bytes: u64, access: Access) -> (u64, u64) {
+    fn txn_cost(&mut self, bytes: u64, access: Access) -> (u64, u64) {
         let line = self.spec.costs.txn_bytes as u64;
         match access {
             // Per-lane fractional share of the warp's merged transactions.
@@ -104,6 +104,7 @@ impl<'a> LaneCtx<'a> {
             // A full line per lane-access regardless of useful bytes.
             Access::Random => {
                 let accesses = bytes.div_ceil(line).max(1);
+                self.counters.random_txn_milli += accesses * 1000;
                 (accesses * 1000, accesses * line)
             }
             // One transaction shared by the whole warp.
@@ -336,6 +337,7 @@ impl<'a> BlockCtx<'a> {
         F: FnMut(u32, &mut LaneCtx<'_>),
     {
         let active = active.min(self.spec.warp_size);
+        self.counters.divergent_lanes += (self.spec.warp_size - active) as u64;
         let mut max_cycles = 0.0f64;
         for lane in 0..active {
             let mut ctx = LaneCtx {
@@ -423,6 +425,10 @@ mod tests {
         assert!((b2.counters.gld_txns() - 32.0).abs() < 1e-9);
         // Random access wastes DRAM bandwidth: full line per lane.
         assert_eq!(b2.counters.dram_bytes, 32 * 128);
+        // All of those transactions are attributed to the random counter;
+        // the coalesced round contributed none.
+        assert!((b2.counters.random_txns() - 32.0).abs() < 1e-9);
+        assert_eq!(b.counters.random_txn_milli, 0);
     }
 
     #[test]
@@ -502,6 +508,8 @@ mod tests {
         });
         assert_eq!(ran, 1);
         assert_eq!(b.counters.alu_ops, 5);
+        // The other 31 lanes idled through the round: branch divergence.
+        assert_eq!(b.counters.divergent_lanes, 31);
     }
 
     #[test]

@@ -34,6 +34,21 @@ impl LaunchConfig {
     }
 }
 
+/// One entry in the device's optional kernel log: a named launch (or
+/// memcpy) with its start time on the device clock and full stats.
+/// Consumed by the observability layer to build timelines and
+/// nvprof-style profiles.
+#[derive(Debug, Clone)]
+pub struct KernelLogEntry {
+    /// Kernel name (memcpys log as `"[memcpy HtoD]"` / `"[memcpy DtoH]"`).
+    pub name: &'static str,
+    /// Device-clock time when the operation started, seconds.
+    pub start_s: f64,
+    /// Timing and counters for the operation. For memcpys only `time_s`
+    /// and `counters.dram_bytes` are populated.
+    pub stats: KernelStats,
+}
+
 #[derive(Debug)]
 struct DevState {
     mem: MemTracker,
@@ -42,6 +57,7 @@ struct DevState {
     kernels_launched: u64,
     sim_time_s: f64,
     fault: Option<String>,
+    kernel_log: Option<Vec<KernelLogEntry>>,
 }
 
 /// A simulated GPU. Cheap to share behind `&self`; all mutability is
@@ -65,6 +81,7 @@ impl Device {
                 kernels_launched: 0,
                 sim_time_s: 0.0,
                 fault: None,
+                kernel_log: None,
             }),
         }
     }
@@ -114,18 +131,55 @@ impl Device {
     /// Simulate a host→device copy; returns elapsed seconds and advances
     /// the device clock.
     pub fn h2d(&self, bytes: u64) -> Result<f64, GpuError> {
-        self.check_fault()?;
-        let t = self.spec.pcie_transfer_seconds(bytes);
-        self.state.lock().sim_time_s += t;
-        Ok(t)
+        self.memcpy("[memcpy HtoD]", bytes)
     }
 
     /// Simulate a device→host copy.
     pub fn d2h(&self, bytes: u64) -> Result<f64, GpuError> {
+        self.memcpy("[memcpy DtoH]", bytes)
+    }
+
+    fn memcpy(&self, name: &'static str, bytes: u64) -> Result<f64, GpuError> {
         self.check_fault()?;
         let t = self.spec.pcie_transfer_seconds(bytes);
-        self.state.lock().sim_time_s += t;
+        let mut st = self.state.lock();
+        let start_s = st.sim_time_s;
+        st.sim_time_s += t;
+        if let Some(log) = st.kernel_log.as_mut() {
+            log.push(KernelLogEntry {
+                name,
+                start_s,
+                stats: KernelStats {
+                    time_s: t,
+                    counters: Counters {
+                        dram_bytes: bytes,
+                        ..Counters::default()
+                    },
+                    ..KernelStats::default()
+                },
+            });
+        }
         Ok(t)
+    }
+
+    /// Start recording every launch and transfer into an in-device log,
+    /// retrievable with [`Device::take_kernel_log`]. Off by default — the
+    /// log is pure observability and never affects timing.
+    pub fn enable_kernel_log(&self) {
+        let mut st = self.state.lock();
+        if st.kernel_log.is_none() {
+            st.kernel_log = Some(Vec::new());
+        }
+    }
+
+    /// Drain and return the accumulated kernel log (empty if logging was
+    /// never enabled). Logging stays enabled once turned on.
+    pub fn take_kernel_log(&self) -> Vec<KernelLogEntry> {
+        let mut st = self.state.lock();
+        match st.kernel_log.as_mut() {
+            Some(log) => std::mem::take(log),
+            None => Vec::new(),
+        }
     }
 
     /// Inject a device fault: every subsequent operation fails until
@@ -167,6 +221,22 @@ impl Device {
     /// ```
     pub fn launch<T, F>(
         &self,
+        threads_per_block: u32,
+        payloads: Vec<T>,
+        body: F,
+    ) -> Result<KernelStats, GpuError>
+    where
+        T: Send,
+        F: Fn(&mut BlockCtx<'_>, T) -> Result<(), GpuError> + Sync,
+    {
+        self.launch_named("[unnamed kernel]", threads_per_block, payloads, body)
+    }
+
+    /// [`Device::launch`] with a kernel name attached, so the launch shows
+    /// up under `name` in the kernel log and downstream profiles.
+    pub fn launch_named<T, F>(
+        &self,
+        name: &'static str,
         threads_per_block: u32,
         payloads: Vec<T>,
         body: F,
@@ -239,7 +309,15 @@ impl Device {
         let mut st = self.state.lock();
         st.totals += totals;
         st.kernels_launched += 1;
+        let start_s = st.sim_time_s;
         st.sim_time_s += time_s;
+        if let Some(log) = st.kernel_log.as_mut() {
+            log.push(KernelLogEntry {
+                name,
+                start_s,
+                stats,
+            });
+        }
         Ok(stats)
     }
 
@@ -376,6 +454,37 @@ mod tests {
             }
         });
         assert!(matches!(r, Err(GpuError::DeviceFault(_))));
+    }
+
+    #[test]
+    fn kernel_log_records_launches_and_transfers_in_device_time() {
+        let dev = Device::new(GpuSpec::tesla_k40());
+        dev.enable_kernel_log();
+        dev.h2d(1 << 16).unwrap();
+        dev.launch_named("test_kernel", 64, vec![(); 4], |blk, _| {
+            blk.warp_round(|_, t| t.alu(10));
+            Ok(())
+        })
+        .unwrap();
+        dev.d2h(1 << 10).unwrap();
+        let log = dev.take_kernel_log();
+        let names: Vec<_> = log.iter().map(|e| e.name).collect();
+        assert_eq!(names, vec!["[memcpy HtoD]", "test_kernel", "[memcpy DtoH]"]);
+        // Entries are back-to-back on the device clock.
+        for w in log.windows(2) {
+            assert!((w[0].start_s + w[0].stats.time_s - w[1].start_s).abs() < 1e-12);
+        }
+        // Drained: a second take is empty, but logging stays on.
+        assert!(dev.take_kernel_log().is_empty());
+        dev.h2d(16).unwrap();
+        assert_eq!(dev.take_kernel_log().len(), 1);
+    }
+
+    #[test]
+    fn kernel_log_disabled_by_default() {
+        let dev = Device::new(GpuSpec::tesla_k40());
+        dev.h2d(1 << 16).unwrap();
+        assert!(dev.take_kernel_log().is_empty());
     }
 
     #[test]

@@ -173,6 +173,54 @@ mod tests {
     }
 
     #[test]
+    fn final_split_without_trailing_newline_owns_last_record() {
+        // The file's last record has no trailing '\n'. The *final* split
+        // (not offset 0) must still claim it — rule 1 skips to the
+        // newline at byte 7, then the unterminated "tail" is a record.
+        let f = b"head\nmid\ntail";
+        let s1 = records_for_range(f, 0, 9);
+        let s2 = records_for_range(f, 9, 4);
+        assert_eq!(spans_to_strings(f, &s1), vec!["head", "mid"]);
+        assert_eq!(spans_to_strings(f, &s2), vec!["tail"]);
+        // And the fetch range runs to end-of-file, not to a newline.
+        assert_eq!(fetch_range(f, 9, 4), (9, 13));
+    }
+
+    #[test]
+    fn record_ending_exactly_on_split_boundary() {
+        // "aaaa\n" ends at byte 4; the newline is the last byte of split
+        // 1 (bytes 0..5). Split 2 starts exactly at a record start and
+        // must not skip "bbbb" (the offset-1 scan finds the newline at
+        // byte 4, yielding pos = 5), and split 1 must not leak past it.
+        let f = b"aaaa\nbbbb\n";
+        let s1 = records_for_range(f, 0, 5);
+        let s2 = records_for_range(f, 5, 5);
+        assert_eq!(spans_to_strings(f, &s1), vec!["aaaa"]);
+        assert_eq!(spans_to_strings(f, &s2), vec!["bbbb"]);
+        // No overlap, no loss: fetch ranges tile the file exactly.
+        assert_eq!(fetch_range(f, 0, 5), (0, 4));
+        assert_eq!(fetch_range(f, 5, 5), (5, 9));
+    }
+
+    #[test]
+    fn record_longer_than_one_split_spans_many() {
+        // One 25-byte record over 10-byte splits: the split containing
+        // the record *start* owns it (reading past two split ends); the
+        // middle splits own nothing; the final split owns the next line.
+        let f = b"abcdefghijklmnopqrstuvwxy\nz\n";
+        let s1 = records_for_range(f, 0, 10);
+        let s2 = records_for_range(f, 10, 10);
+        let s3 = records_for_range(f, 20, 8);
+        assert_eq!(spans_to_strings(f, &s1), vec!["abcdefghijklmnopqrstuvwxy"]);
+        assert!(s2.is_empty(), "mid-record split owns nothing");
+        assert_eq!(spans_to_strings(f, &s3), vec!["z"]);
+        // Split 1 must fetch all the way to the record end at byte 25.
+        assert_eq!(fetch_range(f, 0, 10), (0, 25));
+        // A mid-record split fetches nothing.
+        assert_eq!(fetch_range(f, 10, 10), (10, 10));
+    }
+
+    #[test]
     fn fetch_range_covers_spilled_record() {
         let f = b"hello world\nbye\n";
         let (s, e) = fetch_range(f, 0, 6);

@@ -34,7 +34,8 @@ pub fn aggregate(dev: &Device, store: &KvStore) -> Result<Aggregated, GpuError> 
     let threads_per_block = 128usize;
     let n_blocks = store.threads.div_ceil(threads_per_block).max(1);
     let counts = &store.counts;
-    let stats2 = dev.launch(
+    let stats2 = dev.launch_named(
+        "aggregate_compact_kernel",
         threads_per_block as u32,
         (0..n_blocks).collect::<Vec<_>>(),
         |blk, b| {

@@ -116,7 +116,8 @@ pub fn run_combine(
     let in_key = store.key_len;
     let in_val = store.val_len;
 
-    let stats = dev.launch(
+    let stats = dev.launch_named(
+        "combine_kernel",
         cfg.threads_per_block,
         block_chunks,
         |blk, (block_no, warp_chunks)| {

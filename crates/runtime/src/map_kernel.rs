@@ -182,143 +182,149 @@ pub fn run_map(
     let stats = {
         let block_views = store.split_blocks(tpb);
         let payloads: Vec<_> = record_chunks.into_iter().zip(block_views).collect();
-        dev.launch(cfg.threads_per_block, payloads, |blk, (recs, view)| {
-            // The shared-memory record counter of Listing 3 line 9.
-            blk.alloc_shared(4)?;
-            let (keys, vals, parts, counts) = view;
+        dev.launch_named(
+            "map_kernel",
+            cfg.threads_per_block,
+            payloads,
+            |blk, (recs, view)| {
+                // The shared-memory record counter of Listing 3 line 9.
+                blk.alloc_shared(4)?;
+                let (keys, vals, parts, counts) = view;
 
-            // Per-thread region views, interior-mutable so warp_round
-            // closures can reach the right lane's region.
-            let regions: Vec<Region<'_>> = {
-                let mut v = Vec::with_capacity(tpb);
-                let mut k_rest = keys;
-                let mut v_rest = vals;
-                let mut p_rest = parts;
-                let mut c_rest = counts;
-                for _ in 0..tpb.min(c_rest.len()) {
-                    let (k, kr) = k_rest.split_at_mut(spt * key_len);
-                    let (va, vr) = v_rest.split_at_mut(spt * val_len);
-                    let (p, pr) = p_rest.split_at_mut(spt);
-                    let (c, cr) = c_rest.split_at_mut(1);
-                    v.push(RefCell::new((k, va, p, &mut c[0])));
-                    k_rest = kr;
-                    v_rest = vr;
-                    p_rest = pr;
-                    c_rest = cr;
-                }
-                v
-            };
-            let n_threads = regions.len();
-            let warps = blk.num_warps();
-            let ws = blk.warp_size() as usize;
-
-            let map_one = |lane: &mut LaneCtx<'_>, rec: &Record, region: &Region<'_>| -> bool {
-                let data = &input[rec.start..rec.start + rec.len];
-                // Fetching the record: streamed bytes + per-byte scan work
-                // (getRecord + the mapper's own parsing loop).
-                lane.gld(rec.len.max(1) as u64, Access::Coalesced);
-                lane.alu((rec.len as u64) / 4 + 1);
-                let mut guard = region.borrow_mut();
-                let (k, v, p, c) = &mut *guard;
-                let mut em = GpuEmit {
-                    lane,
-                    keys: k,
-                    vals: v,
-                    part: p,
-                    count: c,
-                    key_len,
-                    val_len,
-                    num_reducers,
-                    stores_per_thread: spt,
-                    vectorize: opts.vectorize_map,
-                    texture,
-                    hit_full: false,
-                    _marker: std::marker::PhantomData,
-                };
-                mapper.map(data, &mut em);
-                if em.hit_full {
-                    dropped.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                }
-                !em.hit_full && (*em.count as usize) < spt
-            };
-
-            if opts.record_stealing {
-                // Dynamic distribution: a lane that finishes its record
-                // immediately steals the next one from the block pool via
-                // the shared-memory counter (SIMT divergence lets lanes
-                // progress through different record counts). Simulated
-                // with greedy per-lane virtual clocks: the least-loaded
-                // lane with space steals next, yielding the balanced
-                // totals real stealing achieves. Warp chains are the max
-                // lane clock per warp.
-                let mut lane_clock = vec![0.0f64; n_threads];
-                let mut full = vec![false; n_threads];
-                let mut next = 0usize;
-                while next < recs.len() {
-                    let mut pick: Option<usize> = None;
-                    for tid in 0..n_threads {
-                        if full[tid] {
-                            continue;
-                        }
-                        let used = *regions[tid].borrow().3 as usize;
-                        if spt - used < kv_max {
-                            full[tid] = true;
-                            continue;
-                        }
-                        if pick
-                            .map(|p| lane_clock[tid] < lane_clock[p])
-                            .unwrap_or(true)
-                        {
-                            pick = Some(tid);
-                        }
+                // Per-thread region views, interior-mutable so warp_round
+                // closures can reach the right lane's region.
+                let regions: Vec<Region<'_>> = {
+                    let mut v = Vec::with_capacity(tpb);
+                    let mut k_rest = keys;
+                    let mut v_rest = vals;
+                    let mut p_rest = parts;
+                    let mut c_rest = counts;
+                    for _ in 0..tpb.min(c_rest.len()) {
+                        let (k, kr) = k_rest.split_at_mut(spt * key_len);
+                        let (va, vr) = v_rest.split_at_mut(spt * val_len);
+                        let (p, pr) = p_rest.split_at_mut(spt);
+                        let (c, cr) = c_rest.split_at_mut(1);
+                        v.push(RefCell::new((k, va, p, &mut c[0])));
+                        k_rest = kr;
+                        v_rest = vr;
+                        p_rest = pr;
+                        c_rest = cr;
                     }
-                    let Some(tid) = pick else {
-                        // Every thread is full; remaining records drop.
-                        dropped.fetch_add(recs.len() - next, std::sync::atomic::Ordering::Relaxed);
-                        break;
-                    };
-                    let rec = &recs[next];
-                    next += 1;
-                    let cost = blk.with_lane(|t| {
-                        t.shared_atomic(); // the steal
-                        if !map_one(t, rec, &regions[tid]) {
-                            full[tid] = true;
-                        }
-                    });
-                    lane_clock[tid] += cost;
-                }
-                for w in 0..warps {
-                    let lo = w as usize * ws;
-                    let hi = (lo + ws).min(n_threads);
-                    let chain = lane_clock[lo..hi].iter().cloned().fold(0.0f64, f64::max);
-                    blk.charge_warp_chain(w, chain);
-                }
-            } else {
-                // Static contiguous chunks per thread.
-                let per_thread = recs.len().div_ceil(n_threads.max(1)).max(1);
-                for w in 0..warps {
-                    blk.warp_round_for(w, |lane_id, t| {
-                        let tid = w as usize * ws + lane_id as usize;
-                        if tid >= n_threads {
-                            return;
-                        }
-                        let lo = (tid * per_thread).min(recs.len());
-                        let hi = ((tid + 1) * per_thread).min(recs.len());
-                        for rec in &recs[lo..hi] {
-                            // map_one counts truncated records itself; a
-                            // false return just means the region is full.
-                            let _ = map_one(t, rec, &regions[tid]);
-                        }
-                    });
-                }
-            }
+                    v
+                };
+                let n_threads = regions.len();
+                let warps = blk.num_warps();
+                let ws = blk.warp_size() as usize;
 
-            // mapFinish: write per-thread counts (Listing 3 line 25).
-            for _ in 0..warps {
-                blk.warp_round(|_, t| t.gst(4, Access::Coalesced));
-            }
-            Ok(())
-        })?
+                let map_one = |lane: &mut LaneCtx<'_>, rec: &Record, region: &Region<'_>| -> bool {
+                    let data = &input[rec.start..rec.start + rec.len];
+                    // Fetching the record: streamed bytes + per-byte scan work
+                    // (getRecord + the mapper's own parsing loop).
+                    lane.gld(rec.len.max(1) as u64, Access::Coalesced);
+                    lane.alu((rec.len as u64) / 4 + 1);
+                    let mut guard = region.borrow_mut();
+                    let (k, v, p, c) = &mut *guard;
+                    let mut em = GpuEmit {
+                        lane,
+                        keys: k,
+                        vals: v,
+                        part: p,
+                        count: c,
+                        key_len,
+                        val_len,
+                        num_reducers,
+                        stores_per_thread: spt,
+                        vectorize: opts.vectorize_map,
+                        texture,
+                        hit_full: false,
+                        _marker: std::marker::PhantomData,
+                    };
+                    mapper.map(data, &mut em);
+                    if em.hit_full {
+                        dropped.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    }
+                    !em.hit_full && (*em.count as usize) < spt
+                };
+
+                if opts.record_stealing {
+                    // Dynamic distribution: a lane that finishes its record
+                    // immediately steals the next one from the block pool via
+                    // the shared-memory counter (SIMT divergence lets lanes
+                    // progress through different record counts). Simulated
+                    // with greedy per-lane virtual clocks: the least-loaded
+                    // lane with space steals next, yielding the balanced
+                    // totals real stealing achieves. Warp chains are the max
+                    // lane clock per warp.
+                    let mut lane_clock = vec![0.0f64; n_threads];
+                    let mut full = vec![false; n_threads];
+                    let mut next = 0usize;
+                    while next < recs.len() {
+                        let mut pick: Option<usize> = None;
+                        for tid in 0..n_threads {
+                            if full[tid] {
+                                continue;
+                            }
+                            let used = *regions[tid].borrow().3 as usize;
+                            if spt - used < kv_max {
+                                full[tid] = true;
+                                continue;
+                            }
+                            if pick
+                                .map(|p| lane_clock[tid] < lane_clock[p])
+                                .unwrap_or(true)
+                            {
+                                pick = Some(tid);
+                            }
+                        }
+                        let Some(tid) = pick else {
+                            // Every thread is full; remaining records drop.
+                            dropped
+                                .fetch_add(recs.len() - next, std::sync::atomic::Ordering::Relaxed);
+                            break;
+                        };
+                        let rec = &recs[next];
+                        next += 1;
+                        let cost = blk.with_lane(|t| {
+                            t.shared_atomic(); // the steal
+                            if !map_one(t, rec, &regions[tid]) {
+                                full[tid] = true;
+                            }
+                        });
+                        lane_clock[tid] += cost;
+                    }
+                    for w in 0..warps {
+                        let lo = w as usize * ws;
+                        let hi = (lo + ws).min(n_threads);
+                        let chain = lane_clock[lo..hi].iter().cloned().fold(0.0f64, f64::max);
+                        blk.charge_warp_chain(w, chain);
+                    }
+                } else {
+                    // Static contiguous chunks per thread.
+                    let per_thread = recs.len().div_ceil(n_threads.max(1)).max(1);
+                    for w in 0..warps {
+                        blk.warp_round_for(w, |lane_id, t| {
+                            let tid = w as usize * ws + lane_id as usize;
+                            if tid >= n_threads {
+                                return;
+                            }
+                            let lo = (tid * per_thread).min(recs.len());
+                            let hi = ((tid + 1) * per_thread).min(recs.len());
+                            for rec in &recs[lo..hi] {
+                                // map_one counts truncated records itself; a
+                                // false return just means the region is full.
+                                let _ = map_one(t, rec, &regions[tid]);
+                            }
+                        });
+                    }
+                }
+
+                // mapFinish: write per-thread counts (Listing 3 line 25).
+                for _ in 0..warps {
+                    blk.warp_round(|_, t| t.gst(4, Access::Coalesced));
+                }
+                Ok(())
+            },
+        )?
     };
 
     Ok(MapOutcome {

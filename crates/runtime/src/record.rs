@@ -33,7 +33,7 @@ pub fn locate_records(dev: &Device, input: &[u8]) -> Result<RecordLocator, GpuEr
     if input.is_empty() {
         // A kernel still launches (the host does not know the split is
         // trivial), but finds nothing.
-        let stats = dev.launch(32, vec![()], |blk, _| {
+        let stats = dev.launch_named("record_scan_kernel", 32, vec![()], |blk, _| {
             blk.warp_round(|_, t| t.alu(1));
             Ok(())
         })?;
@@ -49,7 +49,7 @@ pub fn locate_records(dev: &Device, input: &[u8]) -> Result<RecordLocator, GpuEr
         .map(|(i, c)| (i * chunk, c))
         .collect();
     let found: std::sync::Mutex<Vec<usize>> = std::sync::Mutex::new(Vec::new());
-    let stats = dev.launch(128, chunks, |blk, (base, data)| {
+    let stats = dev.launch_named("record_scan_kernel", 128, chunks, |blk, (base, data)| {
         // Streaming scan: every byte loaded once, coalesced; one compare
         // per byte.
         let lanes = blk.warp_size() as u64 * blk.num_warps() as u64;

@@ -40,7 +40,8 @@ pub fn exclusive_scan(dev: &Device, input: &[u32]) -> Result<ScanResult, GpuErro
     let n_blocks = chunks.len();
     let results: std::sync::Mutex<Vec<(usize, Vec<u64>, u64)>> =
         std::sync::Mutex::new(Vec::with_capacity(n_blocks));
-    let stats1 = dev.launch(
+    let stats1 = dev.launch_named(
+        "scan_reduce_kernel",
         threads_per_block,
         chunks.into_iter().enumerate().collect::<Vec<_>>(),
         |blk, (i, chunk)| {
@@ -104,24 +105,34 @@ pub fn exclusive_scan(dev: &Device, input: &[u32]) -> Result<ScanResult, GpuErro
         block_offsets[i] = acc;
         acc += t;
     }
-    let stats2 = dev.launch(threads_per_block.min(32), vec![()], |blk, _| {
-        blk.warp_round(|_, t| {
-            t.gld(8, Access::Coalesced);
-            t.alu(2);
-            t.gst(8, Access::Coalesced);
-        });
-        Ok(())
-    })?;
+    let stats2 = dev.launch_named(
+        "scan_spine_kernel",
+        threads_per_block.min(32),
+        vec![()],
+        |blk, _| {
+            blk.warp_round(|_, t| {
+                t.gld(8, Access::Coalesced);
+                t.alu(2);
+                t.gst(8, Access::Coalesced);
+            });
+            Ok(())
+        },
+    )?;
 
     // Phase 3: uniform add of each block's offset.
-    let stats3 = dev.launch(threads_per_block, vec![(); n_blocks], |blk, _| {
-        blk.warp_round(|_, t| {
-            t.gld(8, Access::Coalesced);
-            t.alu(2);
-            t.gst(8, Access::Coalesced);
-        });
-        Ok(())
-    })?;
+    let stats3 = dev.launch_named(
+        "scan_add_kernel",
+        threads_per_block,
+        vec![(); n_blocks],
+        |blk, _| {
+            blk.warp_round(|_, t| {
+                t.gld(8, Access::Coalesced);
+                t.alu(2);
+                t.gst(8, Access::Coalesced);
+            });
+            Ok(())
+        },
+    )?;
 
     let mut prefix = Vec::with_capacity(input.len());
     for (i, (_, chunk, _)) in per_block.iter().enumerate() {

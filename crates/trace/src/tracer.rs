@@ -1,0 +1,196 @@
+//! The event sink threaded through the simulators.
+
+use crate::event::{us, ArgValue, Category, EventKind, TraceEvent};
+use parking_lot::Mutex;
+
+#[derive(Debug, Default)]
+struct Inner {
+    events: Vec<TraceEvent>,
+    /// `(pid, name)` process-lane labels, in registration order.
+    processes: Vec<(u32, String)>,
+    /// `(pid, tid, name)` thread-lane labels, in registration order.
+    lanes: Vec<(u32, u32, String)>,
+}
+
+/// A simulated-time event sink.
+///
+/// Cheap to consult: every record method first checks one boolean and
+/// returns immediately when the tracer is disabled, so instrumented
+/// hot paths pay (almost) nothing when tracing is off. All mutability is
+/// interior (a `parking_lot::Mutex`), so a `&Tracer` can be threaded
+/// through code that also holds `&mut` simulator state, and shared with
+/// the rayon-parallel GPU block loop.
+///
+/// Timestamps are supplied by the **caller** in simulated seconds — the
+/// tracer has no clock of its own, which is what keeps traces
+/// deterministic and independent of host wall time.
+#[derive(Debug)]
+pub struct Tracer {
+    enabled: bool,
+    inner: Mutex<Inner>,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Tracer::new()
+    }
+}
+
+impl Tracer {
+    /// An enabled tracer with an empty event log.
+    pub fn new() -> Self {
+        Tracer {
+            enabled: true,
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    /// A disabled tracer: every record call is a no-op early return.
+    pub fn off() -> Self {
+        Tracer {
+            enabled: false,
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    /// Whether this tracer records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        self.inner.lock().events.len()
+    }
+
+    /// Whether no events have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Label a process lane (a simulated node, the JobTracker, …).
+    pub fn name_process(&self, pid: u32, name: impl Into<String>) {
+        if !self.enabled {
+            return;
+        }
+        self.inner.lock().processes.push((pid, name.into()));
+    }
+
+    /// Label a thread lane within a process (a CPU slot, a GPU, …).
+    pub fn name_lane(&self, pid: u32, tid: u32, name: impl Into<String>) {
+        if !self.enabled {
+            return;
+        }
+        self.inner.lock().lanes.push((pid, tid, name.into()));
+    }
+
+    /// Record a complete span `[start_s, end_s]` (simulated seconds).
+    /// Spans may be emitted retroactively and in any order; viewers sort
+    /// by timestamp.
+    #[allow(clippy::too_many_arguments)]
+    pub fn span(
+        &self,
+        cat: Category,
+        name: impl Into<String>,
+        pid: u32,
+        tid: u32,
+        start_s: f64,
+        end_s: f64,
+        args: Vec<(&'static str, ArgValue)>,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        let ts_us = us(start_s);
+        let dur_us = us(end_s.max(start_s)) - ts_us;
+        self.inner.lock().events.push(TraceEvent {
+            cat,
+            name: name.into(),
+            pid,
+            tid,
+            ts_us,
+            kind: EventKind::Span { dur_us },
+            args,
+        });
+    }
+
+    /// Record an instant event at `t_s` (simulated seconds).
+    pub fn instant(
+        &self,
+        cat: Category,
+        name: impl Into<String>,
+        pid: u32,
+        tid: u32,
+        t_s: f64,
+        args: Vec<(&'static str, ArgValue)>,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        self.inner.lock().events.push(TraceEvent {
+            cat,
+            name: name.into(),
+            pid,
+            tid,
+            ts_us: us(t_s),
+            kind: EventKind::Instant,
+            args,
+        });
+    }
+
+    /// Snapshot of all recorded events, in recording order.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.inner.lock().events.clone()
+    }
+
+    /// Drop all recorded events and lane labels (the tracer stays
+    /// enabled/disabled as constructed).
+    pub fn clear(&self) {
+        let mut g = self.inner.lock();
+        g.events.clear();
+        g.processes.clear();
+        g.lanes.clear();
+    }
+
+    /// Export the full log in Chrome Trace Event format. See
+    /// [`crate::chrome::to_chrome_json`].
+    pub fn to_chrome_json(&self) -> String {
+        let g = self.inner.lock();
+        crate::chrome::to_chrome_json(&g.events, &g.processes, &g.lanes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let t = Tracer::off();
+        t.name_process(0, "n0");
+        t.span(Category::Task, "a", 0, 0, 0.0, 1.0, vec![]);
+        t.instant(Category::Fault, "b", 0, 0, 0.5, vec![]);
+        assert!(!t.is_enabled());
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn span_clamps_negative_durations() {
+        let t = Tracer::new();
+        t.span(Category::Task, "a", 0, 0, 2.0, 1.0, vec![]);
+        let e = &t.events()[0];
+        assert_eq!(e.ts_us, 2_000_000);
+        assert_eq!(e.kind, EventKind::Span { dur_us: 0 });
+    }
+
+    #[test]
+    fn events_keep_recording_order() {
+        let t = Tracer::new();
+        t.instant(Category::Heartbeat, "h1", 0, 0, 5.0, vec![]);
+        t.instant(Category::Heartbeat, "h0", 0, 0, 1.0, vec![]);
+        let names: Vec<_> = t.events().into_iter().map(|e| e.name).collect();
+        assert_eq!(names, vec!["h1", "h0"]);
+        t.clear();
+        assert!(t.is_empty());
+    }
+}

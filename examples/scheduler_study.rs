@@ -2,7 +2,7 @@
 //! speedups: when does forcing the tail onto the GPU pay off?
 //!
 //! Run with: `cargo run --example scheduler_study`
-use hetero_cluster::{simulate, ClusterConfig, FaultPlan, JobSpec, Scheduler};
+use hetero_cluster::{simulate, ClusterConfig, FaultPlan, JobSpec, Scheduler, TraceConfig};
 
 fn main() {
     // The paper's worked example: 19 tasks, 6x GPU, 2 CPU slots.
@@ -16,10 +16,12 @@ fn main() {
         scheduler: s,
         reduce_start_frac: 0.2,
         speculative: false,
+        speculative_lag: 0.2,
         shuffle_bw: 1e9,
         max_attempts: 4,
         heartbeat_timeout_s: 3.0,
         faults: FaultPlan::none(),
+        trace: TraceConfig::default(),
     };
     let job = JobSpec::uniform("fig3", 19, 1, 1, 6.0, 1.0);
     let gf = simulate(&cfg(Scheduler::GpuFirst), &job);
