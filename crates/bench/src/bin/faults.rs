@@ -4,13 +4,15 @@
 //! a perfect cluster. Reports the price of recovery: makespan overhead,
 //! re-executed tasks, wasted work, and speculative waste — plus how
 //! speculative execution composes with tail scheduling under stragglers.
+use hetero_bench::pool_from_args;
 use hetero_cluster::{
     simulate, ClusterConfig, FaultPlan, JobSpec, JobStats, ReduceTaskSpec, Scheduler,
 };
 use hetero_gpusim::Device;
 use hetero_hdfs::{Hdfs, Topology};
 use hetero_runtime::OptFlags;
-use heterodoop::{run_functional_job, run_functional_job_on, Preset};
+use hetero_trace::Tracer;
+use heterodoop::{run_cluster_functional_job, run_functional_job_pooled, Preset};
 
 fn cfg(scheduler: Scheduler, speculative: bool, faults: FaultPlan) -> ClusterConfig {
     let mut c = ClusterConfig::small(8, scheduler);
@@ -47,7 +49,9 @@ fn storm() -> FaultPlan {
 }
 
 fn main() {
+    let pool = pool_from_args();
     println!("Fault injection — recovery cost on an 8-node cluster (200 maps, 8 reduces)");
+    println!("[{} worker thread(s)]", pool.threads());
 
     // 1. Control plane: perfect cluster vs node crash + 5% transient
     //    failures + one corrupted task input.
@@ -149,18 +153,65 @@ fn main() {
     );
 
     // 4. Data plane: a faulted GPU degrades the job to the CPU path with
-    //    byte-identical output.
+    //    byte-identical output. Both runs fan tasks across the pool.
     let app = hetero_apps::app_by_code("WC").unwrap();
     let p = Preset::cluster1();
     let input = app.generate_split(4000, 11);
-    let ok = run_functional_job(app.as_ref(), &p, &input, 2, OptFlags::all()).unwrap();
+    let healthy = Device::new(p.gpu.clone());
+    let ok = run_functional_job_pooled(
+        app.as_ref(),
+        &p,
+        &input,
+        2,
+        OptFlags::all(),
+        &healthy,
+        &Tracer::off(),
+        &pool,
+    )
+    .unwrap();
     let dev = Device::new(p.gpu.clone());
     dev.inject_fault("xid 62");
-    let degraded =
-        run_functional_job_on(app.as_ref(), &p, &input, 2, OptFlags::all(), &dev).unwrap();
+    let degraded = run_functional_job_pooled(
+        app.as_ref(),
+        &p,
+        &input,
+        2,
+        OptFlags::all(),
+        &dev,
+        &Tracer::off(),
+        &pool,
+    )
+    .unwrap();
     assert_eq!(ok.output, degraded.output, "degraded run must match");
     println!(
         "GPU fault: {} task(s) fell back to the CPU, output byte-identical to the fault-free run",
         degraded.gpu_fallbacks
+    );
+
+    // 5. Control + data plane: the faulted DES schedule decides CPU/GPU
+    //    placement and the functional executor runs it — same bytes as a
+    //    fault-free functional run.
+    let storm_cfg = cfg(Scheduler::GpuFirst, true, storm());
+    let cdev = Device::new(p.gpu.clone());
+    let cj = run_cluster_functional_job(
+        app.as_ref(),
+        &p,
+        &input,
+        &storm_cfg,
+        OptFlags::all(),
+        &cdev,
+        &Tracer::off(),
+        &pool,
+    )
+    .unwrap();
+    assert_eq!(
+        cj.job.output, ok.output,
+        "DES-placed run must compute the same answer"
+    );
+    println!(
+        "cluster execution: {} maps placed by the faulted DES ({} on the GPU), \
+         output byte-identical to the fault-free run",
+        cj.gpu_placed.len(),
+        cj.job.gpu_tasks
     );
 }

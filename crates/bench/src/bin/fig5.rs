@@ -1,19 +1,66 @@
 //! Regenerates Fig. 5: single GPU-task speedup over a single CPU core,
 //! baseline translated code vs + optimizations.
+//!
+//! Accepts `--threads N` (default: all cores / `HETERO_THREADS`): the 16
+//! independent measurements (8 apps × 2 flag sets) fan across the worker
+//! pool. `results/fig5.json` — including every simulated cycle count and
+//! device counter — is byte-identical at any thread count.
+use hetero_bench::{json_array, pool_from_args, JsonObj};
 use hetero_runtime::OptFlags;
-use heterodoop::{measure_task, Preset};
+use heterodoop::{measure_task, Preset, TaskMeasurement};
+use std::fs;
+
+fn row_json(code: &str, base: &TaskMeasurement, opt: &TaskMeasurement) -> String {
+    let counters = |m: &TaskMeasurement| {
+        JsonObj::new()
+            .int("kernels", m.gpu_kernels)
+            .float("device_s", m.gpu_device_s)
+            .int("alu_ops", m.gpu_counters.alu_ops)
+            .int("sfu_ops", m.gpu_counters.sfu_ops)
+            .int("dram_bytes", m.gpu_counters.dram_bytes)
+            .int("shared_ops", m.gpu_counters.shared_ops)
+            .build()
+    };
+    JsonObj::new()
+        .str("app", code)
+        .float("baseline_speedup", base.speedup)
+        .float("optimized_speedup", opt.speedup)
+        .float("opt_gain", opt.speedup / base.speedup)
+        .float("gpu_task_s", opt.gpu.total_s())
+        .float("cpu_task_s", opt.cpu.total_s())
+        .raw("baseline_gpu", counters(base))
+        .raw("optimized_gpu", counters(opt))
+        .build()
+}
 
 fn main() {
     let p = Preset::cluster1();
+    let pool = pool_from_args();
     println!("Fig. 5 — Speedup of a single GPU task over a CPU task (Cluster1)");
+    println!("[{} worker thread(s)]", pool.threads());
     println!(
         "{:<6}{:>12}{:>14}{:>10}",
         "app", "baseline", "+optimized", "opt gain"
     );
-    for code in hetero_apps::CODES {
-        let app = hetero_apps::app_by_code(code).unwrap();
-        let base = measure_task(app.as_ref(), &p, OptFlags::none(), 3000, 1).unwrap();
-        let opt = measure_task(app.as_ref(), &p, OptFlags::all(), 3000, 1).unwrap();
+
+    // One job per (app, flag set): measurements are independent, results
+    // come back in submission order.
+    let jobs: Vec<_> = hetero_apps::CODES
+        .iter()
+        .flat_map(|&code| [(code, OptFlags::none()), (code, OptFlags::all())])
+        .map(|(code, opts)| {
+            let p = &p;
+            move || {
+                let app = hetero_apps::app_by_code(code).unwrap();
+                measure_task(app.as_ref(), p, opts, 3000, 1).unwrap()
+            }
+        })
+        .collect();
+    let measured = pool.run(jobs);
+
+    let mut rows = Vec::new();
+    for (pair, code) in measured.chunks(2).zip(hetero_apps::CODES) {
+        let (base, opt) = (&pair[0], &pair[1]);
         println!(
             "{:<6}{:>12.2}{:>14.2}{:>10.2}",
             code,
@@ -21,6 +68,12 @@ fn main() {
             opt.speedup,
             opt.speedup / base.speedup
         );
+        rows.push(row_json(code, base, opt));
     }
+    fs::create_dir_all("results").expect("results dir");
+    let json = json_array(rows);
+    hetero_trace::json::validate(&json).expect("valid fig5 json");
+    fs::write("results/fig5.json", &json).expect("write fig5.json");
+    println!("wrote results/fig5.json ({} bytes)", json.len());
     println!("(paper: 2x..47x, increasing GR<HS<WC<HR<KM<CL<LR<BS; optimizations matter most for GR, KM, CL, LR)");
 }

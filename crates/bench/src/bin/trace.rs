@@ -4,13 +4,14 @@
 //!
 //! Everything here is deterministic: the tracer has no wall clock, so
 //! the same `FaultPlan` seed produces byte-identical trace files.
+use hetero_bench::pool_from_args;
 use hetero_cluster::{
     simulate_traced, ClusterConfig, FaultPlan, JobSpec, ReduceTaskSpec, Scheduler, TraceConfig,
 };
 use hetero_gpusim::Device;
 use hetero_runtime::OptFlags;
 use hetero_trace::{json, KernelProfile, Tracer};
-use heterodoop::{run_functional_job_traced, Preset};
+use heterodoop::{run_functional_job_pooled, Preset};
 use std::fs;
 use std::path::Path;
 
@@ -44,6 +45,8 @@ fn write(path: &str, bytes: &str) {
 }
 
 fn main() {
+    let pool = pool_from_args();
+    println!("[{} worker thread(s)]", pool.threads());
     fs::create_dir_all("results").expect("results dir");
     assert!(Path::new("results").is_dir());
 
@@ -106,9 +109,17 @@ fn main() {
     let input = app.generate_split(4000, 11);
     let dev = Device::new(p.gpu.clone());
     let ftracer = Tracer::new();
-    let fj =
-        run_functional_job_traced(app.as_ref(), &p, &input, 2, OptFlags::all(), &dev, &ftracer)
-            .unwrap();
+    let fj = run_functional_job_pooled(
+        app.as_ref(),
+        &p,
+        &input,
+        2,
+        OptFlags::all(),
+        &dev,
+        &ftracer,
+        &pool,
+    )
+    .unwrap();
     println!(
         "{} map tasks ({} on the GPU), {} events",
         fj.map_tasks,

@@ -1,2 +1,113 @@
-//! Placeholder until the bench harness lands.
-pub fn placeholder() {}
+//! Shared plumbing for the bench binaries: the `--threads N` flag and a
+//! tiny stable-JSON writer for `results/*.json` artifacts.
+//!
+//! Every binary accepts `--threads N` (or `--threads=N`); `0` or an
+//! absent flag means "default": the `HETERO_THREADS` environment
+//! variable if set, otherwise all available cores. Whatever the thread
+//! count, results and artifacts are byte-identical — parallelism only
+//! changes wall-clock time.
+
+use heterodoop::ParallelRunner;
+
+/// Parse `--threads N` / `--threads=N` from the process arguments.
+/// Returns `0` (= use the default) when absent or unparsable.
+pub fn threads_from_args() -> usize {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--threads" {
+            return args.next().and_then(|v| v.trim().parse().ok()).unwrap_or(0);
+        }
+        if let Some(v) = a.strip_prefix("--threads=") {
+            return v.trim().parse().unwrap_or(0);
+        }
+    }
+    0
+}
+
+/// Worker pool configured from the command line (see
+/// [`threads_from_args`]).
+pub fn pool_from_args() -> ParallelRunner {
+    ParallelRunner::new(threads_from_args())
+}
+
+/// Minimal deterministic JSON emitter for bench artifacts: objects keep
+/// insertion order, floats print with `{:?}` (shortest round-trip form),
+/// so the same simulated results always serialize to the same bytes.
+#[derive(Debug, Default)]
+pub struct JsonObj {
+    fields: Vec<(String, String)>,
+}
+
+impl JsonObj {
+    /// Empty object.
+    pub fn new() -> Self {
+        JsonObj::default()
+    }
+
+    /// Add a string field.
+    pub fn str(mut self, key: &str, v: &str) -> Self {
+        self.fields.push((key.to_string(), format!("{v:?}")));
+        self
+    }
+
+    /// Add an integer field.
+    pub fn int(mut self, key: &str, v: u64) -> Self {
+        self.fields.push((key.to_string(), v.to_string()));
+        self
+    }
+
+    /// Add a float field (exact shortest round-trip formatting).
+    pub fn float(mut self, key: &str, v: f64) -> Self {
+        self.fields.push((key.to_string(), format!("{v:?}")));
+        self
+    }
+
+    /// Add an already-serialized JSON value (e.g. a nested object).
+    pub fn raw(mut self, key: &str, v: String) -> Self {
+        self.fields.push((key.to_string(), v));
+        self
+    }
+
+    /// Serialize.
+    pub fn build(self) -> String {
+        let body: Vec<String> = self
+            .fields
+            .into_iter()
+            .map(|(k, v)| format!("{k:?}: {v}"))
+            .collect();
+        format!("{{{}}}", body.join(", "))
+    }
+}
+
+/// Serialize a list of JSON values into an array.
+pub fn json_array(items: impl IntoIterator<Item = String>) -> String {
+    let body: Vec<String> = items.into_iter().collect();
+    format!("[{}]", body.join(", "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_is_stable_and_valid() {
+        let o = JsonObj::new()
+            .str("app", "WC")
+            .int("kernels", 42)
+            .float("speedup", 1.0 / 3.0)
+            .build();
+        assert_eq!(
+            o,
+            "{\"app\": \"WC\", \"kernels\": 42, \"speedup\": 0.3333333333333333}"
+        );
+        let arr = json_array([o.clone(), o]);
+        hetero_trace::json::validate(&arr).unwrap();
+    }
+
+    #[test]
+    fn default_thread_request_is_zero() {
+        // The test binary is run without --threads.
+        assert_eq!(threads_from_args(), 0);
+        assert!(pool_from_args().threads() >= 1);
+    }
+}

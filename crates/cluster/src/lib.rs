@@ -19,5 +19,5 @@ pub mod stats;
 
 pub use config::{ClusterConfig, FaultPlan, Scheduler, TraceConfig};
 pub use job::{JobSpec, MapTaskSpec, ReduceTaskSpec};
-pub use sim::{simulate, simulate_traced};
+pub use sim::{simulate, simulate_hooked, simulate_traced, ExecHook};
 pub use stats::{Device, JobStats, Outcome, TaskRecord};

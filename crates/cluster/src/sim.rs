@@ -249,6 +249,18 @@ struct RunningReduce {
     start: f64,
 }
 
+/// Control-plane → data-plane bridge: the DES calls this as the schedule
+/// unfolds so a functional executor can mirror the *simulated* placement
+/// with *real* task execution (see `heterodoop::cluster_exec`).
+pub trait ExecHook {
+    /// A map task's winning attempt completed on `device` of `node` at
+    /// simulated time `time_s`. A task can complete more than once: when
+    /// a node loss invalidates a finished map, the re-execution reports a
+    /// new winner — implementations should treat the *last* call per task
+    /// as authoritative.
+    fn map_completed(&mut self, task: u32, node: u32, device: Device, time_s: f64);
+}
+
 struct Sim<'a> {
     cfg: &'a ClusterConfig,
     job: &'a JobSpec,
@@ -275,6 +287,7 @@ struct Sim<'a> {
     tracer: &'a Tracer,
     /// `tracer.is_enabled() && cfg.trace.enabled`, cached.
     trace_on: bool,
+    hook: Option<&'a mut dyn ExecHook>,
 }
 
 /// Run `job` on a cluster described by `cfg`; returns the job statistics.
@@ -287,6 +300,21 @@ pub fn simulate(cfg: &ClusterConfig, job: &JobSpec) -> JobStats {
 /// are on; either way the schedule is identical to an untraced run.
 pub fn simulate_traced(cfg: &ClusterConfig, job: &JobSpec, tracer: &Tracer) -> JobStats {
     let mut sim = Sim::new(cfg, job, tracer);
+    sim.run();
+    sim.stats
+}
+
+/// [`simulate_traced`] with an [`ExecHook`] observing winning map
+/// completions. The hook is observation-only: the schedule, stats and
+/// trace are identical to an unhooked run.
+pub fn simulate_hooked(
+    cfg: &ClusterConfig,
+    job: &JobSpec,
+    tracer: &Tracer,
+    hook: &mut dyn ExecHook,
+) -> JobStats {
+    let mut sim = Sim::new(cfg, job, tracer);
+    sim.hook = Some(hook);
     sim.run();
     sim.stats
 }
@@ -339,6 +367,7 @@ impl<'a> Sim<'a> {
             stats: JobStats::new(&job.name),
             tracer,
             trace_on: tracer.is_enabled() && cfg.trace.enabled,
+            hook: None,
         };
         sim.trace_name_lanes();
 
@@ -816,6 +845,9 @@ impl<'a> Sim<'a> {
         self.tasks[task as usize].winner_node = Some(n);
         self.maps_done += 1;
         self.last_map_done_t = self.now;
+        if let Some(h) = self.hook.as_mut() {
+            h.map_completed(task, n, device, self.now);
+        }
         self.kill_losers(task, aidx);
         match device {
             Device::Cpu => {

@@ -1,0 +1,178 @@
+//! Cluster-placement-driven functional execution: the DES decides *where*
+//! each map task runs (GPU or CPU slot, under the configured scheduler
+//! and fault plan), and the functional runner then executes the tasks
+//! bit-for-real on that placement via the worker pool.
+//!
+//! This closes the control-plane/data-plane loop: `hetero-cluster` alone
+//! schedules opaque durations, `run_functional_job` alone uses a fixed
+//! modulo placement. Here the placement comes out of the simulated
+//! schedule (through [`hetero_cluster::ExecHook`]) and the data plane
+//! reproduces it, so experiments can ask "what would this cluster
+//! actually have computed, and on which devices?"
+
+use crate::job_runner::{run_functional_job_placed, FunctionalJob};
+use crate::parallel::ParallelRunner;
+use crate::presets::Preset;
+use hetero_apps::App;
+use hetero_cluster::{simulate_hooked, ClusterConfig, ExecHook, JobSpec, JobStats};
+use hetero_gpusim::{Device, GpuError};
+use hetero_hdfs::{Hdfs, Topology};
+use hetero_runtime::OptFlags;
+use hetero_trace::Tracer;
+
+/// Nominal per-map durations fed to the DES (seconds). The schedule only
+/// needs plausible relative costs to pick slots; the data plane then
+/// computes real results and real simulated task times.
+const NOMINAL_CPU_S: f64 = 8.0;
+const NOMINAL_GPU_S: f64 = 2.0;
+
+/// Remembers, per map task, whether the attempt that won in the DES ran
+/// on a GPU. Re-executions (a node loss invalidating a finished map)
+/// overwrite: the last winner is the placement.
+struct PlacementRecorder {
+    gpu: Vec<bool>,
+    completions: usize,
+}
+
+impl ExecHook for PlacementRecorder {
+    fn map_completed(
+        &mut self,
+        task: u32,
+        _node: u32,
+        device: hetero_cluster::Device,
+        _time_s: f64,
+    ) {
+        self.gpu[task as usize] = matches!(device, hetero_cluster::Device::Gpu);
+        self.completions += 1;
+    }
+}
+
+/// Outcome of a cluster-driven functional job.
+#[derive(Debug)]
+pub struct ClusterFunctionalJob {
+    /// The functionally executed job (bit-real output, task seconds).
+    pub job: FunctionalJob,
+    /// Control-plane statistics of the DES run that chose the placement.
+    pub stats: JobStats,
+    /// Per-map-task device placement the DES settled on (`true` = GPU).
+    pub gpu_placed: Vec<bool>,
+}
+
+/// Simulate `app`'s job on the cluster described by `cfg` (scheduler,
+/// slots, fault plan), then functionally execute every map task on the
+/// device class the winning attempt used, fanned across `pool`. Output is
+/// byte-identical for any pool width.
+#[allow(clippy::too_many_arguments)]
+pub fn run_cluster_functional_job(
+    app: &dyn App,
+    preset: &Preset,
+    input: &[u8],
+    cfg: &ClusterConfig,
+    opts: OptFlags,
+    dev: &Device,
+    tracer: &Tracer,
+    pool: &ParallelRunner,
+) -> Result<ClusterFunctionalJob, GpuError> {
+    // Derive the split count exactly as the functional runner will.
+    let fs = Hdfs::new(
+        Topology::new(preset.cluster.num_slaves, preset.cluster.nodes_per_rack),
+        preset.hdfs_block,
+        preset.replication.min(preset.cluster.num_slaves),
+    )
+    .expect("valid replication");
+    fs.put("/job/input", input).expect("fresh fs");
+    let n_maps = fs.splits("/job/input").expect("input exists").len() as u32;
+
+    let spec = JobSpec::uniform(
+        &format!("{}-cluster-exec", app.spec().code),
+        n_maps,
+        cfg.num_slaves,
+        preset.replication.min(cfg.num_slaves),
+        NOMINAL_CPU_S,
+        NOMINAL_GPU_S,
+    );
+    let mut rec = PlacementRecorder {
+        gpu: vec![false; n_maps as usize],
+        completions: 0,
+    };
+    let stats = simulate_hooked(cfg, &spec, &Tracer::off(), &mut rec);
+    debug_assert!(
+        rec.completions >= n_maps as usize,
+        "DES must complete every map at least once"
+    );
+
+    let place = |i: usize| rec.gpu[i];
+    let job = run_functional_job_placed(app, preset, input, &place, opts, dev, tracer, pool)?;
+    Ok(ClusterFunctionalJob {
+        job,
+        stats,
+        gpu_placed: rec.gpu,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_functional_job;
+    use hetero_cluster::Scheduler;
+
+    #[test]
+    fn des_placement_drives_functional_execution() {
+        let app = hetero_apps::app_by_code("WC").unwrap();
+        let p = Preset::cluster1();
+        let input = app.generate_split(6000, 11);
+        let mut cfg = ClusterConfig::small(4, Scheduler::GpuFirst);
+        cfg.gpus_per_node = 1;
+        let dev = Device::new(p.gpu.clone());
+        let r = run_cluster_functional_job(
+            app.as_ref(),
+            &p,
+            &input,
+            &cfg,
+            OptFlags::all(),
+            &dev,
+            &Tracer::off(),
+            &ParallelRunner::new(4),
+        )
+        .unwrap();
+        // No lost task: every split was placed and executed.
+        assert_eq!(r.gpu_placed.len(), r.job.map_tasks);
+        // GPU-first scheduling on a healthy cluster puts work on GPUs,
+        // and the data plane mirrors it exactly.
+        let on_gpu = r.gpu_placed.iter().filter(|&&g| g).count();
+        assert!(on_gpu > 0, "GpuFirst should place maps on GPUs");
+        assert_eq!(r.job.gpu_tasks, on_gpu);
+        assert_eq!(r.job.gpu_tasks + r.job.gpu_fallbacks, on_gpu);
+
+        // The answer matches a plain modulo-placement run byte for byte
+        // (placement independence, end to end).
+        let plain = run_functional_job(app.as_ref(), &p, &input, 2, OptFlags::all()).unwrap();
+        assert_eq!(r.job.output, plain.output);
+    }
+
+    #[test]
+    fn faulty_cluster_still_computes_the_right_answer() {
+        let app = hetero_apps::app_by_code("HS").unwrap();
+        let p = Preset::cluster1();
+        let input = app.generate_split(3000, 5);
+        let mut cfg = ClusterConfig::small(4, Scheduler::TailScheduling);
+        cfg.gpus_per_node = 1;
+        cfg.faults.seed = 7;
+        cfg.faults.transient_fail_p = 0.2;
+        cfg.faults.gpu_faults = vec![(1, 0, 10.0)];
+        let dev = Device::new(p.gpu.clone());
+        let r = run_cluster_functional_job(
+            app.as_ref(),
+            &p,
+            &input,
+            &cfg,
+            OptFlags::all(),
+            &dev,
+            &Tracer::off(),
+            &ParallelRunner::new(4),
+        )
+        .unwrap();
+        let plain = run_functional_job(app.as_ref(), &p, &input, 0, OptFlags::all()).unwrap();
+        assert_eq!(r.job.output, plain.output);
+    }
+}

@@ -3,9 +3,10 @@
 //! *data-plane* counterpart of the DES in `hetero-cluster` (which models
 //! the control plane: where and when tasks run); results are bit-real.
 
+use crate::parallel::ParallelRunner;
 use crate::presets::Preset;
 use hetero_apps::App;
-use hetero_gpusim::{Device, GpuError};
+use hetero_gpusim::{Device, GpuError, KernelLogEntry};
 use hetero_hdfs::{reader, seqfile, Hdfs, Topology};
 use hetero_runtime::cpu::run_cpu_task;
 use hetero_runtime::reduce::run_reduce_task;
@@ -43,6 +44,9 @@ pub struct FunctionalJob {
 /// Run `app` functionally over `input` stored in a fresh simulated HDFS.
 /// Every `gpu_every`-th map task runs on the GPU (0 = all CPU), mimicking
 /// a mixed CPU+GPU execution; correctness must not depend on placement.
+///
+/// Tasks execute on a default [`ParallelRunner`] (all cores, or
+/// `HETERO_THREADS`); results are byte-identical at any thread count.
 pub fn run_functional_job(
     app: &dyn App,
     preset: &Preset,
@@ -120,6 +124,65 @@ pub fn run_functional_job_traced(
     dev: &Device,
     tracer: &Tracer,
 ) -> Result<FunctionalJob, GpuError> {
+    run_functional_job_pooled(
+        app,
+        preset,
+        input,
+        gpu_every,
+        opts,
+        dev,
+        tracer,
+        &ParallelRunner::default(),
+    )
+}
+
+/// [`run_functional_job_traced`] with an explicit worker pool. This is
+/// the full-control entry point: device, tracer and thread count are all
+/// caller-supplied. Output, stats, and trace are byte-identical for any
+/// pool width — workers only *compute* tasks; all merging (counter
+/// aggregation, kernel-log replay, trace emission, the simulated-time
+/// cursor) happens on the caller's thread in task-index order.
+#[allow(clippy::too_many_arguments)]
+pub fn run_functional_job_pooled(
+    app: &dyn App,
+    preset: &Preset,
+    input: &[u8],
+    gpu_every: usize,
+    opts: OptFlags,
+    dev: &Device,
+    tracer: &Tracer,
+    pool: &ParallelRunner,
+) -> Result<FunctionalJob, GpuError> {
+    let place = |i: usize| gpu_every > 0 && i.is_multiple_of(gpu_every);
+    run_functional_job_placed(app, preset, input, &place, opts, dev, tracer, pool)
+}
+
+/// What one map task hands back from a worker thread: pure data plus the
+/// per-task device fork, merged by the caller in task-index order.
+struct MapRun {
+    partitions: Vec<Vec<(Vec<u8>, Vec<u8>)>>,
+    breakdown: TaskBreakdown,
+    device: &'static str,
+    fell_back: bool,
+    kernel_log: Vec<KernelLogEntry>,
+    fork: Option<Device>,
+}
+
+/// Shared implementation: `place_gpu(i)` decides whether map task `i` is
+/// *designated* for the GPU (a faulted device still degrades it to the
+/// CPU). Used by [`run_functional_job_pooled`] (modulo placement) and the
+/// cluster-driven executor (DES placement).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_functional_job_placed(
+    app: &dyn App,
+    preset: &Preset,
+    input: &[u8],
+    place_gpu: &dyn Fn(usize) -> bool,
+    opts: OptFlags,
+    dev: &Device,
+    tracer: &Tracer,
+    pool: &ParallelRunner,
+) -> Result<FunctionalJob, GpuError> {
     let trace_on = tracer.is_enabled();
     if trace_on {
         tracer.name_process(0, "functional-job");
@@ -154,63 +217,100 @@ pub fn run_functional_job_traced(
     // Simulated-time cursor: tasks run back to back on one timeline.
     let mut t_cursor = 0.0f64;
 
-    for (i, split) in splits.iter().enumerate() {
-        // Hadoop record semantics: a task reads past its split end to
-        // finish the record that started inside it.
-        let (lo, hi) = reader::fetch_range(&file, split.offset, split.len);
-        let task_input = &file[lo as usize..hi as usize];
-        let on_gpu = gpu_every > 0 && i % gpu_every == 0;
-        // A faulted device degrades the task to the CPU path instead of
-        // failing the job — output must stay identical either way.
-        let gpu_result = if on_gpu {
-            match run_gpu_task(
-                dev,
-                &preset.env,
-                task_input,
-                mapper.as_ref(),
-                combiner.as_deref(),
-                &cfg,
-            ) {
-                Ok(r) => Some(r),
-                Err(GpuError::DeviceFault(_)) => {
-                    gpu_fallbacks += 1;
-                    if trace_on {
-                        let _ = dev.take_kernel_log(); // drop the aborted task's entries
-                        tracer.instant(
-                            Category::Fault,
-                            format!("map {i}: gpu fault, cpu fallback"),
-                            0,
-                            lane::TASKS,
-                            t_cursor,
-                            vec![],
-                        );
+    // --- Map phase: fan the tasks across the pool. Workers only compute;
+    // each GPU-designated task runs on its own device fork so no mutable
+    // state is shared between tasks. ---
+    let env = &preset.env;
+    let cpu = &preset.cpu;
+    let mapper_ref: &dyn hetero_runtime::types::Mapper = mapper.as_ref();
+    let combiner_ref = combiner.as_deref();
+    let cfg_ref = &cfg;
+    let file_ref = &file;
+    let jobs: Vec<_> = splits
+        .iter()
+        .enumerate()
+        .map(|(i, split)| {
+            // Hadoop record semantics: a task reads past its split end to
+            // finish the record that started inside it.
+            let (lo, hi) = reader::fetch_range(file_ref, split.offset, split.len);
+            let on_gpu = place_gpu(i);
+            move || -> Result<MapRun, GpuError> {
+                let task_input = &file_ref[lo as usize..hi as usize];
+                let run_cpu = |fell_back| {
+                    let r = run_cpu_task(
+                        env,
+                        cpu,
+                        task_input,
+                        mapper_ref,
+                        combiner_ref,
+                        cfg_ref.num_reducers,
+                        cfg_ref.map_only,
+                    );
+                    MapRun {
+                        partitions: r.partitions,
+                        breakdown: r.breakdown,
+                        device: "cpu",
+                        fell_back,
+                        kernel_log: Vec::new(),
+                        fork: None,
                     }
-                    None
+                };
+                if !on_gpu {
+                    return Ok(run_cpu(false));
                 }
-                Err(e) => return Err(e),
+                let fork = dev.fork();
+                // A faulted device degrades the task to the CPU path
+                // instead of failing the job — output must stay identical
+                // either way.
+                match run_gpu_task(&fork, env, task_input, mapper_ref, combiner_ref, cfg_ref) {
+                    Ok(r) => Ok(MapRun {
+                        partitions: r.partitions,
+                        breakdown: r.breakdown,
+                        device: "gpu",
+                        fell_back: false,
+                        // Snapshot, not drain: merge_from moves the
+                        // entries onto the parent device's clock so the
+                        // shared device's log keeps accumulating exactly
+                        // as a serial run's would.
+                        kernel_log: fork.kernel_log_snapshot(),
+                        fork: Some(fork),
+                    }),
+                    Err(GpuError::DeviceFault(_)) => Ok(MapRun {
+                        fork: Some(fork),
+                        ..run_cpu(true)
+                    }),
+                    Err(e) => Err(e),
+                }
             }
-        } else {
-            None
-        };
-        let (partitions, breakdown, device) = if let Some(r) = gpu_result {
+        })
+        .collect();
+
+    // --- Deterministic merge, in task-index order: the trace, counter
+    // totals and time cursor replay exactly as a serial run would.
+    for ((i, split), run) in splits.iter().enumerate().zip(pool.run(jobs)) {
+        let run = run?;
+        if run.fell_back {
+            gpu_fallbacks += 1;
+            if trace_on {
+                tracer.instant(
+                    Category::Fault,
+                    format!("map {i}: gpu fault, cpu fallback"),
+                    0,
+                    lane::TASKS,
+                    t_cursor,
+                    vec![],
+                );
+            }
+        } else if run.fork.is_some() {
             gpu_tasks += 1;
             if trace_on {
-                trace_kernel_log(tracer, t_cursor, &dev.take_kernel_log());
+                trace_kernel_log(tracer, t_cursor, &run.kernel_log);
             }
-            (r.partitions, r.breakdown, "gpu")
-        } else {
-            let r = run_cpu_task(
-                &preset.env,
-                &preset.cpu,
-                task_input,
-                mapper.as_ref(),
-                combiner.as_deref(),
-                cfg.num_reducers,
-                cfg.map_only,
-            );
-            (r.partitions, r.breakdown, "cpu")
-        };
-        let total = breakdown.total_s();
+        }
+        if let Some(fork) = &run.fork {
+            dev.merge_from(fork);
+        }
+        let total = run.breakdown.total_s();
         if trace_on {
             tracer.span(
                 Category::Hdfs,
@@ -218,7 +318,7 @@ pub fn run_functional_job_traced(
                 0,
                 lane::HDFS,
                 t_cursor,
-                t_cursor + breakdown.input_read_s,
+                t_cursor + run.breakdown.input_read_s,
                 vec![("offset", split.offset.into()), ("len", split.len.into())],
             );
             tracer.span(
@@ -228,13 +328,13 @@ pub fn run_functional_job_traced(
                 lane::TASKS,
                 t_cursor,
                 t_cursor + total,
-                vec![("device", device.into())],
+                vec![("device", run.device.into())],
             );
-            trace_stages(tracer, t_cursor, &breakdown);
+            trace_stages(tracer, t_cursor, &run.breakdown);
         }
         t_cursor += total;
         task_seconds += total;
-        for (p, pairs) in partitions.into_iter().enumerate() {
+        for (p, pairs) in run.partitions.into_iter().enumerate() {
             if !pairs.is_empty() {
                 shuffle[p % nr].push(pairs);
             }
@@ -242,12 +342,17 @@ pub fn run_functional_job_traced(
     }
 
     // Reduce phase (CPU-only, as in HeteroDoop). Map-only jobs write the
-    // map output directly.
+    // map output directly. Partitions are independent, so they fan across
+    // the pool too; spans and time bookkeeping replay in partition order.
     let mut output = Vec::with_capacity(nr);
     match app.reducer() {
         Some(red) if !cfg.map_only => {
-            for (p, part_inputs) in shuffle.into_iter().enumerate() {
-                let r = run_reduce_task(&preset.env, &preset.cpu, part_inputs, red.as_ref());
+            let red_ref: &dyn hetero_runtime::types::Reducer = red.as_ref();
+            let jobs: Vec<_> = shuffle
+                .into_iter()
+                .map(|part_inputs| move || run_reduce_task(env, cpu, part_inputs, red_ref))
+                .collect();
+            for (p, r) in pool.run(jobs).into_iter().enumerate() {
                 if trace_on {
                     tracer.span(
                         Category::Task,
@@ -265,11 +370,18 @@ pub fn run_functional_job_traced(
             }
         }
         _ => {
-            for part_inputs in shuffle {
-                let mut flat: Vec<(Vec<u8>, Vec<u8>)> = part_inputs.into_iter().flatten().collect();
-                flat.sort_by(|a, b| a.0.cmp(&b.0));
-                output.push(flat);
-            }
+            let jobs: Vec<_> = shuffle
+                .into_iter()
+                .map(|part_inputs| {
+                    move || {
+                        let mut flat: Vec<(Vec<u8>, Vec<u8>)> =
+                            part_inputs.into_iter().flatten().collect();
+                        flat.sort_by(|a, b| a.0.cmp(&b.0));
+                        flat
+                    }
+                })
+                .collect();
+            output.extend(pool.run(jobs));
         }
     }
 
@@ -357,6 +469,48 @@ mod tests {
         let on = run_functional_job(app.as_ref(), &p, &input, 1, OptFlags::all()).unwrap();
         let off = run_functional_job(app.as_ref(), &p, &input, 1, OptFlags::none()).unwrap();
         assert_eq!(word_totals(&on), word_totals(&off));
+    }
+
+    #[test]
+    fn shared_device_kernel_log_accumulates_across_pooled_tasks() {
+        // Regression: forks must hand their log entries back to the
+        // parent device (snapshot for tracing, *move* on merge), so an
+        // nvprof-style profile drained after the job sees every launch —
+        // at any worker count.
+        let app = hetero_apps::app_by_code("WC").unwrap();
+        let p = Preset::cluster1();
+        let input = app.generate_split(2000, 13);
+        let logs: Vec<Vec<hetero_gpusim::KernelLogEntry>> = [1usize, 4]
+            .iter()
+            .map(|&threads| {
+                let dev = Device::new(p.gpu.clone());
+                dev.enable_kernel_log();
+                run_functional_job_pooled(
+                    app.as_ref(),
+                    &p,
+                    &input,
+                    1,
+                    OptFlags::all(),
+                    &dev,
+                    &Tracer::off(),
+                    &crate::parallel::ParallelRunner::new(threads),
+                )
+                .unwrap();
+                dev.take_kernel_log()
+            })
+            .collect();
+        assert!(
+            !logs[0].is_empty(),
+            "the parent device's log must keep accumulating"
+        );
+        let names = |l: &[hetero_gpusim::KernelLogEntry]| -> Vec<&'static str> {
+            l.iter().map(|e| e.name).collect()
+        };
+        assert_eq!(names(&logs[0]), names(&logs[1]));
+        assert!(
+            logs[0].iter().any(|e| e.name.contains("memcpy")),
+            "PCIe transfers must be logged too"
+        );
     }
 
     #[test]

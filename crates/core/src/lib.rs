@@ -37,16 +37,21 @@
 
 #![warn(missing_docs)]
 
+pub mod cluster_exec;
 pub mod interp_adapter;
 pub mod job_runner;
+pub mod parallel;
 pub mod pipeline;
 pub mod presets;
 
+pub use cluster_exec::{run_cluster_functional_job, ClusterFunctionalJob};
 pub use hetero_runtime::OptFlags;
 pub use interp_adapter::{InterpCombiner, InterpMapper};
 pub use job_runner::{
-    run_functional_job, run_functional_job_on, run_functional_job_traced, FunctionalJob,
+    run_functional_job, run_functional_job_on, run_functional_job_pooled,
+    run_functional_job_traced, FunctionalJob,
 };
+pub use parallel::ParallelRunner;
 pub use pipeline::{
     build_job, job_speedup, measure_task, optimization_effect, task_config, JobComparison,
     TaskMeasurement, DEFAULT_SPLIT_RECORDS,

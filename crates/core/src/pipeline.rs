@@ -30,6 +30,12 @@ pub struct TaskMeasurement {
     pub records: usize,
     /// KV-store occupancy of the GPU task.
     pub kv_occupancy: f64,
+    /// Device-wide counter totals the GPU task accumulated.
+    pub gpu_counters: hetero_gpusim::Counters,
+    /// Kernels the GPU task launched.
+    pub gpu_kernels: u64,
+    /// Simulated device time (kernels + PCIe transfers) of the GPU task.
+    pub gpu_device_s: f64,
 }
 
 /// Records per fileSplit used for task measurements. Scaled stand-in for
@@ -99,6 +105,9 @@ pub fn measure_task(
         gpu: gpu.breakdown,
         cpu: cpu.breakdown,
         speedup,
+        gpu_counters: dev.totals(),
+        gpu_kernels: dev.kernels_launched(),
+        gpu_device_s: dev.sim_time_s(),
         records: gpu.records,
         kv_occupancy: gpu.kv_occupancy,
     })

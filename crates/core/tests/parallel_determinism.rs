@@ -1,0 +1,144 @@
+//! Differential determinism harness: the parallel task runner must be
+//! *observationally identical* to the serial one. For every benchmark
+//! code we run the same job twice — one worker thread vs four — and
+//! require byte-identical outputs, bit-identical stats, identical
+//! device counters, and identical Chrome-trace JSON.
+//!
+//! This is the contract that makes `--threads N` safe to default on:
+//! parallelism may only change wall-clock time, never results.
+
+use hetero_cluster::{ClusterConfig, Scheduler};
+use hetero_gpusim::Device;
+use hetero_runtime::OptFlags;
+use hetero_trace::Tracer;
+use heterodoop::{
+    run_cluster_functional_job, run_functional_job_pooled, FunctionalJob, ParallelRunner, Preset,
+};
+
+/// Everything observable about one functional run, in comparable form.
+struct Observed {
+    job: FunctionalJob,
+    trace_json: String,
+    counters: hetero_gpusim::Counters,
+    kernels: u64,
+    device_s: f64,
+    transfer: (u64, u64),
+}
+
+fn run_observed(code: &str, pool: &ParallelRunner) -> Observed {
+    let app = hetero_apps::app_by_code(code).unwrap();
+    let p = Preset::cluster1();
+    let input = app.generate_split(3000, 11);
+    let dev = Device::new(p.gpu.clone());
+    let tracer = Tracer::new();
+    let job = run_functional_job_pooled(
+        app.as_ref(),
+        &p,
+        &input,
+        2,
+        OptFlags::all(),
+        &dev,
+        &tracer,
+        pool,
+    )
+    .unwrap();
+    Observed {
+        job,
+        trace_json: tracer.to_chrome_json(),
+        counters: dev.totals(),
+        kernels: dev.kernels_launched(),
+        device_s: dev.sim_time_s(),
+        transfer: dev.transfer_bytes(),
+    }
+}
+
+#[test]
+fn all_codes_are_byte_identical_serial_vs_four_threads() {
+    for code in hetero_apps::CODES {
+        let serial = run_observed(code, &ParallelRunner::serial());
+        let parallel = run_observed(code, &ParallelRunner::new(4));
+
+        assert_eq!(
+            serial.job.output, parallel.job.output,
+            "{code}: output must be byte-identical"
+        );
+        assert_eq!(serial.job.map_tasks, parallel.job.map_tasks, "{code}");
+        assert_eq!(serial.job.gpu_tasks, parallel.job.gpu_tasks, "{code}");
+        assert_eq!(
+            serial.job.gpu_fallbacks, parallel.job.gpu_fallbacks,
+            "{code}"
+        );
+        assert_eq!(
+            serial.job.task_seconds.to_bits(),
+            parallel.job.task_seconds.to_bits(),
+            "{code}: simulated task seconds must be bit-identical"
+        );
+        assert_eq!(
+            serial.trace_json, parallel.trace_json,
+            "{code}: Chrome-trace JSON must be byte-identical"
+        );
+        assert_eq!(
+            serial.counters, parallel.counters,
+            "{code}: device counters must match"
+        );
+        assert_eq!(serial.kernels, parallel.kernels, "{code}: kernel count");
+        assert_eq!(
+            serial.device_s.to_bits(),
+            parallel.device_s.to_bits(),
+            "{code}: simulated device time must be bit-identical"
+        );
+        assert_eq!(serial.transfer, parallel.transfer, "{code}: PCIe bytes");
+    }
+}
+
+#[test]
+fn thread_count_sweep_is_stable() {
+    // Not just 1 vs 4: any worker count produces the same bytes.
+    let baseline = run_observed("WC", &ParallelRunner::serial());
+    for threads in [2, 3, 7, 16] {
+        let run = run_observed("WC", &ParallelRunner::new(threads));
+        assert_eq!(baseline.job.output, run.job.output, "threads={threads}");
+        assert_eq!(baseline.trace_json, run.trace_json, "threads={threads}");
+        assert_eq!(baseline.counters, run.counters, "threads={threads}");
+    }
+}
+
+#[test]
+fn cluster_placed_jobs_have_identical_stats_and_metrics() {
+    // The DES decides placement, the functional executor runs it; both
+    // the JobStats metrics snapshot and the computed bytes must be
+    // independent of the worker count.
+    let app = hetero_apps::app_by_code("HS").unwrap();
+    let p = Preset::cluster1();
+    let input = app.generate_split(3000, 5);
+    let cfg = ClusterConfig::small(4, Scheduler::GpuFirst);
+
+    let run = |pool: &ParallelRunner| {
+        let dev = Device::new(p.gpu.clone());
+        let tracer = Tracer::new();
+        let cj = run_cluster_functional_job(
+            app.as_ref(),
+            &p,
+            &input,
+            &cfg,
+            OptFlags::all(),
+            &dev,
+            &tracer,
+            pool,
+        )
+        .unwrap();
+        (cj, tracer.to_chrome_json())
+    };
+
+    let (serial, serial_trace) = run(&ParallelRunner::serial());
+    let (parallel, parallel_trace) = run(&ParallelRunner::new(4));
+
+    assert_eq!(serial.job.output, parallel.job.output);
+    assert_eq!(serial.gpu_placed, parallel.gpu_placed);
+    assert_eq!(
+        serial.stats.metrics().to_json(),
+        parallel.stats.metrics().to_json(),
+        "JobStats::metrics() must serialize identically"
+    );
+    assert_eq!(serial_trace, parallel_trace);
+}

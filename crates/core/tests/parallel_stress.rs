@@ -1,0 +1,133 @@
+//! Concurrency stress: the parallel runner under a sweep of injected
+//! fault schedules. Every seed drives a different DES history — crashed
+//! nodes, transient attempt failures, dead GPUs — and for each one the
+//! 4-thread run must complete every task and match the serial run
+//! observable for observable. No panic, no lost task, no divergent stat.
+
+use hetero_cluster::{ClusterConfig, FaultPlan, Scheduler};
+use hetero_gpusim::Device;
+use hetero_runtime::OptFlags;
+use hetero_trace::Tracer;
+use heterodoop::{
+    run_cluster_functional_job, run_functional_job_pooled, ClusterFunctionalJob, ParallelRunner,
+    Preset,
+};
+
+fn storm(seed: u64) -> FaultPlan {
+    FaultPlan {
+        seed,
+        // Derive the victims from the seed so every sweep entry stresses
+        // a different schedule shape.
+        node_crashes: vec![((seed % 4) as u32, 10.0 + (seed % 7) as f64)],
+        transient_fail_p: 0.15,
+        gpu_faults: vec![(((seed + 1) % 4) as u32, 0, 5.0)],
+        corrupt_task_inputs: vec![(seed % 11) as u32],
+        ..FaultPlan::default()
+    }
+}
+
+fn faulted_cfg(seed: u64) -> ClusterConfig {
+    let mut c = ClusterConfig::small(4, Scheduler::TailScheduling);
+    c.map_slots_per_node = 2;
+    c.speculative = true;
+    c.faults = storm(seed);
+    c
+}
+
+fn run(seed: u64, pool: &ParallelRunner) -> (ClusterFunctionalJob, String) {
+    let app = hetero_apps::app_by_code("WC").unwrap();
+    let p = Preset::cluster1();
+    let input = app.generate_split(2500, seed);
+    let dev = Device::new(p.gpu.clone());
+    let tracer = Tracer::new();
+    let cj = run_cluster_functional_job(
+        app.as_ref(),
+        &p,
+        &input,
+        &faulted_cfg(seed),
+        OptFlags::all(),
+        &dev,
+        &tracer,
+        pool,
+    )
+    .unwrap();
+    (cj, tracer.to_chrome_json())
+}
+
+#[test]
+fn fault_seed_sweep_parallel_matches_serial() {
+    let serial = ParallelRunner::serial();
+    let four = ParallelRunner::new(4);
+    for seed in 0..16u64 {
+        let (s, s_trace) = run(seed, &serial);
+        let (p, p_trace) = run(seed, &four);
+
+        // No lost task: every map the spec demanded completed, and the
+        // functional executor ran each exactly once.
+        assert!(!p.stats.aborted, "seed {seed}: job must survive the storm");
+        assert_eq!(
+            p.stats.completed_maps(),
+            p.gpu_placed.len(),
+            "seed {seed}: every map must complete"
+        );
+        assert_eq!(
+            p.job.map_tasks,
+            p.gpu_placed.len(),
+            "seed {seed}: every placed map must execute"
+        );
+
+        // Parallel == serial, per seed.
+        assert_eq!(s.job.output, p.job.output, "seed {seed}: output");
+        assert_eq!(s.gpu_placed, p.gpu_placed, "seed {seed}: placement");
+        assert_eq!(s.job.gpu_tasks, p.job.gpu_tasks, "seed {seed}");
+        assert_eq!(s.job.gpu_fallbacks, p.job.gpu_fallbacks, "seed {seed}");
+        assert_eq!(
+            s.job.task_seconds.to_bits(),
+            p.job.task_seconds.to_bits(),
+            "seed {seed}: task seconds"
+        );
+        assert_eq!(
+            s.stats.metrics().to_json(),
+            p.stats.metrics().to_json(),
+            "seed {seed}: DES metrics"
+        );
+        assert_eq!(s_trace, p_trace, "seed {seed}: trace JSON");
+    }
+}
+
+#[test]
+fn faulted_device_sweep_parallel_matches_serial() {
+    // A second axis: the *device* (not the DES) is the failing part. The
+    // fault fuse trips after a seed-dependent number of operations, so
+    // across seeds the failure lands in different tasks and phases; every
+    // GPU-placed task then degrades to the CPU identically at any thread
+    // count.
+    let app = hetero_apps::app_by_code("HS").unwrap();
+    let p = Preset::cluster1();
+    for seed in 0..16u64 {
+        let input = app.generate_split(2000, seed);
+        let observe = |pool: &ParallelRunner| {
+            let dev = Device::new(p.gpu.clone());
+            dev.inject_fault_after(seed, "stress: injected device death");
+            let job = run_functional_job_pooled(
+                app.as_ref(),
+                &p,
+                &input,
+                1,
+                OptFlags::all(),
+                &dev,
+                &Tracer::off(),
+                pool,
+            )
+            .unwrap();
+            (job, dev.transfer_bytes(), dev.totals())
+        };
+        let (sj, st, sc) = observe(&ParallelRunner::serial());
+        let (pj, pt, pc) = observe(&ParallelRunner::new(4));
+        assert_eq!(sj.output, pj.output, "seed {seed}: output");
+        assert_eq!(sj.gpu_fallbacks, pj.gpu_fallbacks, "seed {seed}: fallbacks");
+        assert_eq!(sj.map_tasks, sj.gpu_tasks + sj.gpu_fallbacks, "seed {seed}");
+        assert_eq!(st, pt, "seed {seed}: PCIe bytes");
+        assert_eq!(sc, pc, "seed {seed}: counters");
+    }
+}

@@ -56,8 +56,27 @@ struct DevState {
     totals: Counters,
     kernels_launched: u64,
     sim_time_s: f64,
+    h2d_bytes: u64,
+    d2h_bytes: u64,
     fault: Option<String>,
+    fault_fuse: Option<(u64, String)>,
     kernel_log: Option<Vec<KernelLogEntry>>,
+}
+
+/// Snapshot of a device's accounting at the start of a task attempt.
+/// Handed back to [`Device::rollback_attempt`] when the attempt fails, so
+/// a retry does not double-count the aborted work (PCIe bytes, counters,
+/// clock, kernel log) or leak its allocations.
+#[derive(Debug, Clone)]
+pub struct AttemptMark {
+    totals: Counters,
+    kernels_launched: u64,
+    sim_time_s: f64,
+    h2d_bytes: u64,
+    d2h_bytes: u64,
+    log_len: usize,
+    mem_mark: u64,
+    tex_len: usize,
 }
 
 /// A simulated GPU. Cheap to share behind `&self`; all mutability is
@@ -80,10 +99,68 @@ impl Device {
                 totals: Counters::default(),
                 kernels_launched: 0,
                 sim_time_s: 0.0,
+                h2d_bytes: 0,
+                d2h_bytes: 0,
                 fault: None,
+                fault_fuse: None,
                 kernel_log: None,
             }),
         }
+    }
+
+    /// A fresh device with the same hardware spec, fault status, and
+    /// kernel-log setting but zeroed memory, clock and counters: the
+    /// per-task execution context used by the parallel runner so tasks
+    /// never share mutable device state. Fold a finished fork back with
+    /// [`Device::merge_from`].
+    pub fn fork(&self) -> Device {
+        let st = self.state.lock();
+        Device {
+            spec: self.spec.clone(),
+            state: Mutex::new(DevState {
+                mem: MemTracker::new(self.spec.global_mem_bytes),
+                tex_sizes: Vec::new(),
+                totals: Counters::default(),
+                kernels_launched: 0,
+                sim_time_s: 0.0,
+                h2d_bytes: 0,
+                d2h_bytes: 0,
+                fault: st.fault.clone(),
+                fault_fuse: st.fault_fuse.clone(),
+                kernel_log: st.kernel_log.as_ref().map(|_| Vec::new()),
+            }),
+        }
+    }
+
+    /// Fold a finished fork's accounting into this device in task order:
+    /// counters, launch counts and PCIe bytes add up, the clock advances
+    /// by the fork's elapsed time, and undrained kernel-log entries are
+    /// appended re-based onto this device's clock. The fork is drained, so
+    /// merging twice cannot double-count.
+    pub fn merge_from(&self, child: &Device) {
+        assert!(
+            !std::ptr::eq(self, child),
+            "cannot merge a device into itself"
+        );
+        let mut c = child.state.lock();
+        let mut st = self.state.lock();
+        st.totals += c.totals;
+        st.kernels_launched += c.kernels_launched;
+        st.h2d_bytes += c.h2d_bytes;
+        st.d2h_bytes += c.d2h_bytes;
+        let base = st.sim_time_s;
+        if let (Some(log), Some(clog)) = (st.kernel_log.as_mut(), c.kernel_log.as_mut()) {
+            for mut e in clog.drain(..) {
+                e.start_s += base;
+                log.push(e);
+            }
+        }
+        st.sim_time_s += c.sim_time_s;
+        c.totals = Counters::default();
+        c.kernels_launched = 0;
+        c.h2d_bytes = 0;
+        c.d2h_bytes = 0;
+        c.sim_time_s = 0.0;
     }
 
     /// The hardware description.
@@ -131,18 +208,26 @@ impl Device {
     /// Simulate a host→device copy; returns elapsed seconds and advances
     /// the device clock.
     pub fn h2d(&self, bytes: u64) -> Result<f64, GpuError> {
-        self.memcpy("[memcpy HtoD]", bytes)
+        self.memcpy("[memcpy HtoD]", bytes, true)
     }
 
     /// Simulate a device→host copy.
     pub fn d2h(&self, bytes: u64) -> Result<f64, GpuError> {
-        self.memcpy("[memcpy DtoH]", bytes)
+        self.memcpy("[memcpy DtoH]", bytes, false)
     }
 
-    fn memcpy(&self, name: &'static str, bytes: u64) -> Result<f64, GpuError> {
-        self.check_fault()?;
+    fn memcpy(&self, name: &'static str, bytes: u64, to_device: bool) -> Result<f64, GpuError> {
         let t = self.spec.pcie_transfer_seconds(bytes);
         let mut st = self.state.lock();
+        if let Some(msg) = &st.fault {
+            return Err(GpuError::DeviceFault(msg.clone()));
+        }
+        Self::spend_fuse(&mut st)?;
+        if to_device {
+            st.h2d_bytes += bytes;
+        } else {
+            st.d2h_bytes += bytes;
+        }
         let start_s = st.sim_time_s;
         st.sim_time_s += t;
         if let Some(log) = st.kernel_log.as_mut() {
@@ -172,6 +257,14 @@ impl Device {
         }
     }
 
+    /// Clone the accumulated kernel log without draining it (empty if
+    /// logging was never enabled). The parallel runner reads a fork's
+    /// log this way for tracing, leaving the entries in place for
+    /// [`Device::merge_from`] to move onto the parent's clock.
+    pub fn kernel_log_snapshot(&self) -> Vec<KernelLogEntry> {
+        self.state.lock().kernel_log.clone().unwrap_or_default()
+    }
+
     /// Drain and return the accumulated kernel log (empty if logging was
     /// never enabled). Logging stays enabled once turned on.
     pub fn take_kernel_log(&self) -> Vec<KernelLogEntry> {
@@ -189,9 +282,68 @@ impl Device {
         self.state.lock().fault = Some(reason.into());
     }
 
-    /// Clear an injected fault (the driver "revives" the GPU).
+    /// Arm a delayed fault: the next `ops` transfers/launches succeed and
+    /// the one after trips a [`Device::inject_fault`]-style fault. This
+    /// reproduces a device dying *mid-task*, after some PCIe traffic and
+    /// kernels already executed — the scenario where attempt rollback
+    /// matters.
+    pub fn inject_fault_after(&self, ops: u64, reason: impl Into<String>) {
+        self.state.lock().fault_fuse = Some((ops, reason.into()));
+    }
+
+    fn spend_fuse(st: &mut DevState) -> Result<(), GpuError> {
+        match st.fault_fuse.take() {
+            None => Ok(()),
+            Some((0, reason)) => {
+                st.fault = Some(reason.clone());
+                Err(GpuError::DeviceFault(reason))
+            }
+            Some((n, reason)) => {
+                st.fault_fuse = Some((n - 1, reason));
+                Ok(())
+            }
+        }
+    }
+
+    /// Clear an injected fault (the driver "revives" the GPU); also
+    /// disarms a pending [`Device::inject_fault_after`] fuse.
     pub fn revive(&self) {
-        self.state.lock().fault = None;
+        let mut st = self.state.lock();
+        st.fault = None;
+        st.fault_fuse = None;
+    }
+
+    /// Snapshot the device accounting at the start of a task attempt.
+    pub fn begin_attempt(&self) -> AttemptMark {
+        let st = self.state.lock();
+        AttemptMark {
+            totals: st.totals,
+            kernels_launched: st.kernels_launched,
+            sim_time_s: st.sim_time_s,
+            h2d_bytes: st.h2d_bytes,
+            d2h_bytes: st.d2h_bytes,
+            log_len: st.kernel_log.as_ref().map_or(0, Vec::len),
+            mem_mark: st.mem.mark(),
+            tex_len: st.tex_sizes.len(),
+        }
+    }
+
+    /// Discard everything a failed attempt did since `mark`: counters,
+    /// launch counts, PCIe bytes, the clock, kernel-log entries, texture
+    /// bindings and allocations. A retried task then accounts exactly
+    /// like a clean first run.
+    pub fn rollback_attempt(&self, mark: &AttemptMark) {
+        let mut st = self.state.lock();
+        st.totals = mark.totals;
+        st.kernels_launched = mark.kernels_launched;
+        st.sim_time_s = mark.sim_time_s;
+        st.h2d_bytes = mark.h2d_bytes;
+        st.d2h_bytes = mark.d2h_bytes;
+        if let Some(log) = st.kernel_log.as_mut() {
+            log.truncate(mark.log_len);
+        }
+        st.tex_sizes.truncate(mark.tex_len);
+        st.mem.free_since(mark.mem_mark);
     }
 
     /// Whether the device currently has an injected fault.
@@ -245,7 +397,13 @@ impl Device {
         T: Send,
         F: Fn(&mut BlockCtx<'_>, T) -> Result<(), GpuError> + Sync,
     {
-        self.check_fault()?;
+        {
+            let mut st = self.state.lock();
+            if let Some(msg) = &st.fault {
+                return Err(GpuError::DeviceFault(msg.clone()));
+            }
+            Self::spend_fuse(&mut st)?;
+        }
         if threads_per_block == 0 || threads_per_block > self.spec.max_threads_per_block {
             return Err(GpuError::BadLaunch(format!(
                 "threads_per_block {} outside 1..={}",
@@ -334,6 +492,13 @@ impl Device {
     /// Total simulated time spent on this device (kernels + transfers).
     pub fn sim_time_s(&self) -> f64 {
         self.state.lock().sim_time_s
+    }
+
+    /// Cumulative PCIe traffic as `(host→device, device→host)` bytes.
+    /// Failed attempts that were rolled back contribute nothing.
+    pub fn transfer_bytes(&self) -> (u64, u64) {
+        let st = self.state.lock();
+        (st.h2d_bytes, st.d2h_bytes)
     }
 }
 
@@ -493,5 +658,103 @@ mod tests {
         let a = dev.bind_texture(100);
         let b = dev.bind_texture(200);
         assert_ne!(a.0, b.0);
+    }
+
+    #[test]
+    fn device_is_send_and_sync() {
+        // The parallel runner moves per-task forks across worker threads
+        // and shares the parent device behind `&Device`.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Device>();
+    }
+
+    #[test]
+    fn transfers_accumulate_pcie_byte_totals() {
+        let dev = Device::new(GpuSpec::tesla_k40());
+        dev.h2d(1000).unwrap();
+        dev.h2d(24).unwrap();
+        dev.d2h(512).unwrap();
+        assert_eq!(dev.transfer_bytes(), (1024, 512));
+    }
+
+    #[test]
+    fn fork_runs_independently_and_merge_folds_back() {
+        let dev = Device::new(GpuSpec::tesla_k40());
+        dev.enable_kernel_log();
+        dev.h2d(100).unwrap();
+        let parent_t = dev.sim_time_s();
+
+        let fork = dev.fork();
+        assert_eq!(fork.sim_time_s(), 0.0);
+        assert_eq!(fork.available(), dev.spec().global_mem_bytes);
+        fork.h2d(200).unwrap();
+        fork.launch_named("k", 32, vec![()], |blk, _| {
+            blk.warp_round(|_, t| t.alu(10));
+            Ok(())
+        })
+        .unwrap();
+        let fork_t = fork.sim_time_s();
+
+        dev.merge_from(&fork);
+        assert_eq!(dev.transfer_bytes(), (300, 0));
+        assert_eq!(dev.kernels_launched(), 1);
+        assert!((dev.sim_time_s() - (parent_t + fork_t)).abs() < 1e-15);
+        // Fork log entries land re-based after the parent's own history.
+        let log = dev.take_kernel_log();
+        assert_eq!(log.len(), 3);
+        assert!((log[1].start_s - parent_t).abs() < 1e-15);
+        // The fork was drained: merging again adds nothing.
+        dev.merge_from(&fork);
+        assert_eq!(dev.transfer_bytes(), (300, 0));
+        assert_eq!(dev.kernels_launched(), 1);
+    }
+
+    #[test]
+    fn fork_inherits_fault_state() {
+        let dev = Device::new(GpuSpec::tesla_k40());
+        dev.inject_fault("xid 79");
+        assert!(dev.fork().is_faulted());
+        dev.revive();
+        assert!(!dev.fork().is_faulted());
+    }
+
+    #[test]
+    fn fault_fuse_trips_mid_task() {
+        let dev = Device::new(GpuSpec::tesla_k40());
+        dev.inject_fault_after(2, "xid 62 mid-task");
+        dev.h2d(100).unwrap();
+        dev.h2d(100).unwrap();
+        assert!(matches!(dev.h2d(100), Err(GpuError::DeviceFault(_))));
+        // The fuse leaves a sticky fault until revive.
+        assert!(dev.is_faulted());
+        dev.revive();
+        assert!(dev.h2d(100).is_ok());
+    }
+
+    #[test]
+    fn rollback_attempt_discards_partial_work() {
+        let dev = Device::new(GpuSpec::tesla_k40());
+        dev.enable_kernel_log();
+        dev.h2d(1000).unwrap();
+        let before_log = dev.take_kernel_log().len();
+        assert_eq!(before_log, 1);
+
+        let mark = dev.begin_attempt();
+        let _buf = dev.alloc(4096).unwrap();
+        dev.h2d(4096).unwrap();
+        dev.launch_named("k", 32, vec![()], |blk, _| {
+            blk.warp_round(|_, t| t.alu(5));
+            Ok(())
+        })
+        .unwrap();
+        dev.rollback_attempt(&mark);
+
+        assert_eq!(dev.transfer_bytes(), (1000, 0));
+        assert_eq!(dev.kernels_launched(), 0);
+        assert_eq!(dev.used(), 0, "attempt allocations are released");
+        assert!(dev.take_kernel_log().is_empty());
+        let clean = Device::new(GpuSpec::tesla_k40());
+        clean.h2d(1000).unwrap();
+        assert_eq!(dev.sim_time_s(), clean.sim_time_s());
     }
 }

@@ -91,6 +91,20 @@ impl MemTracker {
         self.allocs.get(&ptr.0).copied()
     }
 
+    /// Allocation watermark: every allocation made after this call gets an
+    /// id `>=` the returned mark, so a failed task attempt can be undone
+    /// with [`MemTracker::free_since`].
+    pub fn mark(&self) -> u64 {
+        self.next_id
+    }
+
+    /// Free every live allocation with id `>=` mark (attempt rollback).
+    /// Allocations already freed are unaffected.
+    pub fn free_since(&mut self, mark: u64) {
+        let dead = self.allocs.split_off(&mark);
+        self.used -= dead.values().sum::<u64>();
+    }
+
     /// Number of live allocations.
     pub fn live_allocs(&self) -> usize {
         self.allocs.len()
@@ -147,6 +161,20 @@ mod tests {
         m.free_all();
         assert_eq!(m.available(), 100);
         assert_eq!(m.live_allocs(), 0);
+    }
+
+    #[test]
+    fn free_since_undoes_only_newer_allocations() {
+        let mut m = MemTracker::new(100);
+        let old = m.alloc(10).unwrap();
+        let mark = m.mark();
+        m.alloc(20).unwrap();
+        let freed_before = m.alloc(30).unwrap();
+        m.free(freed_before).unwrap();
+        m.free_since(mark);
+        assert_eq!(m.used(), 10);
+        assert_eq!(m.live_allocs(), 1);
+        assert_eq!(m.size_of(old), Some(10));
     }
 
     #[test]

@@ -159,7 +159,29 @@ pub struct GpuTaskResult {
 /// Execute one map(+combine) task on the device, following Fig. 1:
 /// copy input → locate records → allocate KV store → map → aggregate →
 /// sort → combine → write output → free.
+///
+/// The whole task runs as one *attempt*: if it fails partway (device
+/// fault, KV-store exhaustion, OOM), every side effect it had on the
+/// device — PCIe byte totals, counters, clock, kernel-log entries,
+/// allocations — is rolled back, so a TaskTracker retry accounts exactly
+/// like a clean first run instead of double-counting the aborted work.
 pub fn run_gpu_task(
+    dev: &Device,
+    env: &TaskEnv,
+    split: &[u8],
+    mapper: &dyn Mapper,
+    combiner: Option<&dyn Combiner>,
+    cfg: &GpuTaskConfig,
+) -> Result<GpuTaskResult, GpuError> {
+    let mark = dev.begin_attempt();
+    let r = run_gpu_task_attempt(dev, env, split, mapper, combiner, cfg);
+    if r.is_err() {
+        dev.rollback_attempt(&mark);
+    }
+    r
+}
+
+fn run_gpu_task_attempt(
     dev: &Device,
     env: &TaskEnv,
     split: &[u8],
@@ -231,9 +253,8 @@ pub fn run_gpu_task(
     } = run_map(dev, split, &loc.records, mapper, &map_cfg)?;
     if dropped_records > 0 {
         // The global KV store was too small: this is a task failure the
-        // TaskTracker will observe and reschedule (paper §5.1).
-        dev.free(input_buf)?;
-        dev.free(store_alloc)?;
+        // TaskTracker will observe and reschedule (paper §5.1). The
+        // attempt rollback in run_gpu_task releases the buffers.
         return Err(GpuError::DeviceFault(format!(
             "global KV store exhausted: {dropped_records} records dropped"
         )));
@@ -532,6 +553,46 @@ mod tests {
         .unwrap();
         assert!(b.breakdown.input_read_s < a.breakdown.input_read_s);
         assert!(b.breakdown.output_write_s < a.breakdown.output_write_s);
+    }
+
+    #[test]
+    fn retried_task_does_not_double_count_pcie_bytes() {
+        // Regression: a task dying mid-attempt (after real PCIe traffic)
+        // used to leave its partial transfers in the device totals, so a
+        // TaskTracker retry double-counted them.
+        let split = split_text(500);
+        let run = |dev: &Device| {
+            run_gpu_task(
+                dev,
+                &TaskEnv::disk(),
+                &split,
+                &WcMap,
+                Some(&SumComb),
+                &cfg(),
+            )
+        };
+        let clean = Device::new(GpuSpec::tesla_k40());
+        let expect = run(&clean).unwrap();
+
+        let dev = Device::new(GpuSpec::tesla_k40());
+        // Two operations (input H2D + record-locator kernel) succeed,
+        // then the device dies mid-task.
+        dev.inject_fault_after(2, "xid 62: mid-task ECC error");
+        assert!(matches!(run(&dev), Err(GpuError::DeviceFault(_))));
+        assert_eq!(
+            dev.transfer_bytes(),
+            (0, 0),
+            "aborted attempt must leave no PCIe residue"
+        );
+        assert_eq!(dev.used(), 0);
+
+        // Retry on the revived device: totals pin to a clean single run.
+        dev.revive();
+        let retried = run(&dev).unwrap();
+        assert_eq!(dev.transfer_bytes(), clean.transfer_bytes());
+        assert_eq!(dev.totals(), clean.totals());
+        assert_eq!(dev.kernels_launched(), clean.kernels_launched());
+        assert_eq!(word_totals(&retried), word_totals(&expect));
     }
 
     #[test]

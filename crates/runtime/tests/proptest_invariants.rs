@@ -1,0 +1,101 @@
+//! Property-based invariants of the GPU runtime primitives: the
+//! indirection sort, the Blelloch scan, and fixed-slot key trimming.
+//! Random inputs, algebraic postconditions — the serial reference
+//! implementations are the oracle.
+
+use hetero_gpusim::{Device, GpuSpec};
+use hetero_runtime::kvstore::KvStore;
+use hetero_runtime::scan::exclusive_scan;
+use hetero_runtime::sort::sort_partition;
+use hetero_runtime::types::trim_key;
+use proptest::prelude::*;
+
+/// Store the keys one per slot and return the live indirection array.
+fn store_of(keys: &[String]) -> (KvStore, Vec<u32>) {
+    let mut s = KvStore::new(1, keys.len().max(1), 16, 4, 1);
+    for k in keys {
+        assert!(s.emit(0, k.as_bytes(), b"1"));
+    }
+    (s, (0..keys.len() as u32).collect())
+}
+
+proptest! {
+    /// `sort_partition` returns a permutation of its input whose live
+    /// entries are key-ordered (stably) with whitespace sorted last.
+    #[test]
+    fn sort_is_an_ordered_permutation(
+        keys in proptest::collection::vec("[a-z]{0,8}", 0..48),
+        whitespace in 0usize..8,
+    ) {
+        let dev = Device::new(GpuSpec::tesla_k40());
+        let (s, mut idx) = store_of(&keys);
+        // Sprinkle whitespace slots through the indirection array the
+        // way record stealing leaves them: interleaved, not appended.
+        for w in 0..whitespace {
+            idx.insert((w * 3) % (idx.len() + 1), u32::MAX);
+        }
+        let r = sort_partition(&dev, &s, &idx).unwrap();
+
+        // Permutation: same multiset of indices.
+        let mut want = idx.clone();
+        want.sort_unstable();
+        let mut got = r.order.clone();
+        got.sort_unstable();
+        prop_assert_eq!(got, want);
+
+        // Live entries first (key-ordered), whitespace after.
+        let live = r.order.len() - whitespace;
+        prop_assert!(r.order[live..].iter().all(|&i| i == u32::MAX));
+        for pair in r.order[..live].windows(2) {
+            let (a, b) = (pair[0] as usize, pair[1] as usize);
+            prop_assert!(s.key(a) <= s.key(b), "must be key-sorted");
+            // Stable: input index order breaks key ties.
+            if s.key(a) == s.key(b) {
+                prop_assert!(a < b, "equal keys must keep emission order");
+            }
+        }
+    }
+
+    /// The device scan agrees with the one-line serial prefix sum.
+    #[test]
+    fn scan_matches_serial_prefix_sum(
+        vals in proptest::collection::vec(0u32..100_000, 0..600),
+    ) {
+        let dev = Device::new(GpuSpec::tesla_k40());
+        let r = exclusive_scan(&dev, &vals).unwrap();
+
+        let mut serial = Vec::with_capacity(vals.len());
+        let mut acc = 0u64;
+        for &v in &vals {
+            serial.push(acc);
+            acc += v as u64;
+        }
+        prop_assert_eq!(r.prefix, serial);
+        prop_assert_eq!(r.total, acc);
+    }
+
+    /// `trim_key` returns the longest NUL-free prefix: it never cuts a
+    /// record short and never includes padding.
+    #[test]
+    fn trim_key_is_the_longest_nul_free_prefix(
+        bytes in proptest::collection::vec(any::<u8>(), 0..32),
+    ) {
+        let t = trim_key(&bytes);
+        prop_assert!(!t.contains(&0), "trimmed key must contain no padding");
+        prop_assert_eq!(t, &bytes[..t.len()], "must be a prefix");
+        // Maximal: the trim point is the end or the first NUL.
+        if t.len() < bytes.len() {
+            prop_assert_eq!(bytes[t.len()], 0, "must only cut at a NUL");
+        }
+    }
+
+    /// Round trip through a fixed-width slot: any NUL-free key narrower
+    /// than the slot is recovered byte for byte — emit never corrupts,
+    /// trim never truncates mid-record.
+    #[test]
+    fn fixed_slot_round_trip_preserves_records(key in "[a-zA-Z0-9_.,-]{0,16}") {
+        let mut s = KvStore::new(1, 1, 16, 4, 1);
+        prop_assert!(s.emit(0, key.as_bytes(), b"v"));
+        prop_assert_eq!(trim_key(s.key(0)), key.as_bytes());
+    }
+}

@@ -24,6 +24,14 @@ struct Inner {
 /// Timestamps are supplied by the **caller** in simulated seconds — the
 /// tracer has no clock of its own, which is what keeps traces
 /// deterministic and independent of host wall time.
+///
+/// The sink is `Send + Sync`: worker threads of the parallel task runner
+/// may record into one tracer concurrently. For *byte-identical* trace
+/// output across thread counts, though, the runner records nothing from
+/// workers — it replays per-task results into the tracer from the merge
+/// thread in task-index order (see `heterodoop::job_runner`). Workers
+/// that do record directly (or via [`Tracer::absorb`]) stay valid Chrome
+/// traces but may interleave differently run to run.
 #[derive(Debug)]
 pub struct Tracer {
     enabled: bool,
@@ -158,6 +166,22 @@ impl Tracer {
         let g = self.inner.lock();
         crate::chrome::to_chrome_json(&g.events, &g.processes, &g.lanes)
     }
+
+    /// Move every event and lane label out of `other` into this tracer,
+    /// in `other`'s recording order. `other` is left empty. Disabled
+    /// tracers absorb nothing. This is the deterministic way to collect
+    /// per-task tracers recorded off-thread: absorb them one by one in
+    /// task order from a single thread.
+    pub fn absorb(&self, other: &Tracer) {
+        if !self.enabled {
+            return;
+        }
+        let mut theirs = other.inner.lock();
+        let mut ours = self.inner.lock();
+        ours.events.append(&mut theirs.events);
+        ours.processes.append(&mut theirs.processes);
+        ours.lanes.append(&mut theirs.lanes);
+    }
 }
 
 #[cfg(test)]
@@ -181,6 +205,45 @@ mod tests {
         let e = &t.events()[0];
         assert_eq!(e.ts_us, 2_000_000);
         assert_eq!(e.kind, EventKind::Span { dur_us: 0 });
+    }
+
+    #[test]
+    fn tracer_is_a_thread_safe_sink() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Tracer>();
+        // Concurrent recording from worker threads must not lose events.
+        let t = Tracer::new();
+        std::thread::scope(|s| {
+            for w in 0..4 {
+                let t = &t;
+                s.spawn(move || {
+                    for i in 0..100 {
+                        t.instant(Category::Task, format!("w{w}e{i}"), 0, w, i as f64, vec![]);
+                    }
+                });
+            }
+        });
+        assert_eq!(t.len(), 400);
+    }
+
+    #[test]
+    fn absorb_moves_events_in_order() {
+        let main = Tracer::new();
+        main.instant(Category::Task, "first", 0, 0, 0.0, vec![]);
+        let task = Tracer::new();
+        task.name_lane(0, 1, "task-lane");
+        task.instant(Category::Task, "second", 0, 1, 1.0, vec![]);
+        main.absorb(&task);
+        assert!(task.is_empty());
+        let names: Vec<_> = main.events().into_iter().map(|e| e.name).collect();
+        assert_eq!(names, vec!["first", "second"]);
+        // Disabled tracers absorb nothing (and leave the source alone).
+        let off = Tracer::off();
+        let src = Tracer::new();
+        src.instant(Category::Task, "kept", 0, 0, 0.0, vec![]);
+        off.absorb(&src);
+        assert_eq!(src.len(), 1);
+        assert!(off.is_empty());
     }
 
     #[test]
