@@ -1,0 +1,128 @@
+//! `heterolint` — GPU-safety and performance static analysis over
+//! `#pragma mapreduce` programs.
+//!
+//! ```text
+//! heterolint [--deny-warnings] [--json PATH] [--expect-findings] [FILE.c ...]
+//! ```
+//!
+//! With no files, lints the annotated mini-C sources of all eight
+//! bundled Table 2 benchmarks (mapper and combiner programs). With
+//! files, lints each one from disk.
+//!
+//! Exit status: `0` when every unit passes, `1` when any unit fails the
+//! selected level (`--deny-warnings` also rejects warning-severity
+//! findings; perf-notes never fail), `2` on usage or I/O errors. With
+//! `--expect-findings` the polarity flips: a unit with **no** findings
+//! fails — used by CI to prove the negative fixtures still trip their
+//! lints.
+
+use hetero_cc::lint::{lint_program, LintLevel};
+use hetero_cc::parse::parse;
+use hetero_cc::sema::analyze;
+
+fn usage() -> i32 {
+    eprintln!("usage: heterolint [--deny-warnings] [--json PATH] [--expect-findings] [FILE.c ...]");
+    2
+}
+
+fn main() {
+    std::process::exit(run());
+}
+
+fn run() -> i32 {
+    let mut deny = false;
+    let mut expect_findings = false;
+    let mut json_path: Option<String> = None;
+    let mut files: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--deny-warnings" => deny = true,
+            "--expect-findings" => expect_findings = true,
+            "--json" => match args.next() {
+                Some(p) => json_path = Some(p),
+                None => return usage(),
+            },
+            "--help" | "-h" => return usage(),
+            f if !f.starts_with('-') => files.push(f.to_string()),
+            _ => return usage(),
+        }
+    }
+    let level = if deny {
+        LintLevel::Deny
+    } else {
+        LintLevel::Warn
+    };
+
+    // Work list: explicit files, or the bundled benchmark programs.
+    let mut units: Vec<(String, String)> = Vec::new();
+    if files.is_empty() {
+        for app in hetero_apps::all_apps() {
+            let code = app.spec().code;
+            units.push((format!("{code}.map.c"), app.mapper_source().to_string()));
+            if let Some(cs) = app.combiner_source() {
+                units.push((format!("{code}.combine.c"), cs.to_string()));
+            }
+        }
+    } else {
+        for f in &files {
+            match std::fs::read_to_string(f) {
+                Ok(src) => units.push((f.clone(), src)),
+                Err(e) => {
+                    eprintln!("heterolint: {f}: {e}");
+                    return 2;
+                }
+            }
+        }
+    }
+
+    let mut failed = false;
+    let mut json_units: Vec<String> = Vec::new();
+    for (name, src) in &units {
+        let report = match parse(src).and_then(|p| analyze(&p).map(|a| (p, a))) {
+            Ok((prog, analysis)) => lint_program(src, &prog, &analysis),
+            Err(e) => {
+                eprintln!("{name}: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        println!(
+            "== {name}: {} region(s), {} error(s), {} warning(s), {} perf-note(s)",
+            report.regions,
+            report.error_count(),
+            report.warning_count(),
+            report.perf_notes().count()
+        );
+        let rendered = report.render(src);
+        if !rendered.is_empty() {
+            print!("{rendered}");
+        }
+        if expect_findings {
+            if report.diags.is_empty() {
+                eprintln!("{name}: expected findings, found none");
+                failed = true;
+            }
+        } else if !report.passes(level) {
+            failed = true;
+        }
+        json_units.push(report.to_json(name));
+    }
+
+    if let Some(path) = &json_path {
+        let level_name = if deny { "deny" } else { "warn" };
+        let json = format!(
+            "{{\"tool\":\"heterolint\",\"level\":\"{level_name}\",\"units\":[{}]}}\n",
+            json_units.join(",")
+        );
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("heterolint: writing {path}: {e}");
+            return 2;
+        }
+    }
+    if failed {
+        1
+    } else {
+        0
+    }
+}

@@ -81,6 +81,6 @@ fn main() {
     // Smoke-check: a pragma using every clause parses.
     let full = "mapreduce mapper key(k) value(v) keylength(30) vallength(4) \
                 firstprivate(k) sharedRO(n) texture(tbl) kvpairs(4) blocks(60) threads(128)";
-    assert!(parse_pragma(full, 1).unwrap().is_some());
+    assert!(parse_pragma(full, 1u32).unwrap().is_some());
     println!("\nfull-clause pragma parses: OK");
 }

@@ -2,11 +2,59 @@
 
 use std::fmt;
 
-/// Source location (line-granular; enough for directive diagnostics).
+/// Source location: a 1-based line plus a byte range into the original
+/// source text. Lint diagnostics use the byte range to underline the
+/// offending tokens; line-only spans (`start == end == 0` via
+/// [`From<u32>`]) remain valid and degrade to whole-line reporting.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct Span {
     /// 1-based source line.
     pub line: u32,
+    /// Byte offset of the first byte (inclusive) in the source.
+    pub start: u32,
+    /// Byte offset one past the last byte (exclusive) in the source.
+    pub end: u32,
+}
+
+impl Span {
+    /// Span covering bytes `start..end` on `line`.
+    pub fn new(line: u32, start: usize, end: usize) -> Self {
+        Span {
+            line,
+            start: start as u32,
+            end: end as u32,
+        }
+    }
+
+    /// True when the span carries a real byte range.
+    pub fn has_bytes(self) -> bool {
+        self.end > self.start
+    }
+
+    /// Smallest span covering both `self` and `other` (line of `self`).
+    pub fn merge(self, other: Span) -> Span {
+        if !self.has_bytes() {
+            return if other.has_bytes() { other } else { self };
+        }
+        if !other.has_bytes() {
+            return self;
+        }
+        Span {
+            line: self.line.min(other.line).max(1),
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+}
+
+impl From<u32> for Span {
+    fn from(line: u32) -> Self {
+        Span {
+            line,
+            start: 0,
+            end: 0,
+        }
+    }
 }
 
 /// Compiler errors, each tagged with the phase that produced them.
@@ -14,74 +62,100 @@ pub struct Span {
 pub enum CcError {
     /// Lexical error.
     Lex {
-        /// Source line.
-        line: u32,
+        /// Source location.
+        span: Span,
         /// Message.
         msg: String,
     },
     /// Parse error.
     Parse {
-        /// Source line.
-        line: u32,
+        /// Source location.
+        span: Span,
         /// Message.
         msg: String,
     },
     /// Directive (pragma) error — unknown clause, missing argument,
     /// clause on the wrong directive kind, etc.
     Directive {
-        /// Source line.
-        line: u32,
+        /// Source location.
+        span: Span,
         /// Message.
         msg: String,
     },
     /// Semantic error — unknown variable in a clause, no annotated loop...
     Sema {
-        /// Source line.
-        line: u32,
+        /// Source location.
+        span: Span,
         /// Message.
         msg: String,
+    },
+    /// Lint errors from [`crate::lint`]; the program was rejected by
+    /// static analysis. Messages are pre-rendered one-line diagnostics.
+    Lint {
+        /// One line per offending diagnostic (`HDxxx` code + location).
+        reports: Vec<String>,
     },
     /// Runtime error in the interpreter.
     Interp(String),
 }
 
 impl CcError {
-    pub(crate) fn lex(line: u32, msg: impl Into<String>) -> Self {
+    pub(crate) fn lex(span: impl Into<Span>, msg: impl Into<String>) -> Self {
         CcError::Lex {
-            line,
+            span: span.into(),
             msg: msg.into(),
         }
     }
-    pub(crate) fn parse(line: u32, msg: impl Into<String>) -> Self {
+    pub(crate) fn parse(span: impl Into<Span>, msg: impl Into<String>) -> Self {
         CcError::Parse {
-            line,
+            span: span.into(),
             msg: msg.into(),
         }
     }
-    pub(crate) fn directive(line: u32, msg: impl Into<String>) -> Self {
+    pub(crate) fn directive(span: impl Into<Span>, msg: impl Into<String>) -> Self {
         CcError::Directive {
-            line,
+            span: span.into(),
             msg: msg.into(),
         }
     }
-    pub(crate) fn sema(line: u32, msg: impl Into<String>) -> Self {
+    pub(crate) fn sema(span: impl Into<Span>, msg: impl Into<String>) -> Self {
         CcError::Sema {
-            line,
+            span: span.into(),
             msg: msg.into(),
         }
     }
     pub(crate) fn interp(msg: impl Into<String>) -> Self {
         CcError::Interp(msg.into())
     }
+
+    /// The source location of this error, when it has one.
+    pub fn span(&self) -> Option<Span> {
+        match self {
+            CcError::Lex { span, .. }
+            | CcError::Parse { span, .. }
+            | CcError::Directive { span, .. }
+            | CcError::Sema { span, .. } => Some(*span),
+            CcError::Lint { .. } | CcError::Interp(_) => None,
+        }
+    }
 }
 
 impl fmt::Display for CcError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            CcError::Lex { line, msg } => write!(f, "lex error (line {line}): {msg}"),
-            CcError::Parse { line, msg } => write!(f, "parse error (line {line}): {msg}"),
-            CcError::Directive { line, msg } => write!(f, "directive error (line {line}): {msg}"),
-            CcError::Sema { line, msg } => write!(f, "semantic error (line {line}): {msg}"),
+            CcError::Lex { span, msg } => write!(f, "lex error (line {}): {msg}", span.line),
+            CcError::Parse { span, msg } => write!(f, "parse error (line {}): {msg}", span.line),
+            CcError::Directive { span, msg } => {
+                write!(f, "directive error (line {}): {msg}", span.line)
+            }
+            CcError::Sema { span, msg } => write!(f, "semantic error (line {}): {msg}", span.line),
+            CcError::Lint { reports } => {
+                write!(f, "lint rejected program ({} finding(s))", reports.len())?;
+                for r in reports {
+                    write!(f, "\n  {r}")?;
+                }
+                Ok(())
+            }
             CcError::Interp(msg) => write!(f, "interpreter error: {msg}"),
         }
     }
@@ -93,14 +167,56 @@ impl std::error::Error for CcError {}
 /// analysis is inexact due to aliasing (§3.2).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Warning {
-    /// Source line.
-    pub line: u32,
+    /// Source location.
+    pub span: Span,
     /// Message.
     pub msg: String,
 }
 
+impl Warning {
+    pub(crate) fn new(span: impl Into<Span>, msg: impl Into<String>) -> Self {
+        Warning {
+            span: span.into(),
+            msg: msg.into(),
+        }
+    }
+}
+
 impl fmt::Display for Warning {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "warning (line {}): {}", self.line, self.msg)
+        write!(f, "warning (line {}): {}", self.span.line, self.msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_from_line_has_no_bytes() {
+        let s: Span = 7u32.into();
+        assert_eq!(s.line, 7);
+        assert!(!s.has_bytes());
+    }
+
+    #[test]
+    fn span_merge_prefers_byte_ranges() {
+        let a = Span::new(3, 10, 14);
+        let b = Span::new(3, 20, 25);
+        let m = a.merge(b);
+        assert_eq!((m.start, m.end), (10, 25));
+        let lineonly: Span = 5u32.into();
+        assert_eq!(a.merge(lineonly), a);
+        assert_eq!(lineonly.merge(a), a);
+    }
+
+    #[test]
+    fn lint_error_display_lists_reports() {
+        let e = CcError::Lint {
+            reports: vec!["HD001 ...".into()],
+        };
+        let s = e.to_string();
+        assert!(s.contains("1 finding(s)"));
+        assert!(s.contains("HD001"));
     }
 }

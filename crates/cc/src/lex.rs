@@ -86,6 +86,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, CcError> {
         // Preprocessor lines: capture pragmas, skip includes/defines.
         if c == b'#' {
             let start_line = line;
+            let start_byte = i;
             let mut text = String::new();
             // Collect the logical line, honouring trailing-backslash
             // continuations (the paper's Listing 1 uses `\\`).
@@ -117,7 +118,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, CcError> {
             if let Some(rest) = text.strip_prefix("#pragma") {
                 toks.push(Token {
                     tok: Tok::Pragma(rest.trim().to_string()),
-                    span: Span { line: start_line },
+                    span: Span::new(start_line, start_byte, i.saturating_sub(1).max(start_byte)),
                 });
             }
             // #include / #define are ignored (stdlib is built in).
@@ -126,6 +127,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, CcError> {
         // String literal.
         if c == b'"' {
             let start_line = line;
+            let start_byte = i;
             let mut s = String::new();
             i += 1;
             loop {
@@ -154,13 +156,14 @@ pub fn lex(src: &str) -> Result<Vec<Token>, CcError> {
             }
             toks.push(Token {
                 tok: Tok::StrLit(s),
-                span: Span { line: start_line },
+                span: Span::new(start_line, start_byte, i),
             });
             continue;
         }
         // Char literal.
         if c == b'\'' {
             let start_line = line;
+            let start_byte = i;
             i += 1;
             if i >= b.len() {
                 return Err(CcError::lex(start_line, "unterminated char literal"));
@@ -184,7 +187,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, CcError> {
             i += 1;
             toks.push(Token {
                 tok: Tok::CharLit(v),
-                span: Span { line: start_line },
+                span: Span::new(start_line, start_byte, i),
             });
             continue;
         }
@@ -228,7 +231,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, CcError> {
             };
             toks.push(Token {
                 tok,
-                span: Span { line },
+                span: Span::new(line, start, i),
             });
             continue;
         }
@@ -240,7 +243,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, CcError> {
             }
             toks.push(Token {
                 tok: Tok::Ident(std::str::from_utf8(&b[start..i]).unwrap().to_string()),
-                span: Span { line },
+                span: Span::new(line, start, i),
             });
             continue;
         }
@@ -249,7 +252,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, CcError> {
         if let Some(p) = PUNCTS.iter().find(|p| rest.starts_with(**p)) {
             toks.push(Token {
                 tok: Tok::Punct(p),
-                span: Span { line },
+                span: Span::new(line, i, i + p.len()),
             });
             i += p.len();
             continue;
@@ -261,7 +264,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, CcError> {
     }
     toks.push(Token {
         tok: Tok::Eof,
-        span: Span { line },
+        span: Span::new(line, b.len(), b.len()),
     });
     Ok(toks)
 }
@@ -367,6 +370,29 @@ mod tests {
             .find(|t| t.tok == Tok::Ident("c".into()))
             .unwrap();
         assert_eq!(c.span.line, 4);
+    }
+
+    #[test]
+    fn byte_spans_are_accurate() {
+        let src = "int abc = 42;\nchar *s = \"hi\";";
+        let toks = lex(src).unwrap();
+        let slice = |sp: Span| &src[sp.start as usize..sp.end as usize];
+        let abc = toks
+            .iter()
+            .find(|t| t.tok == Tok::Ident("abc".into()))
+            .unwrap();
+        assert_eq!(slice(abc.span), "abc");
+        let lit = toks
+            .iter()
+            .find(|t| matches!(t.tok, Tok::IntLit(42)))
+            .unwrap();
+        assert_eq!(slice(lit.span), "42");
+        let s = toks
+            .iter()
+            .find(|t| matches!(t.tok, Tok::StrLit(_)))
+            .unwrap();
+        assert_eq!(slice(s.span), "\"hi\"");
+        assert_eq!(s.span.line, 2);
     }
 
     #[test]

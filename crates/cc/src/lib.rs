@@ -24,18 +24,40 @@ pub mod codegen;
 pub mod error;
 pub mod interp;
 pub mod lex;
+pub mod lint;
 pub mod parse;
 pub mod pragma;
 pub mod sema;
 pub mod translate;
 
 pub use error::{CcError, Warning};
+pub use lint::LintLevel;
 
 /// Convenience: run the full compile pipeline on annotated source,
-/// producing kernel specs and generated CUDA-like text.
+/// producing kernel specs and generated CUDA-like text. Lints at the
+/// default [`LintLevel::Warn`]: error-severity findings abort the
+/// compile, warnings and perf-notes ride along in [`Compiled::lint`].
 pub fn compile(src: &str) -> Result<Compiled, CcError> {
+    compile_with(src, LintLevel::default())
+}
+
+/// [`compile`] with an explicit lint level. `LintLevel::Off` skips the
+/// analysis entirely; `Deny` also rejects warning-severity findings
+/// (perf-notes never block compilation).
+pub fn compile_with(src: &str, level: LintLevel) -> Result<Compiled, CcError> {
     let program = parse::parse(src)?;
     let analysis = sema::analyze(&program)?;
+    let lint = if level == LintLevel::Off {
+        lint::LintReport::default()
+    } else {
+        let report = lint::lint_program(src, &program, &analysis);
+        if !report.passes(level) {
+            return Err(CcError::Lint {
+                reports: report.summaries(level),
+            });
+        }
+        report
+    };
     let kernels = translate::translate(&program, &analysis)?;
     let sources = kernels.iter().map(codegen::kernel_source).collect();
     let warnings = analysis
@@ -49,6 +71,7 @@ pub fn compile(src: &str) -> Result<Compiled, CcError> {
         kernels,
         sources,
         warnings,
+        lint,
     })
 }
 
@@ -65,6 +88,9 @@ pub struct Compiled {
     pub sources: Vec<String>,
     /// Accumulated non-fatal diagnostics.
     pub warnings: Vec<Warning>,
+    /// Static-analysis findings that did not block compilation
+    /// (empty when linting was `Off`).
+    pub lint: lint::LintReport,
 }
 
 impl Compiled {

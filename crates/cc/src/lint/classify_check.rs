@@ -1,0 +1,176 @@
+//! Classification verifier (HD008): recompute Algorithm 1's placement
+//! decisions from the lint pass's own def-use facts and compare them
+//! with what `sema::analyze` decided. The two implementations share only
+//! the AST — a divergence means one of them misread the paper (both
+//! kinds of bug have been caught this way; see the sema `for`-order
+//! regression tests).
+
+use super::dataflow::RegionUnit;
+use super::{push, Diag};
+use crate::ast::CType;
+use crate::sema::{is_stream_handle, Placement, RegionInfo};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Independently recompute Algorithm 1 placements for a region.
+///
+/// Rules, in clause-priority order (paper §3.2):
+/// 1. `texture(v)` forces the texture path.
+/// 2. `sharedRO(v)`: scalars become kernel arguments (constant memory);
+///    arrays with a compile-time size default to texture; unsized arrays
+///    go to global memory through a device pointer.
+/// 3. explicit or inferred `firstprivate`: scalars by kernel parameter,
+///    arrays staged through global memory. Inference: the region reads
+///    the variable's pre-region value — either it never writes it, or a
+///    read precedes every same-iteration write.
+/// 4. everything else is private.
+pub fn recompute_placements(unit: &RegionUnit) -> BTreeMap<String, Placement> {
+    let used = unit.used();
+    let written = unit.written();
+    let rbw = unit.read_before_write();
+    let texture: BTreeSet<&str> = unit.dir.texture.iter().map(|s| s.as_str()).collect();
+    let shared_ro: BTreeSet<&str> = unit.dir.shared_ro.iter().map(|s| s.as_str()).collect();
+    let mut firstprivate: BTreeSet<&str> =
+        unit.dir.firstprivate.iter().map(|s| s.as_str()).collect();
+
+    for v in &used {
+        if firstprivate.contains(v) || shared_ro.contains(v) || texture.contains(v) {
+            continue;
+        }
+        let w = written.contains(v);
+        let reads_initial = rbw.contains(v);
+        if (!w && !is_stream_handle(v)) || (w && reads_initial) {
+            firstprivate.insert(v);
+        }
+    }
+
+    let is_arr = |v: &str| matches!(unit.ty(v), Some(CType::Array(..)) | Some(CType::Ptr(_)));
+
+    let mut out = BTreeMap::new();
+    for v in used {
+        let p = if texture.contains(v) {
+            Placement::TextureArray
+        } else if shared_ro.contains(v) {
+            if is_arr(v) {
+                match unit.ty(v) {
+                    Some(CType::Array(_, Some(_))) => Placement::TextureArray,
+                    _ => Placement::GlobalArray,
+                }
+            } else {
+                Placement::ConstantScalar
+            }
+        } else if firstprivate.contains(v) {
+            if is_arr(v) {
+                Placement::FirstPrivateArray
+            } else {
+                Placement::FirstPrivateScalar
+            }
+        } else {
+            Placement::Private
+        };
+        out.insert(v.to_string(), p);
+    }
+    out
+}
+
+/// HD008: report every variable whose recomputed placement differs from
+/// the sema decision, and any variable only one side classified.
+pub fn check(unit: &RegionUnit, region: &RegionInfo, diags: &mut Vec<Diag>) {
+    let ours = recompute_placements(unit);
+    let theirs = &region.placements;
+    let all: BTreeSet<&String> = ours.keys().chain(theirs.keys()).collect();
+    for v in all {
+        match (ours.get(v), theirs.get(v)) {
+            (Some(a), Some(b)) if a == b => {}
+            (a, b) => {
+                let span = unit
+                    .first_explicit_write(v)
+                    .or_else(|| unit.first_unguarded_read(v))
+                    .map(|e| e.span)
+                    .unwrap_or(unit.dir.span);
+                push(
+                    diags,
+                    "HD008",
+                    span,
+                    Some(v.clone()),
+                    format!(
+                        "classification divergence for `{v}`: verifier says {}, \
+                         sema::analyze says {} — one of the two misapplies Algorithm 1",
+                        fmt_placement(a),
+                        fmt_placement(b)
+                    ),
+                );
+            }
+        }
+    }
+}
+
+fn fmt_placement(p: Option<&Placement>) -> String {
+    match p {
+        Some(p) => format!("{p:?}"),
+        None => "(not classified)".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{dataflow, lint_program};
+    use super::*;
+    use crate::parse::parse;
+    use crate::sema::analyze;
+
+    #[test]
+    fn verifier_agrees_with_sema_on_listing_1() {
+        let src = crate::lint::tests_support::LISTING1;
+        let prog = parse(src).unwrap();
+        let a = analyze(&prog).unwrap();
+        let r = lint_program(src, &prog, &a);
+        assert!(!r.diags.iter().any(|d| d.code == "HD008"), "{:?}", r.diags);
+    }
+
+    #[test]
+    fn verifier_agrees_with_sema_on_listing_2() {
+        let src = crate::lint::tests_support::LISTING2;
+        let prog = parse(src).unwrap();
+        let a = analyze(&prog).unwrap();
+        let r = lint_program(src, &prog, &a);
+        assert!(!r.diags.iter().any(|d| d.code == "HD008"), "{:?}", r.diags);
+    }
+
+    #[test]
+    fn recomputed_placements_cover_clause_paths() {
+        let src = r#"
+int main() {
+  int k; double c[16]; double *m; char word[30]; int one;
+  k = 4;
+  #pragma mapreduce mapper key(word) value(one) keylength(30) vallength(4) \
+    sharedRO(k, c, m)
+  while (getline(&word, 0, stdin) != -1) {
+    one = (c[0] + m[0] > 0.0) + k;
+    printf("%s\t%d\n", word, one);
+  }
+}
+"#;
+        let prog = parse(src).unwrap();
+        let main = prog.func("main").unwrap().clone();
+        let units = dataflow::collect_regions(src, &prog, &main);
+        let p = recompute_placements(&units[0]);
+        assert_eq!(p["k"], Placement::ConstantScalar);
+        assert_eq!(p["c"], Placement::TextureArray);
+        assert_eq!(p["m"], Placement::GlobalArray);
+        assert_eq!(p["one"], Placement::Private);
+    }
+
+    #[test]
+    fn divergence_is_reported() {
+        // Force a divergence by tampering with the sema result.
+        let src = crate::lint::tests_support::LISTING1;
+        let prog = parse(src).unwrap();
+        let mut a = analyze(&prog).unwrap();
+        a.regions[0]
+            .placements
+            .insert("one".to_string(), Placement::ConstantScalar);
+        let r = lint_program(src, &prog, &a);
+        let d = r.diags.iter().find(|d| d.code == "HD008").unwrap();
+        assert!(d.msg.contains("`one`"), "{}", d.msg);
+    }
+}

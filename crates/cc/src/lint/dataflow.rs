@@ -1,0 +1,628 @@
+//! Def-use fact collection for lint passes.
+//!
+//! Walks each annotated region **in execution order** (a `for` loop's
+//! init before its condition, a loop body before its step) recording one
+//! [`Event`] per variable access, plus emit sites, branch sites, and
+//! array subscript sites. On top of the event stream a small
+//! reaching-definitions approximation decides which reads can be reached
+//! by a definition from a *previous* record iteration (the paper's
+//! cross-iteration dependences): a read of `v` inside the record loop is
+//! loop-carried iff no same-iteration definition of `v` precedes it in
+//! execution order.
+
+use crate::ast::*;
+use crate::error::Span;
+use crate::pragma::{Directive, DirectiveKind};
+use crate::sema::builtin_write_args;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Kind of variable access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// Value read.
+    Read,
+    /// Value (or element) written.
+    Write,
+}
+
+/// One variable access inside a region, in execution order.
+#[derive(Debug, Clone)]
+pub struct Event {
+    /// Root variable name.
+    pub var: String,
+    /// Read or write.
+    pub kind: EventKind,
+    /// Span of the enclosing statement (statement-granular; expressions
+    /// carry no spans in this AST).
+    pub span: Span,
+    /// Loop nesting depth *inside* the region (the record loop is 1).
+    pub loop_depth: u32,
+    /// Whether the access goes through a subscript/deref (element
+    /// access) rather than the whole object.
+    pub element: bool,
+    /// Builtin that performed the write on the variable's behalf
+    /// (`getline`, `scanf`, `strcpy`, ...), if any.
+    pub via_builtin: Option<&'static str>,
+}
+
+/// An emit site: `printf(fmt, args...)` inside the region.
+#[derive(Debug, Clone)]
+pub struct EmitSite {
+    /// Statement span.
+    pub span: Span,
+    /// The format string.
+    pub fmt: String,
+    /// Root identifiers of the value arguments (after the format).
+    pub args: Vec<Option<String>>,
+    /// Loop depth of the emit (record loop = 1).
+    pub loop_depth: u32,
+}
+
+/// A conditional inside the region.
+#[derive(Debug, Clone)]
+pub struct BranchSite {
+    /// Statement span of the `if`.
+    pub span: Span,
+    /// Loop depth (record loop = 1; ≥2 means inside an inner loop).
+    pub loop_depth: u32,
+}
+
+/// One `a[i]` subscript site.
+#[derive(Debug, Clone)]
+pub struct IndexSite {
+    /// Root array variable.
+    pub array: String,
+    /// Statement span.
+    pub span: Span,
+    /// Variables appearing in the subscript expression(s).
+    pub subscript_vars: Vec<String>,
+    /// True when every subscript is a literal constant.
+    pub const_subscript: bool,
+    /// Loop depth.
+    pub loop_depth: u32,
+}
+
+/// All facts collected for one annotated region.
+#[derive(Debug, Clone)]
+pub struct RegionUnit {
+    /// Index into `Program::directives`.
+    pub directive_idx: usize,
+    /// The directive itself.
+    pub dir: Directive,
+    /// Mapper or combiner.
+    pub kind: DirectiveKind,
+    /// Access events in execution order.
+    pub events: Vec<Event>,
+    /// Emit (`printf`) sites.
+    pub emits: Vec<EmitSite>,
+    /// `if` sites.
+    pub branches: Vec<BranchSite>,
+    /// Array subscript sites.
+    pub index_sites: Vec<IndexSite>,
+    /// Variables declared inside the region (always private).
+    pub inner_decls: BTreeSet<String>,
+    /// Types of outer (main-level) variables.
+    pub outer_types: BTreeMap<String, CType>,
+    /// Variables acting as the raw input record buffer (first argument
+    /// of `getline`/`getWord`/`getTok` record reads).
+    pub input_buffers: BTreeSet<String>,
+    /// Compound assignments `((op, target), span)` seen in the region,
+    /// for reduction-operator checks.
+    pub compound_ops: Vec<((AssignOp, String), Span)>,
+    /// Whole-source text (for snippet rendering decisions).
+    pub src_len: usize,
+}
+
+impl RegionUnit {
+    /// Outer variables referenced in the region.
+    pub fn used(&self) -> BTreeSet<&str> {
+        self.events
+            .iter()
+            .map(|e| e.var.as_str())
+            .filter(|v| self.is_outer(v))
+            .collect()
+    }
+
+    /// Outer variables written in the region.
+    pub fn written(&self) -> BTreeSet<&str> {
+        self.events
+            .iter()
+            .filter(|e| e.kind == EventKind::Write)
+            .map(|e| e.var.as_str())
+            .filter(|v| self.is_outer(v))
+            .collect()
+    }
+
+    /// Reaching-definitions approximation: variables with a read not
+    /// preceded (in execution order) by any same-region definition — the
+    /// value reaching the read may come from before the region or from a
+    /// previous record iteration.
+    pub fn read_before_write(&self) -> BTreeSet<&str> {
+        let mut written: BTreeSet<&str> = BTreeSet::new();
+        let mut rbw = BTreeSet::new();
+        for e in &self.events {
+            match e.kind {
+                EventKind::Read => {
+                    if !written.contains(e.var.as_str()) && self.is_outer(&e.var) {
+                        rbw.insert(e.var.as_str());
+                    }
+                }
+                EventKind::Write => {
+                    written.insert(e.var.as_str());
+                }
+            }
+        }
+        rbw
+    }
+
+    /// First read event of `var` that no prior write dominates.
+    pub fn first_unguarded_read(&self, var: &str) -> Option<&Event> {
+        let mut written = false;
+        for e in &self.events {
+            if e.var == var {
+                match e.kind {
+                    EventKind::Write => written = true,
+                    EventKind::Read if !written => return Some(e),
+                    _ => {}
+                }
+            }
+        }
+        None
+    }
+
+    /// First write event of `var`, excluding writes performed by the
+    /// input builtins themselves.
+    pub fn first_explicit_write(&self, var: &str) -> Option<&Event> {
+        self.events.iter().find(|e| {
+            e.var == var
+                && e.kind == EventKind::Write
+                && !matches!(
+                    e.via_builtin,
+                    Some("getline" | "getWord" | "getTok" | "scanf")
+                )
+        })
+    }
+
+    /// Whether `var` is a main-level (outer) variable.
+    pub fn is_outer(&self, var: &str) -> bool {
+        self.outer_types.contains_key(var) && !self.inner_decls.contains(var)
+    }
+
+    /// Declared type of an outer variable.
+    pub fn ty(&self, var: &str) -> Option<&CType> {
+        self.outer_types.get(var)
+    }
+}
+
+/// Collect a [`RegionUnit`] for every annotated region of `main`.
+pub fn collect_regions(src: &str, program: &Program, main: &FuncDef) -> Vec<RegionUnit> {
+    let mut outer_types = BTreeMap::new();
+    walk_stmts(&main.body, &mut |s| {
+        if let StmtKind::Decl(ds) = &s.kind {
+            for d in ds {
+                outer_types.insert(d.name.clone(), d.ty.clone());
+            }
+        }
+    });
+
+    let mut units = Vec::new();
+    for (idx, dir) in program.directives.iter().enumerate() {
+        let mut region: Option<&Stmt> = None;
+        walk_stmts(&main.body, &mut |s| {
+            if let StmtKind::Annotated(i, inner) = &s.kind {
+                if *i == idx {
+                    region = Some(inner.as_ref());
+                }
+            }
+        });
+        let Some(region) = region else { continue };
+
+        let mut inner_decls = BTreeSet::new();
+        let tmp = [region.clone()];
+        walk_stmts(&tmp, &mut |s| {
+            if let StmtKind::Decl(ds) = &s.kind {
+                for d in ds {
+                    inner_decls.insert(d.name.clone());
+                }
+            }
+        });
+
+        let mut c = Collector {
+            unit: RegionUnit {
+                directive_idx: idx,
+                dir: dir.clone(),
+                kind: dir.kind,
+                events: Vec::new(),
+                emits: Vec::new(),
+                branches: Vec::new(),
+                index_sites: Vec::new(),
+                compound_ops: Vec::new(),
+                inner_decls,
+                outer_types: outer_types.clone(),
+                input_buffers: BTreeSet::new(),
+                src_len: src.len(),
+            },
+            loop_depth: 0,
+            stmt_span: region.span,
+        };
+        c.stmt(region);
+        units.push(c.unit);
+    }
+    units
+}
+
+struct Collector {
+    unit: RegionUnit,
+    loop_depth: u32,
+    stmt_span: Span,
+}
+
+impl Collector {
+    fn event(&mut self, var: &str, kind: EventKind, element: bool, via: Option<&'static str>) {
+        self.unit.events.push(Event {
+            var: var.to_string(),
+            kind,
+            span: self.stmt_span,
+            loop_depth: self.loop_depth,
+            element,
+            via_builtin: via,
+        });
+    }
+
+    fn stmt(&mut self, s: &Stmt) {
+        let prev = self.stmt_span;
+        self.stmt_span = s.span;
+        match &s.kind {
+            StmtKind::Decl(ds) => {
+                for d in ds {
+                    if let Some(i) = &d.init {
+                        self.expr(i);
+                    }
+                }
+            }
+            StmtKind::Expr(e) => self.expr(e),
+            StmtKind::While { cond, body } => {
+                self.expr(cond);
+                self.loop_depth += 1;
+                self.stmt(body);
+                self.loop_depth -= 1;
+            }
+            StmtKind::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                if let Some(i) = init {
+                    self.stmt(i);
+                    self.stmt_span = s.span;
+                }
+                if let Some(c) = cond {
+                    self.expr(c);
+                }
+                self.loop_depth += 1;
+                self.stmt(body);
+                self.stmt_span = s.span;
+                if let Some(st) = step {
+                    self.expr(st);
+                }
+                self.loop_depth -= 1;
+            }
+            StmtKind::If { cond, then, els } => {
+                self.unit.branches.push(BranchSite {
+                    span: s.span,
+                    loop_depth: self.loop_depth,
+                });
+                self.expr(cond);
+                self.stmt(then);
+                if let Some(e) = els {
+                    self.stmt(e);
+                }
+            }
+            StmtKind::Return(Some(e)) => self.expr(e),
+            StmtKind::Block(v) => {
+                for st in v {
+                    self.stmt(st);
+                }
+            }
+            StmtKind::Annotated(_, inner) => self.stmt(inner),
+            _ => {}
+        }
+        self.stmt_span = prev;
+    }
+
+    fn expr(&mut self, e: &Expr) {
+        match e {
+            Expr::Ident(n) => self.event(&n.clone(), EventKind::Read, false, None),
+            Expr::Assign(op, lhs, rhs) => {
+                self.expr(rhs);
+                self.lvalue_subscripts(lhs);
+                if let Some(n) = root_name(lhs) {
+                    if *op != AssignOp::None {
+                        self.event(&n, EventKind::Read, false, None);
+                        self.unit
+                            .compound_ops
+                            .push(((*op, n.clone()), self.stmt_span));
+                    }
+                    let element = !matches!(lhs.as_ref(), Expr::Ident(_));
+                    self.event(&n, EventKind::Write, element, None);
+                }
+            }
+            Expr::Unary(UnOp::AddrOf, inner) => {
+                self.lvalue_subscripts(inner);
+                if let Some(n) = root_name(inner) {
+                    self.event(&n, EventKind::Write, false, Some("addr-of"));
+                }
+            }
+            Expr::PostInc(x) | Expr::PostDec(x) | Expr::Unary(UnOp::PreInc | UnOp::PreDec, x) => {
+                self.lvalue_subscripts(x);
+                if let Some(n) = root_name(x) {
+                    self.event(&n, EventKind::Read, false, None);
+                    let element = !matches!(x.as_ref(), Expr::Ident(_));
+                    self.event(&n, EventKind::Write, element, None);
+                }
+            }
+            Expr::Call(name, args) => self.call(name, args),
+            Expr::Unary(_, x) | Expr::Cast(_, x) => self.expr(x),
+            Expr::Binary(_, a, b) => {
+                self.expr(a);
+                self.expr(b);
+            }
+            Expr::Index(..) => {
+                self.index_site(e);
+                // The subscripted read itself.
+                if let Some(n) = root_name(e) {
+                    self.event(&n, EventKind::Read, true, None);
+                }
+                // Subscript expressions are ordinary reads.
+                self.subscript_exprs(e);
+            }
+            Expr::Cond(c, t, x) => {
+                self.expr(c);
+                self.expr(t);
+                self.expr(x);
+            }
+            _ => {}
+        }
+    }
+
+    fn call(&mut self, name: &str, args: &[Expr]) {
+        // printf is the emit primitive (paper §3.1): record the site.
+        if name == "printf" {
+            let fmt = match args.first() {
+                Some(Expr::StrLit(s)) => s.clone(),
+                _ => String::new(),
+            };
+            self.unit.emits.push(EmitSite {
+                span: self.stmt_span,
+                fmt,
+                args: args.iter().skip(1).map(root_name).collect(),
+                loop_depth: self.loop_depth,
+            });
+        }
+        // Record-input builtins define the input buffer.
+        if matches!(name, "getline" | "getWord" | "getTok") {
+            if let Some(n) = args.first().and_then(strip_addr_root) {
+                self.unit.input_buffers.insert(n);
+            }
+        }
+        let via: Option<&'static str> = match name {
+            "getline" => Some("getline"),
+            "getWord" => Some("getWord"),
+            "getTok" => Some("getTok"),
+            "scanf" => Some("scanf"),
+            "strcpy" => Some("strcpy"),
+            "strncpy" => Some("strncpy"),
+            "strcat" => Some("strcat"),
+            _ => None,
+        };
+        let write_args = builtin_write_args(name);
+        for (i, a) in args.iter().enumerate() {
+            if write_args.contains(&i) {
+                self.lvalue_subscripts(a);
+                if let Some(n) = strip_addr_root(a) {
+                    self.event(&n, EventKind::Write, false, via);
+                } else {
+                    self.expr(a);
+                }
+            } else {
+                self.expr(a);
+            }
+        }
+    }
+
+    /// Record an [`IndexSite`] for a (possibly multi-dim) subscript chain.
+    fn index_site(&mut self, e: &Expr) {
+        let Some(array) = root_name(e) else { return };
+        let mut vars = Vec::new();
+        let mut all_const = true;
+        collect_subscripts(e, &mut |idx| {
+            let mut has_var = false;
+            walk_expr_idents(idx, &mut |n| {
+                has_var = true;
+                if !vars.contains(&n.to_string()) {
+                    vars.push(n.to_string());
+                }
+            });
+            if has_var || !matches!(idx, Expr::IntLit(_) | Expr::CharLit(_)) {
+                all_const = matches!(idx, Expr::IntLit(_) | Expr::CharLit(_)) && all_const;
+            }
+        });
+        self.unit.index_sites.push(IndexSite {
+            array,
+            span: self.stmt_span,
+            subscript_vars: vars,
+            const_subscript: all_const,
+            loop_depth: self.loop_depth,
+        });
+    }
+
+    /// Visit the subscript expressions of an lvalue (reads), without
+    /// reading the root.
+    fn lvalue_subscripts(&mut self, e: &Expr) {
+        if matches!(e, Expr::Index(..)) {
+            self.index_site(e);
+        }
+        match e {
+            Expr::Index(b, i) => {
+                self.expr(i);
+                self.lvalue_subscripts(b);
+            }
+            Expr::Unary(UnOp::Deref, x) | Expr::Cast(_, x) => self.lvalue_subscripts(x),
+            _ => {}
+        }
+    }
+
+    /// Visit subscript expressions of a read chain (the root read event
+    /// is emitted separately).
+    fn subscript_exprs(&mut self, e: &Expr) {
+        if let Expr::Index(b, i) = e {
+            self.expr(i);
+            self.subscript_exprs(b);
+        }
+    }
+}
+
+fn root_name(e: &Expr) -> Option<String> {
+    match e {
+        Expr::Ident(n) => Some(n.clone()),
+        Expr::Index(b, _) => root_name(b),
+        Expr::Unary(UnOp::Deref, x) => root_name(x),
+        Expr::Cast(_, x) => root_name(x),
+        _ => None,
+    }
+}
+
+fn strip_addr_root(e: &Expr) -> Option<String> {
+    match e {
+        Expr::Unary(UnOp::AddrOf, inner) => root_name(inner),
+        _ => root_name(e),
+    }
+}
+
+fn collect_subscripts(e: &Expr, f: &mut dyn FnMut(&Expr)) {
+    if let Expr::Index(b, i) = e {
+        f(i);
+        collect_subscripts(b, f);
+    }
+}
+
+fn walk_expr_idents(e: &Expr, f: &mut dyn FnMut(&str)) {
+    match e {
+        Expr::Ident(n) => f(n),
+        Expr::Unary(_, x) | Expr::Cast(_, x) | Expr::PostInc(x) | Expr::PostDec(x) => {
+            walk_expr_idents(x, f)
+        }
+        Expr::Binary(_, a, b) | Expr::Assign(_, a, b) | Expr::Index(a, b) => {
+            walk_expr_idents(a, f);
+            walk_expr_idents(b, f);
+        }
+        Expr::Cond(c, t, x) => {
+            walk_expr_idents(c, f);
+            walk_expr_idents(t, f);
+            walk_expr_idents(x, f);
+        }
+        Expr::Call(_, args) => {
+            for a in args {
+                walk_expr_idents(a, f);
+            }
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+
+    fn unit(src: &str) -> RegionUnit {
+        let prog = parse(src).unwrap();
+        let main = prog.func("main").unwrap().clone();
+        let mut units = collect_regions(src, &prog, &main);
+        assert_eq!(units.len(), 1);
+        units.remove(0)
+    }
+
+    const SIMPLE: &str = r#"
+int main() {
+  char word[30]; int one; int total; total = 0;
+  #pragma mapreduce mapper key(word) value(one) keylength(30) vallength(4)
+  while (getline(&word, 0, stdin) != -1) {
+    one = 1;
+    total += one;
+    printf("%s\t%d\n", word, one);
+  }
+}
+"#;
+
+    #[test]
+    fn events_in_execution_order() {
+        let u = unit(SIMPLE);
+        assert!(u.written().contains("one"));
+        assert!(u.written().contains("total"));
+        // `total += one` reads total before any write → loop-carried.
+        assert!(u.read_before_write().contains("total"));
+        assert!(!u.read_before_write().contains("one"));
+    }
+
+    #[test]
+    fn emit_sites_recorded() {
+        let u = unit(SIMPLE);
+        assert_eq!(u.emits.len(), 1);
+        assert_eq!(u.emits[0].fmt, "%s\t%d\n");
+        assert_eq!(
+            u.emits[0].args,
+            vec![Some("word".to_string()), Some("one".to_string())]
+        );
+        assert_eq!(u.emits[0].loop_depth, 1);
+    }
+
+    #[test]
+    fn input_buffer_identified() {
+        let u = unit(SIMPLE);
+        assert!(u.input_buffers.contains("word"));
+    }
+
+    #[test]
+    fn for_init_precedes_cond_in_events() {
+        let src = r#"
+int main() {
+  char word[30]; int one; int c; double s;
+  #pragma mapreduce mapper key(word) value(one) keylength(30) vallength(4)
+  while (getline(&word, 0, stdin) != -1) {
+    s = 0.0;
+    for (c = 0; c < 8; c++) { s = s + c; }
+    one = s > 0.0;
+    printf("%s\t%d\n", word, one);
+  }
+}
+"#;
+        let u = unit(src);
+        assert!(!u.read_before_write().contains("c"));
+        assert!(!u.read_before_write().contains("s"));
+    }
+
+    #[test]
+    fn index_sites_and_branches() {
+        let src = r#"
+int main() {
+  char word[30]; int one; double m[8]; int i;
+  #pragma mapreduce mapper key(word) value(one) keylength(30) vallength(4) sharedRO(m)
+  while (getline(&word, 0, stdin) != -1) {
+    one = 0;
+    for (i = 0; i < 8; i++) {
+      if (m[i] > 0.5) { one++; }
+    }
+    printf("%s\t%d\n", word, one);
+  }
+}
+"#;
+        let u = unit(src);
+        assert!(u
+            .index_sites
+            .iter()
+            .any(|s| s.array == "m" && s.subscript_vars == vec!["i".to_string()]));
+        assert!(u.branches.iter().any(|b| b.loop_depth == 2));
+    }
+}

@@ -1,0 +1,331 @@
+//! `heterolint`: GPU-safety and performance static analysis over
+//! `#pragma mapreduce` programs.
+//!
+//! Four pass families, run after [`crate::sema::analyze`]:
+//!
+//! 1. **Race / purity** ([`races`]): map/reduce bodies may only write
+//!    privatizable locals and emit targets — writes to `sharedRO` /
+//!    `texture` state (HD001), writes into the input record buffer
+//!    (HD002), and mapper cross-iteration dependences found by a
+//!    reaching-definitions dataflow (HD003) are reported.
+//! 2. **Classification verifier** ([`classify_check`]): Algorithm 1's
+//!    constant/texture/global placement is recomputed independently from
+//!    def-use facts and any divergence from `sema::analyze` is HD008.
+//! 3. **Clause validator** ([`clauses`]): Table 1 consistency — emit
+//!    sites vs `key`/`value` clauses (HD004, HD014), `keylength` /
+//!    `vallength` truncation (HD005), contradictory storage clauses
+//!    (HD006, HD015), combiner reduction-operator commutativity (HD007),
+//!    warp-aligned `threads` (HD013).
+//! 4. **Performance lints** ([`perf`]): uncoalesced global-memory
+//!    subscripts (HD009), divergent branches in inner hot loops (HD010),
+//!    read-only firstprivate arrays (HD011), multi-emit mappers without a
+//!    `kvpairs` hint (HD012). Each is cross-checked against
+//!    `hetero-gpusim` counters by the workspace's differential tests.
+
+pub mod classify_check;
+pub mod clauses;
+pub mod dataflow;
+pub mod diag;
+pub mod perf;
+pub mod races;
+
+pub use diag::{render_diag, Diag, Severity};
+
+use crate::ast::Program;
+use crate::error::Span;
+use crate::sema::Analysis;
+
+/// How much the compile pipeline lets lint findings block compilation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LintLevel {
+    /// Skip linting entirely.
+    Off,
+    /// Run lints; reject programs with error-severity findings.
+    #[default]
+    Warn,
+    /// Run lints; reject on errors **and** warnings (perf-notes never
+    /// block).
+    Deny,
+}
+
+/// Catalogue of all stable lint codes: `(code, severity, summary)`.
+/// Kept in one place so docs, the JSON report, and tests agree.
+pub const CODES: &[(&str, Severity, &str)] = &[
+    (
+        "HD001",
+        Severity::Error,
+        "write to a sharedRO/texture variable inside the region",
+    ),
+    (
+        "HD002",
+        Severity::Error,
+        "write into the input record buffer",
+    ),
+    (
+        "HD003",
+        Severity::Warning,
+        "mapper carries a value across record iterations",
+    ),
+    (
+        "HD004",
+        Severity::Error,
+        "emit site inconsistent with key/value clauses",
+    ),
+    (
+        "HD005",
+        Severity::Error,
+        "keylength/vallength truncates the declared array",
+    ),
+    (
+        "HD006",
+        Severity::Error,
+        "contradictory storage clauses for a variable",
+    ),
+    (
+        "HD007",
+        Severity::Warning,
+        "non-commutative/associative combiner reduction",
+    ),
+    (
+        "HD008",
+        Severity::Error,
+        "classification verifier disagrees with sema placement",
+    ),
+    (
+        "HD009",
+        Severity::PerfNote,
+        "potentially uncoalesced global-memory access",
+    ),
+    (
+        "HD010",
+        Severity::PerfNote,
+        "divergent branch in an inner hot loop",
+    ),
+    (
+        "HD011",
+        Severity::PerfNote,
+        "read-only firstprivate array; prefer sharedRO/texture",
+    ),
+    (
+        "HD012",
+        Severity::PerfNote,
+        "multi-emit mapper without a kvpairs hint",
+    ),
+    (
+        "HD013",
+        Severity::Warning,
+        "threads clause not a multiple of the warp size",
+    ),
+    ("HD014", Severity::Error, "annotated region never emits"),
+    (
+        "HD015",
+        Severity::Warning,
+        "redundant/duplicate variable across storage clauses",
+    ),
+];
+
+/// Severity a code is registered with in [`CODES`].
+pub fn severity_of(code: &str) -> Option<Severity> {
+    CODES
+        .iter()
+        .find(|(c, _, _)| *c == code)
+        .map(|&(_, s, _)| s)
+}
+
+/// The full result of linting one translation unit.
+#[derive(Debug, Clone, Default)]
+pub struct LintReport {
+    /// All findings, in pass order then source order.
+    pub diags: Vec<Diag>,
+    /// Number of annotated regions analyzed.
+    pub regions: usize,
+}
+
+impl LintReport {
+    /// Findings with error severity.
+    pub fn errors(&self) -> impl Iterator<Item = &Diag> {
+        self.diags.iter().filter(|d| d.severity == Severity::Error)
+    }
+
+    /// Findings with warning severity.
+    pub fn warnings(&self) -> impl Iterator<Item = &Diag> {
+        self.diags
+            .iter()
+            .filter(|d| d.severity == Severity::Warning)
+    }
+
+    /// Findings with perf-note severity.
+    pub fn perf_notes(&self) -> impl Iterator<Item = &Diag> {
+        self.diags
+            .iter()
+            .filter(|d| d.severity == Severity::PerfNote)
+    }
+
+    /// Count of error-severity findings.
+    pub fn error_count(&self) -> usize {
+        self.errors().count()
+    }
+
+    /// Count of warning-severity findings.
+    pub fn warning_count(&self) -> usize {
+        self.warnings().count()
+    }
+
+    /// Whether the program passes at the given level. Perf-notes never
+    /// fail a program; `Deny` additionally fails on warnings.
+    pub fn passes(&self, level: LintLevel) -> bool {
+        match level {
+            LintLevel::Off => true,
+            LintLevel::Warn => self.error_count() == 0,
+            LintLevel::Deny => self.error_count() == 0 && self.warning_count() == 0,
+        }
+    }
+
+    /// One-line summaries (code, line, message) for [`crate::CcError::Lint`].
+    pub fn summaries(&self, level: LintLevel) -> Vec<String> {
+        self.diags
+            .iter()
+            .filter(|d| match level {
+                LintLevel::Off => false,
+                LintLevel::Warn => d.severity == Severity::Error,
+                LintLevel::Deny => d.severity != Severity::PerfNote,
+            })
+            .map(|d| format!("{}[{}] line {}: {}", d.severity, d.code, d.span.line, d.msg))
+            .collect()
+    }
+
+    /// Render every finding with a source snippet.
+    pub fn render(&self, src: &str) -> String {
+        let mut out = String::new();
+        for d in &self.diags {
+            out.push_str(&render_diag(d, src));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Machine-readable JSON report (hand-rolled; the workspace has no
+    /// full serde).
+    pub fn to_json(&self, unit: &str) -> String {
+        let mut s = String::from("{");
+        s.push_str(&format!("\"unit\":\"{}\",", diag::json_escape(unit)));
+        s.push_str(&format!("\"regions\":{},", self.regions));
+        s.push_str(&format!(
+            "\"errors\":{},\"warnings\":{},\"perf_notes\":{},",
+            self.error_count(),
+            self.warning_count(),
+            self.perf_notes().count()
+        ));
+        s.push_str("\"diagnostics\":[");
+        for (i, d) in self.diags.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&d.to_json());
+        }
+        s.push_str("]}");
+        s
+    }
+}
+
+/// Run every lint pass over an analyzed program.
+///
+/// `src` is the original annotated source (for spans), `program` the
+/// parsed AST, and `analysis` the output of [`crate::sema::analyze`] on
+/// the same program.
+pub fn lint_program(src: &str, program: &Program, analysis: &Analysis) -> LintReport {
+    let mut report = LintReport::default();
+    let Some(main) = program.func("main") else {
+        return report;
+    };
+    let units = dataflow::collect_regions(src, program, main);
+    report.regions = units.len();
+    for unit in &units {
+        let region = analysis
+            .regions
+            .iter()
+            .find(|r| r.directive_idx == unit.directive_idx);
+        races::check(unit, &mut report.diags);
+        clauses::check(unit, &mut report.diags);
+        perf::check(unit, region, &mut report.diags);
+        if let Some(region) = region {
+            classify_check::check(unit, region, &mut report.diags);
+        }
+    }
+    // Stable order: by severity rank, then line, then code.
+    report
+        .diags
+        .sort_by_key(|d| (d.severity.rank(), d.span.line, d.code));
+    report
+}
+
+pub(crate) fn push(
+    diags: &mut Vec<Diag>,
+    code: &'static str,
+    span: Span,
+    focus: Option<String>,
+    msg: String,
+) {
+    let severity = severity_of(code).expect("lint code registered in CODES");
+    diags.push(Diag {
+        code,
+        severity,
+        span,
+        focus,
+        msg,
+    });
+}
+
+#[cfg(test)]
+pub(crate) mod tests_support {
+    //! The paper's listings, shared across lint pass tests.
+
+    pub(crate) const LISTING1: &str = r#"
+int main()
+{
+  char word[30], *line;
+  size_t nbytes = 10000;
+  int read, linePtr, offset, one;
+  line = (char*) malloc(nbytes*sizeof(char));
+  #pragma mapreduce mapper key(word) value(one) \
+    keylength(30) vallength(1)
+  while( (read = getline(&line, &nbytes, stdin)) != -1) {
+    linePtr = 0;
+    offset = 0;
+    one = 1;
+    while( (linePtr = getWord(line, offset, word, read, 30)) != -1) {
+      printf("%s\t%d\n", word, one);
+      offset += linePtr;
+    }
+  }
+  free(line);
+  return 0;
+}
+"#;
+
+    pub(crate) const LISTING2: &str = r#"
+int main()
+{
+  char word[30], prevWord[30]; prevWord[0] = '\0';
+  int count, val, read; count = 0;
+  #pragma mapreduce combiner key(prevWord) value(count) \
+    keyin(word) valuein(val) keylength(30) vallength(1) \
+    firstprivate(prevWord, count)
+  {
+    while( (read = scanf("%s %d", word, &val)) == 2 ) {
+      if(strcmp(word, prevWord) == 0 ) {
+        count += val;
+      } else {
+        if(prevWord[0] != '\0')
+          printf("%s\t%d\n", prevWord, count);
+        strcpy(prevWord, word);
+        count = val;
+      }
+    }
+    if(prevWord[0] != '\0')
+      printf("%s\t%d\n", prevWord, count);
+  }
+  return 0;
+}
+"#;
+}

@@ -52,10 +52,6 @@ impl Parser {
         self.toks[self.pos].span
     }
 
-    fn line(&self) -> u32 {
-        self.span().line
-    }
-
     fn at_eof(&self) -> bool {
         matches!(self.peek(), Tok::Eof)
     }
@@ -82,7 +78,7 @@ impl Parser {
             Ok(())
         } else {
             Err(CcError::parse(
-                self.line(),
+                self.span(),
                 format!("expected '{p}', found {:?}", self.peek()),
             ))
         }
@@ -92,7 +88,7 @@ impl Parser {
         match self.bump() {
             Tok::Ident(s) => Ok(s),
             other => Err(CcError::parse(
-                self.line(),
+                self.span(),
                 format!("expected identifier, found {other:?}"),
             )),
         }
@@ -135,7 +131,7 @@ impl Parser {
             }
         }
         if !any {
-            return Err(CcError::parse(self.line(), "expected type"));
+            return Err(CcError::parse(self.span(), "expected type"));
         }
         Ok(ty.unwrap_or(CType::Int))
     }
@@ -216,7 +212,7 @@ impl Parser {
         let mut out = Vec::new();
         while !self.eat_punct("}") {
             if self.at_eof() {
-                return Err(CcError::parse(self.line(), "unexpected EOF in block"));
+                return Err(CcError::parse(self.span(), "unexpected EOF in block"));
             }
             out.push(self.stmt()?);
         }
@@ -227,9 +223,9 @@ impl Parser {
         let span = self.span();
         // Pragma: attach to the next statement.
         if let Tok::Pragma(text) = self.peek().clone() {
-            let line = self.line();
+            let pspan = self.span();
             self.bump();
-            return match parse_pragma(&text, line)? {
+            return match parse_pragma(&text, pspan)? {
                 Some(d) => {
                     self.directives.push(d);
                     let idx = self.directives.len() - 1;
@@ -533,7 +529,7 @@ impl Parser {
                     Expr::Ident(n) => n.clone(),
                     _ => {
                         return Err(CcError::parse(
-                            self.line(),
+                            self.span(),
                             "only direct calls are supported",
                         ))
                     }
@@ -565,7 +561,7 @@ impl Parser {
     }
 
     fn primary_expr(&mut self) -> Result<Expr, CcError> {
-        let line = self.line();
+        let span = self.span();
         match self.bump() {
             Tok::IntLit(v) => Ok(Expr::IntLit(v)),
             Tok::FloatLit(v) => Ok(Expr::FloatLit(v)),
@@ -578,7 +574,7 @@ impl Parser {
                 Ok(e)
             }
             other => Err(CcError::parse(
-                line,
+                span,
                 format!("unexpected token {other:?} in expression"),
             )),
         }
@@ -798,7 +794,7 @@ int main()
     fn error_reports_line() {
         let e = parse("int main() {\n int x = ;\n}").unwrap_err();
         match e {
-            CcError::Parse { line, .. } => assert_eq!(line, 2),
+            CcError::Parse { span, .. } => assert_eq!(span.line, 2),
             other => panic!("{other:?}"),
         }
     }

@@ -1,7 +1,7 @@
 //! Parsing and validation of `#pragma mapreduce` directives — the full
 //! clause set of the paper's Table 1.
 
-use crate::error::CcError;
+use crate::error::{CcError, Span};
 
 /// Which MapReduce role the annotated region implements.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -44,15 +44,16 @@ pub struct Directive {
     pub blocks: Option<u32>,
     /// Threads per threadblock (`threads` clause, optional).
     pub threads: Option<u32>,
-    /// Line the pragma appeared on.
-    pub line: u32,
+    /// Location of the pragma in the source (whole logical line).
+    pub span: Span,
 }
 
 /// Parse the text after `#pragma` (e.g. `mapreduce mapper key(word) ...`).
 /// Returns `Ok(None)` for pragmas that are not `mapreduce` (they are
 /// someone else's and ignored, as a real compiler would).
-pub fn parse_pragma(text: &str, line: u32) -> Result<Option<Directive>, CcError> {
-    let mut toks = ClauseLexer::new(text, line);
+pub fn parse_pragma(text: &str, span: impl Into<Span>) -> Result<Option<Directive>, CcError> {
+    let span = span.into();
+    let mut toks = ClauseLexer::new(text, span);
     let first = match toks.next_word()? {
         Some(w) => w,
         None => return Ok(None),
@@ -65,13 +66,13 @@ pub fn parse_pragma(text: &str, line: u32) -> Result<Option<Directive>, CcError>
         Some(w) if w == "combiner" => DirectiveKind::Combiner,
         Some(w) => {
             return Err(CcError::directive(
-                line,
+                span,
                 format!("expected 'mapper' or 'combiner', found '{w}'"),
             ))
         }
         None => {
             return Err(CcError::directive(
-                line,
+                span,
                 "mapreduce pragma needs 'mapper' or 'combiner'",
             ))
         }
@@ -91,7 +92,7 @@ pub fn parse_pragma(text: &str, line: u32) -> Result<Option<Directive>, CcError>
         kvpairs: None,
         blocks: None,
         threads: None,
-        line,
+        span,
     };
 
     while let Some(clause) = toks.next_word()? {
@@ -99,7 +100,7 @@ pub fn parse_pragma(text: &str, line: u32) -> Result<Option<Directive>, CcError>
         let need_one = |args: &[String]| -> Result<String, CcError> {
             if args.len() != 1 {
                 Err(CcError::directive(
-                    line,
+                    span,
                     format!("clause '{clause}' takes exactly one argument"),
                 ))
             } else {
@@ -108,7 +109,7 @@ pub fn parse_pragma(text: &str, line: u32) -> Result<Option<Directive>, CcError>
         };
         let need_int = |args: &[String]| -> Result<usize, CcError> {
             need_one(args)?.parse::<usize>().map_err(|_| {
-                CcError::directive(line, format!("clause '{clause}' needs an integer argument"))
+                CcError::directive(span, format!("clause '{clause}' needs an integer argument"))
             })
         };
         match clause.as_str() {
@@ -126,7 +127,7 @@ pub fn parse_pragma(text: &str, line: u32) -> Result<Option<Directive>, CcError>
             "threads" => d.threads = Some(need_int(&args)? as u32),
             other => {
                 return Err(CcError::directive(
-                    line,
+                    span,
                     format!("unknown mapreduce clause '{other}'"),
                 ))
             }
@@ -137,7 +138,7 @@ pub fn parse_pragma(text: &str, line: u32) -> Result<Option<Directive>, CcError>
 }
 
 fn validate(d: &Directive) -> Result<(), CcError> {
-    let line = d.line;
+    let line = d.span;
     if d.key.is_empty() {
         return Err(CcError::directive(line, "missing required clause 'key'"));
     }
@@ -181,12 +182,12 @@ fn validate(d: &Directive) -> Result<(), CcError> {
 /// argument lists.
 struct ClauseLexer<'a> {
     rest: &'a str,
-    line: u32,
+    span: Span,
 }
 
 impl<'a> ClauseLexer<'a> {
-    fn new(s: &'a str, line: u32) -> Self {
-        ClauseLexer { rest: s, line }
+    fn new(s: &'a str, span: Span) -> Self {
+        ClauseLexer { rest: s, span }
     }
 
     fn next_word(&mut self) -> Result<Option<String>, CcError> {
@@ -200,7 +201,7 @@ impl<'a> ClauseLexer<'a> {
             .unwrap_or(self.rest.len());
         if end == 0 {
             return Err(CcError::directive(
-                self.line,
+                self.span,
                 format!("unexpected character in pragma near '{}'", &self.rest[..1]),
             ));
         }
@@ -213,14 +214,14 @@ impl<'a> ClauseLexer<'a> {
         self.rest = self.rest.trim_start();
         if !self.rest.starts_with('(') {
             return Err(CcError::directive(
-                self.line,
+                self.span,
                 "mapreduce clause requires a parenthesized argument list",
             ));
         }
         let close = self
             .rest
             .find(')')
-            .ok_or_else(|| CcError::directive(self.line, "unterminated clause argument list"))?;
+            .ok_or_else(|| CcError::directive(self.span, "unterminated clause argument list"))?;
         let inner = &self.rest[1..close];
         self.rest = &self.rest[close + 1..];
         Ok(inner
@@ -236,7 +237,7 @@ mod tests {
     use super::*;
 
     fn parse(text: &str) -> Result<Option<Directive>, CcError> {
-        parse_pragma(text, 1)
+        parse_pragma(text, 1u32)
     }
 
     #[test]

@@ -70,7 +70,7 @@ pub struct Analysis {
 pub fn analyze(prog: &Program) -> Result<Analysis, CcError> {
     let main = prog
         .func("main")
-        .ok_or_else(|| CcError::sema(0, "program has no main function"))?;
+        .ok_or_else(|| CcError::sema(0u32, "program has no main function"))?;
 
     // Symbol table of main's declarations (the paper's regions only see
     // main-level variables).
@@ -86,7 +86,7 @@ pub fn analyze(prog: &Program) -> Result<Analysis, CcError> {
     let mut regions = Vec::new();
     for (idx, dir) in prog.directives.iter().enumerate() {
         let region = find_region(&main.body, idx)
-            .ok_or_else(|| CcError::sema(dir.line, "directive is not attached to a statement"))?;
+            .ok_or_else(|| CcError::sema(dir.span, "directive is not attached to a statement"))?;
         regions.push(analyze_region(dir, idx, region, &types)?);
     }
     Ok(Analysis { regions })
@@ -110,7 +110,7 @@ fn analyze_region(
     region: &Stmt,
     outer_types: &BTreeMap<String, CType>,
 ) -> Result<RegionInfo, CcError> {
-    let line = dir.line;
+    let line = dir.span;
     let mut warnings = Vec::new();
 
     // The mapper/combiner region must contain the record loop.
@@ -139,21 +139,17 @@ fn analyze_region(
         }
     });
 
-    // Used variables (Algo 1: getUsedVars).
-    let mut used: BTreeSet<String> = BTreeSet::new();
-    let mut written: BTreeSet<String> = BTreeSet::new();
-    let mut read_before_write: BTreeSet<String> = BTreeSet::new();
-    let mut alias_risk = false;
-    walk_exprs(&tmp[0], &mut |e| {
-        collect_usage(
-            e,
-            &mut used,
-            &mut written,
-            &mut read_before_write,
-            &mut alias_risk,
-            outer_types,
-        );
-    });
+    // Used variables (Algo 1: getUsedVars), collected in execution order
+    // so read-before-write is exact: a `for` loop visits init before
+    // cond/step, and compound assignments (`x += v`) read their target.
+    let mut usage = Usage::default();
+    usage.visit_stmt(&tmp[0], outer_types);
+    let Usage {
+        mut used,
+        written,
+        read_before_write,
+        alias_risk,
+    } = usage;
     used.retain(|v| outer_types.contains_key(v) && !inner_decls.contains(v));
 
     // Validate directive variable references.
@@ -212,12 +208,11 @@ fn analyze_region(
         .unwrap_or(false);
 
     if alias_risk {
-        warnings.push(Warning {
+        warnings.push(Warning::new(
             line,
-            msg: "privatization analysis may be inaccurate due to pointer aliasing; \
-                  consider an explicit firstprivate clause"
-                .to_string(),
-        });
+            "privatization analysis may be inaccurate due to pointer aliasing; \
+             consider an explicit firstprivate clause",
+        ));
     }
 
     // Classification (Algorithm 1).
@@ -292,71 +287,193 @@ fn lookup_ty<'a>(name: &str, t: &'a BTreeMap<String, CType>) -> Option<&'a CType
 
 /// `stdin`/`stdout` pseudo-handles are replaced by the runtime, never
 /// privatized.
-fn is_stream_handle(name: &str) -> bool {
+pub(crate) fn is_stream_handle(name: &str) -> bool {
     matches!(name, "stdin" | "stdout" | "stderr")
 }
 
-fn collect_usage(
-    e: &Expr,
-    used: &mut BTreeSet<String>,
-    written: &mut BTreeSet<String>,
-    read_before_write: &mut BTreeSet<String>,
-    alias_risk: &mut bool,
-    outer_types: &BTreeMap<String, CType>,
-) {
-    match e {
-        Expr::Ident(n) => {
-            used.insert(n.clone());
-            if !written.contains(n) {
-                read_before_write.insert(n.clone());
-            }
+/// Execution-ordered def/use collector for a region (Algorithm 1's
+/// getUsedVars plus read-before-write tracking for firstprivate
+/// inference).
+#[derive(Debug, Default, Clone)]
+pub(crate) struct Usage {
+    /// All outer variables referenced in the region.
+    pub(crate) used: BTreeSet<String>,
+    /// Variables written (directly, via `&x`, or by a writing builtin).
+    pub(crate) written: BTreeSet<String>,
+    /// Variables whose value may be read before the region's first write.
+    pub(crate) read_before_write: BTreeSet<String>,
+    /// Pointer-to-pointer assignment seen (paper §3.2 aliasing warning).
+    pub(crate) alias_risk: bool,
+}
+
+impl Usage {
+    fn read(&mut self, n: &str) {
+        self.used.insert(n.to_string());
+        if !self.written.contains(n) {
+            self.read_before_write.insert(n.to_string());
         }
-        Expr::Assign(_, lhs, _) => {
-            if let Some(n) = root_ident(lhs) {
-                used.insert(n.to_string());
-                written.insert(n.to_string());
-                // Pointer-to-pointer assignment inside the region defeats
-                // the privatization analysis (paper §3.2 warning).
-                if matches!(outer_types.get(n), Some(CType::Ptr(_)))
-                    && matches!(lhs.as_ref(), Expr::Ident(_))
-                {
-                    *alias_risk = true;
+    }
+
+    fn write(&mut self, n: &str) {
+        self.used.insert(n.to_string());
+        self.written.insert(n.to_string());
+    }
+
+    pub(crate) fn visit_stmt(&mut self, s: &Stmt, tys: &BTreeMap<String, CType>) {
+        match &s.kind {
+            StmtKind::Decl(ds) => {
+                for d in ds {
+                    if let Some(i) = &d.init {
+                        self.visit_expr(i, tys);
+                    }
                 }
             }
+            StmtKind::Expr(e) => self.visit_expr(e, tys),
+            StmtKind::While { cond, body } => {
+                self.visit_expr(cond, tys);
+                self.visit_stmt(body, tys);
+            }
+            StmtKind::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                // Execution order: init runs before cond is first read.
+                if let Some(i) = init {
+                    self.visit_stmt(i, tys);
+                }
+                if let Some(c) = cond {
+                    self.visit_expr(c, tys);
+                }
+                self.visit_stmt(body, tys);
+                if let Some(st) = step {
+                    self.visit_expr(st, tys);
+                }
+            }
+            StmtKind::If { cond, then, els } => {
+                self.visit_expr(cond, tys);
+                self.visit_stmt(then, tys);
+                if let Some(e) = els {
+                    self.visit_stmt(e, tys);
+                }
+            }
+            StmtKind::Return(Some(e)) => self.visit_expr(e, tys),
+            StmtKind::Block(v) => {
+                for st in v {
+                    self.visit_stmt(st, tys);
+                }
+            }
+            StmtKind::Annotated(_, inner) => self.visit_stmt(inner, tys),
+            _ => {}
         }
-        Expr::Unary(UnOp::AddrOf, inner) => {
-            if let Some(n) = root_ident(inner) {
+    }
+
+    fn visit_expr(&mut self, e: &Expr, tys: &BTreeMap<String, CType>) {
+        match e {
+            Expr::Ident(n) => self.read(n),
+            Expr::Assign(op, lhs, rhs) => {
+                self.visit_expr(rhs, tys);
+                // Subscripts on the lhs are reads (`a[i] = ...` reads i).
+                self.visit_lhs_subscripts(lhs, tys);
+                if let Some(n) = root_ident(lhs) {
+                    // Compound assignment reads the target first.
+                    if *op != AssignOp::None {
+                        self.read(n);
+                    }
+                    let n = n.to_string();
+                    self.write(&n);
+                    // Pointer-to-pointer assignment inside the region
+                    // defeats the privatization analysis (§3.2 warning).
+                    if matches!(tys.get(&n), Some(CType::Ptr(_)))
+                        && matches!(lhs.as_ref(), Expr::Ident(_))
+                    {
+                        self.alias_risk = true;
+                    }
+                }
+            }
+            Expr::Unary(UnOp::AddrOf, inner) => {
                 // Address-taken variables are written through the pointer
                 // (getline(&line...), scanf(..., &val)).
-                used.insert(n.to_string());
-                written.insert(n.to_string());
-            }
-        }
-        Expr::Call(name, args) => {
-            // Builtins that write through specific arguments.
-            let write_args: &[usize] = match name.as_str() {
-                "strcpy" | "strncpy" | "strcat" => &[0],
-                "getWord" | "getTok" => &[2], // (line, off, word, read, max)
-                "scanf" => &[1, 2, 3],        // all conversion targets
-                _ => &[],
-            };
-            for &i in write_args {
-                if let Some(n) = args.get(i).and_then(root_ident) {
-                    used.insert(n.to_string());
-                    written.insert(n.to_string());
+                self.visit_lhs_subscripts(inner, tys);
+                if let Some(n) = root_ident(inner) {
+                    let n = n.to_string();
+                    self.write(&n);
                 }
             }
-        }
-        Expr::PostInc(x) | Expr::PostDec(x) | Expr::Unary(UnOp::PreInc | UnOp::PreDec, x) => {
-            if let Some(n) = root_ident(x) {
-                used.insert(n.to_string());
-                if !written.contains(n) {
-                    read_before_write.insert(n.to_string());
+            Expr::PostInc(x) | Expr::PostDec(x) | Expr::Unary(UnOp::PreInc | UnOp::PreDec, x) => {
+                self.visit_lhs_subscripts(x, tys);
+                if let Some(n) = root_ident(x) {
+                    self.read(n);
+                    let n = n.to_string();
+                    self.write(&n);
                 }
-                written.insert(n.to_string());
             }
+            Expr::Call(name, args) => {
+                // Builtins that write through specific arguments.
+                let write_args = builtin_write_args(name);
+                for (i, a) in args.iter().enumerate() {
+                    if write_args.contains(&i) {
+                        self.visit_lhs_subscripts(a, tys);
+                        if let Some(n) = a_root(a) {
+                            self.write(&n);
+                        } else {
+                            self.visit_expr(a, tys);
+                        }
+                    } else {
+                        self.visit_expr(a, tys);
+                    }
+                }
+            }
+            Expr::Unary(_, x) | Expr::Cast(_, x) => self.visit_expr(x, tys),
+            Expr::Binary(_, a, b) => {
+                self.visit_expr(a, tys);
+                self.visit_expr(b, tys);
+            }
+            Expr::Index(a, b) => {
+                self.visit_expr(a, tys);
+                self.visit_expr(b, tys);
+            }
+            Expr::Cond(c, t, x) => {
+                self.visit_expr(c, tys);
+                self.visit_expr(t, tys);
+                self.visit_expr(x, tys);
+            }
+            _ => {}
         }
-        _ => {}
+    }
+
+    /// Visit the index expressions of an lvalue (they are reads) without
+    /// treating the root identifier as a read.
+    fn visit_lhs_subscripts(&mut self, e: &Expr, tys: &BTreeMap<String, CType>) {
+        match e {
+            Expr::Index(b, i) => {
+                self.visit_expr(i, tys);
+                self.visit_lhs_subscripts(b, tys);
+            }
+            Expr::Unary(UnOp::Deref, x) | Expr::Cast(_, x) => self.visit_lhs_subscripts(x, tys),
+            _ => {}
+        }
+    }
+}
+
+fn a_root(e: &Expr) -> Option<String> {
+    // `&x` write-arguments are handled by the AddrOf arm; here we accept
+    // both `word` and `&val` shapes.
+    match e {
+        Expr::Unary(UnOp::AddrOf, inner) => root_ident(inner).map(|s| s.to_string()),
+        _ => root_ident(e).map(|s| s.to_string()),
+    }
+}
+
+/// Argument indices a known builtin writes through.
+pub(crate) fn builtin_write_args(name: &str) -> &'static [usize] {
+    match name {
+        "strcpy" | "strncpy" | "strcat" => &[0],
+        "getWord" | "getTok" => &[2], // (line, off, word, read, max)
+        "getline" => &[0],            // (&line, &nbytes, stdin)
+        "scanf" => &[1, 2, 3],        // all conversion targets
+        _ => &[],
     }
 }
 
@@ -544,6 +661,53 @@ int main() {
   while (getline(&word, 0, stdin) != -1) {
     one = total;    // reads total before any write
     total = one + 1;
+    printf("%s\t%d\n", word, one);
+  }
+}
+"#;
+        let prog = parse(src).unwrap();
+        let a = analyze(&prog).unwrap();
+        assert_eq!(
+            a.regions[0].placements["total"],
+            Placement::FirstPrivateScalar
+        );
+    }
+
+    #[test]
+    fn for_loop_index_written_in_init_is_private() {
+        // Regression: the old pre-order walk visited a `for` statement's
+        // cond/step before its init, so `c` looked read-before-write and
+        // was misclassified FirstPrivateScalar.
+        let src = r#"
+int main() {
+  char word[30]; int one; int c; double s;
+  #pragma mapreduce mapper key(word) value(one) keylength(30) vallength(4)
+  while (getline(&word, 0, stdin) != -1) {
+    s = 0.0;
+    for (c = 0; c < 8; c++) { s = s + c; }
+    one = s > 0.0;
+    printf("%s\t%d\n", word, one);
+  }
+}
+"#;
+        let prog = parse(src).unwrap();
+        let a = analyze(&prog).unwrap();
+        assert_eq!(a.regions[0].placements["c"], Placement::Private);
+        assert_eq!(a.regions[0].placements["s"], Placement::Private);
+    }
+
+    #[test]
+    fn compound_assign_counts_as_read() {
+        // Regression: `total += one` reads `total` before writing it, so
+        // the region needs its initial value (firstprivate), even though
+        // the old collector only recorded the write.
+        let src = r#"
+int main() {
+  char word[30]; int one; int total; total = 0;
+  #pragma mapreduce mapper key(word) value(one) keylength(30) vallength(4)
+  while (getline(&word, 0, stdin) != -1) {
+    one = 1;
+    total += one;
     printf("%s\t%d\n", word, one);
   }
 }

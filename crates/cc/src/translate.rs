@@ -113,7 +113,7 @@ fn translate_region(prog: &Program, region: &RegionInfo) -> Result<KernelSpec, C
     let dir = &prog.directives[region.directive_idx];
     let main = prog.func("main").expect("analysis guarantees main");
     let body = find_region_stmt(&main.body, region.directive_idx)
-        .ok_or_else(|| CcError::sema(dir.line, "annotated region disappeared"))?;
+        .ok_or_else(|| CcError::sema(dir.span, "annotated region disappeared"))?;
 
     let is_mapper = region.kind == DirectiveKind::Mapper;
     let mut params: Vec<KernelParam> = Vec::new();

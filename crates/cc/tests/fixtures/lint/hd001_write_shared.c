@@ -1,0 +1,14 @@
+// A mapper that stores into a sharedRO scalar: every GPU thread would
+// race on the single shared copy.
+// expect: HD001 line=9 severity=error
+int main() {
+  char word[30]; int one; int n;
+  n = 3;
+  #pragma mapreduce mapper key(word) value(one) keylength(30) vallength(4) kvpairs(1) sharedRO(n)
+  while (getline(&word, 0, stdin) != -1) {
+    n = 1;
+    one = n;
+    printf("%s\t%d\n", word, one);
+  }
+  return 0;
+}

@@ -1,0 +1,16 @@
+// A mapper that overwrites a byte of the staged input record buffer.
+// expect: HD002 line=10 severity=error
+int main() {
+  char word[30], *line;
+  size_t nbytes = 100;
+  int read, one;
+  line = (char*) malloc(nbytes);
+  #pragma mapreduce mapper key(word) value(one) keylength(30) vallength(4) kvpairs(1)
+  while ((read = getline(&line, &nbytes, stdin)) != -1) {
+    line[0] = 'x';
+    one = 1;
+    strcpy(word, line);
+    printf("%s\t%d\n", word, one);
+  }
+  return 0;
+}

@@ -1,0 +1,14 @@
+// A mapper that accumulates across records: per-record GPU threads
+// cannot reproduce the running total.
+// expect: HD003 line=10 severity=warning
+int main() {
+  char word[30]; int one; int total;
+  total = 0;
+  #pragma mapreduce mapper key(word) value(one) keylength(30) vallength(4) kvpairs(1)
+  while (getline(&word, 0, stdin) != -1) {
+    one = 1;
+    total += one;
+    printf("%s\t%d\n", word, one);
+  }
+  return 0;
+}

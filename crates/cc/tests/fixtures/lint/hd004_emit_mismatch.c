@@ -1,0 +1,11 @@
+// The emit site prints the double value with %d.
+// expect: HD004 line=8 severity=error
+int main() {
+  char word[30]; double v;
+  #pragma mapreduce mapper key(word) value(v) keylength(30) vallength(8) kvpairs(1)
+  while (getline(&word, 0, stdin) != -1) {
+    v = 1.5;
+    printf("%s\t%d\n", word, v);
+  }
+  return 0;
+}

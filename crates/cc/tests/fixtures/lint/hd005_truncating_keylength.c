@@ -1,0 +1,11 @@
+// keylength(8) truncates the declared 30-byte key array.
+// expect: HD005 line=5 severity=error
+int main() {
+  char word[30]; int one;
+  #pragma mapreduce mapper key(word) value(one) keylength(8) vallength(4) kvpairs(1)
+  while (getline(&word, 0, stdin) != -1) {
+    one = 1;
+    printf("%s\t%d\n", word, one);
+  }
+  return 0;
+}

@@ -1,0 +1,13 @@
+// m cannot be both a per-thread firstprivate copy and a single shared
+// read-only copy.
+// expect: HD006 line=7 severity=error
+int main() {
+  char word[30]; int one; double m[8];
+  m[0] = 1.0;
+  #pragma mapreduce mapper key(word) value(one) keylength(30) vallength(4) kvpairs(1) firstprivate(m) sharedRO(m)
+  while (getline(&word, 0, stdin) != -1) {
+    one = m[0] > 0.0;
+    printf("%s\t%d\n", word, one);
+  }
+  return 0;
+}

@@ -1,0 +1,17 @@
+// A combiner folding with -= is order-dependent; combine may apply it
+// in any order and grouping.
+// expect: HD007 line=11 severity=warning
+int main() {
+  char key[30], prevKey[30]; prevKey[0] = '\0';
+  int diff, val, read;
+  diff = 0;
+  #pragma mapreduce combiner key(prevKey) value(diff) keyin(key) valuein(val) keylength(30) vallength(4) firstprivate(prevKey, diff)
+  {
+    while ((read = scanf("%s %d", key, &val)) == 2) {
+      if (strcmp(key, prevKey) == 0) { diff -= val; }
+      else { strcpy(prevKey, key); diff = val; }
+    }
+    if (prevKey[0] != '\0') printf("%s\t%d\n", prevKey, diff);
+  }
+  return 0;
+}

@@ -1,0 +1,13 @@
+// model is an unsized sharedRO array: it lands in global memory, and
+// the per-record subscript makes the loads uncoalesced.
+// expect: HD009 line=9 severity=perf-note
+int main() {
+  double *model; char word[30]; int one; int h;
+  #pragma mapreduce mapper key(word) value(one) keylength(30) vallength(4) kvpairs(1) sharedRO(model)
+  while (getline(&word, 0, stdin) != -1) {
+    h = word[0];
+    one = model[h] > 0.0;
+    printf("%s\t%d\n", word, one);
+  }
+  return 0;
+}

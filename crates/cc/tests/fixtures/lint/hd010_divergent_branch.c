@@ -1,0 +1,20 @@
+// A branch inside the inner token loop diverges per warp lane.
+// expect: HD010 line=12 severity=perf-note
+int main() {
+  char tok[16], word[30], *line;
+  size_t nbytes = 100;
+  int read, one, off, c, n;
+  line = (char*) malloc(nbytes);
+  #pragma mapreduce mapper key(word) value(one) keylength(30) vallength(4) kvpairs(1)
+  while ((read = getline(&line, &nbytes, stdin)) != -1) {
+    off = 0; one = 0; n = 0;
+    while ((c = getWord(line, off, tok, read, 16)) != -1) {
+      if (n > 0) { one++; }
+      n++;
+      off += c;
+    }
+    strcpy(word, tok);
+    printf("%s\t%d\n", word, one);
+  }
+  return 0;
+}

@@ -1,0 +1,17 @@
+// pat is copied into every thread's private space but never written;
+// one shared read-only copy would do.
+// expect: HD011 line=12 severity=perf-note
+int main() {
+  char pat[30], word[30], *line;
+  size_t nbytes = 100;
+  int read, one;
+  strcpy(pat, "the");
+  line = (char*) malloc(nbytes);
+  #pragma mapreduce mapper key(word) value(one) keylength(30) vallength(4) kvpairs(1) firstprivate(pat)
+  while ((read = getline(&line, &nbytes, stdin)) != -1) {
+    one = strfind(line, pat) >= 0;
+    strcpy(word, pat);
+    printf("%s\t%d\n", word, one);
+  }
+  return 0;
+}

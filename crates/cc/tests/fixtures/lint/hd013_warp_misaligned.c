@@ -1,0 +1,11 @@
+// threads(100) leaves 28 idle lanes in the last warp of every block.
+// expect: HD013 line=5 severity=warning
+int main() {
+  char word[30]; int one;
+  #pragma mapreduce mapper key(word) value(one) keylength(30) vallength(4) kvpairs(1) threads(100)
+  while (getline(&word, 0, stdin) != -1) {
+    one = 1;
+    printf("%s\t%d\n", word, one);
+  }
+  return 0;
+}

@@ -1,0 +1,10 @@
+// The region never calls printf: the kernel would produce no output.
+// expect: HD014 line=5 severity=error
+int main() {
+  char word[30]; int one;
+  #pragma mapreduce mapper key(word) value(one) keylength(30) vallength(4) kvpairs(1)
+  while (getline(&word, 0, stdin) != -1) {
+    one = 1;
+  }
+  return 0;
+}

@@ -1,0 +1,12 @@
+// m is listed in both sharedRO and texture; texture wins.
+// expect: HD015 line=6 severity=warning
+int main() {
+  char word[30]; int one; double m[8];
+  m[0] = 1.0;
+  #pragma mapreduce mapper key(word) value(one) keylength(30) vallength(4) kvpairs(1) sharedRO(m) texture(m)
+  while (getline(&word, 0, stdin) != -1) {
+    one = m[0] > 0.0;
+    printf("%s\t%d\n", word, one);
+  }
+  return 0;
+}

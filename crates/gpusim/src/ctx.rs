@@ -305,6 +305,7 @@ impl<'a> BlockCtx<'a> {
         F: FnMut(u32, &mut LaneCtx<'_>),
     {
         let mut max_cycles = 0.0f64;
+        let mut lane_cycles = [0.0f64; 64];
         for lane in 0..self.spec.warp_size {
             let mut ctx = LaneCtx {
                 lane,
@@ -315,8 +316,20 @@ impl<'a> BlockCtx<'a> {
                 tex_sizes: self.tex_sizes,
             };
             f(lane, &mut ctx);
+            lane_cycles[(lane as usize) % 64] = ctx.cycles;
             max_cycles = max_cycles.max(ctx.cycles);
             self.counters += ctx.counters;
+        }
+        // Lanes that finish before the slowest lane idle in SIMD
+        // lockstep for the rest of the round; count them as divergent
+        // (time accounting is unchanged — the round already costs
+        // max-lane cycles).
+        if max_cycles > 0.0 {
+            self.counters.divergent_lanes += lane_cycles
+                .iter()
+                .take(self.spec.warp_size as usize)
+                .filter(|&&c| c < max_cycles)
+                .count() as u64;
         }
         self.compute_cycles += max_cycles;
         let n = self.num_warps().max(1) as usize;

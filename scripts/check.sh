@@ -13,4 +13,11 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test -q (workspace)"
 cargo test -q --workspace
 
+echo "== heterolint --deny-warnings (bundled benchmarks)"
+mkdir -p results
+cargo run -q -p hetero-bench --bin heterolint -- --deny-warnings --json results/lint.json
+
+echo "== heterolint --expect-findings (negative fixtures)"
+cargo run -q -p hetero-bench --bin heterolint -- --expect-findings crates/cc/tests/fixtures/lint/*.c
+
 echo "All checks passed."

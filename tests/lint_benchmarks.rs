@@ -1,0 +1,277 @@
+//! Differential tests tying `heterolint` to the bundled benchmarks and
+//! the GPU simulator.
+//!
+//! Three properties:
+//!
+//! 1. Every Table 2 benchmark program (mapper and combiner) lints clean
+//!    at `--deny-warnings` — the only findings are perf-notes, and the
+//!    expected ones at that.
+//! 2. The lint classification verifier (an independent implementation
+//!    of Algorithm 1) agrees with `sema::analyze` on every benchmark.
+//! 3. Each perf-note family's premise is visible in the simulator's
+//!    counters: kvpairs mis-provisioning drops records (HD012), inner
+//!    loop branches diverge warps (HD010), and unbound shared read-only
+//!    data costs random global transactions that the texture clause
+//!    removes (HD009/HD011).
+
+use hetero_cc::lint::{classify_check, dataflow, lint_program, LintLevel, Severity};
+use hetero_cc::parse::parse;
+use hetero_cc::sema::analyze;
+use hetero_cc::{compile, compile_with};
+use hetero_gpusim::{Device, GpuSpec};
+use hetero_runtime::map_kernel::{run_map, MapConfig};
+use hetero_runtime::record::locate_records;
+use hetero_runtime::OptFlags;
+
+/// `(unit name, source)` for every annotated benchmark program.
+fn benchmark_units() -> Vec<(String, String)> {
+    let mut units = Vec::new();
+    for app in hetero_apps::all_apps() {
+        let code = app.spec().code;
+        units.push((format!("{code}.map"), app.mapper_source().to_string()));
+        if let Some(cs) = app.combiner_source() {
+            units.push((format!("{code}.combine"), cs.to_string()));
+        }
+    }
+    units
+}
+
+#[test]
+fn all_benchmark_programs_lint_clean_at_deny() {
+    for (name, src) in benchmark_units() {
+        let c = compile_with(&src, LintLevel::Deny)
+            .unwrap_or_else(|e| panic!("{name}: rejected at deny level: {e}"));
+        assert_eq!(c.lint.error_count(), 0, "{name}");
+        assert_eq!(c.lint.warning_count(), 0, "{name}");
+        assert!(
+            c.lint
+                .diags
+                .iter()
+                .all(|d| d.severity == Severity::PerfNote),
+            "{name}: {:?}",
+            c.lint.diags
+        );
+    }
+}
+
+#[test]
+fn expected_perf_notes_per_benchmark() {
+    // The paper's own codes exercise exactly these perf lints: Grep
+    // carries its pattern as a read-only firstprivate array (HD011),
+    // Wordcount's Listing 1 has no kvpairs bound (HD012), and every
+    // field-parsing mapper branches inside its token loop (HD010).
+    let expected: &[(&str, &[&str])] = &[
+        ("GR.map", &["HD011"]),
+        ("HS.map", &["HD010"]),
+        ("WC.map", &["HD012"]),
+        ("HR.map", &["HD010"]),
+        ("LR.map", &["HD010"]),
+        ("KM.map", &["HD010"]),
+        ("CL.map", &["HD010"]),
+        ("BS.map", &["HD010"]),
+    ];
+    for (name, src) in benchmark_units() {
+        let prog = parse(&src).unwrap();
+        let analysis = analyze(&prog).unwrap();
+        let report = lint_program(&src, &prog, &analysis);
+        let codes: std::collections::BTreeSet<&str> = report.diags.iter().map(|d| d.code).collect();
+        match expected.iter().find(|(n, _)| *n == name) {
+            Some((_, want)) => {
+                let want: std::collections::BTreeSet<&str> = want.iter().copied().collect();
+                assert_eq!(codes, want, "{name}");
+            }
+            None => assert!(codes.is_empty(), "{name}: unexpected findings {codes:?}"),
+        }
+    }
+}
+
+#[test]
+fn classification_verifier_agrees_with_sema_on_all_benchmarks() {
+    for (name, src) in benchmark_units() {
+        let prog = parse(&src).unwrap();
+        let analysis = analyze(&prog).unwrap();
+        let main = prog.func("main").unwrap();
+        let units = dataflow::collect_regions(&src, &prog, main);
+        assert_eq!(units.len(), analysis.regions.len(), "{name}");
+        for unit in &units {
+            let region = analysis
+                .regions
+                .iter()
+                .find(|r| r.directive_idx == unit.directive_idx)
+                .unwrap();
+            let ours = classify_check::recompute_placements(unit);
+            assert_eq!(ours, region.placements, "{name}: Algorithm 1 divergence");
+        }
+        let report = lint_program(&src, &prog, &analysis);
+        assert!(
+            !report.diags.iter().any(|d| d.code == "HD008"),
+            "{name}: {:?}",
+            report.diags
+        );
+    }
+}
+
+fn small_cfg(app: &dyn hetero_apps::App) -> MapConfig {
+    let spec = app.spec();
+    MapConfig {
+        blocks: 2,
+        threads_per_block: 32,
+        stores_per_thread: 16,
+        key_len: spec.key_len,
+        val_len: spec.val_len,
+        num_reducers: 4,
+        opts: OptFlags::all(),
+        ro_bytes: spec.ro_bytes,
+        kvpairs_per_record: spec.kvpairs_per_record.max(1),
+    }
+}
+
+/// HD012's premise: without a `kvpairs` clause the runtime must assume
+/// the worst case — a record could emit up to `storesPerThread` pairs —
+/// so each thread reserves its whole KV region for one record. The
+/// wasted capacity drops records that an accurate bound fits easily.
+/// Wordcount's Listing 1 is exactly the mapper the lint flags.
+#[test]
+fn hd012_premise_missing_kvpairs_bound_drops_records() {
+    let app = hetero_apps::app_by_code("WC").unwrap();
+    let src = app.mapper_source();
+    let c = compile(src).unwrap();
+    assert!(
+        c.lint.diags.iter().any(|d| d.code == "HD012"),
+        "WC mapper should carry the kvpairs hint lint"
+    );
+
+    let dev = Device::new(GpuSpec::tesla_k40());
+    let split = app.generate_split(200, 11);
+    let recs = locate_records(&dev, &split).unwrap().records;
+    let mapper = app.mapper();
+
+    let mut hinted = small_cfg(app.as_ref());
+    hinted.stores_per_thread = 64;
+    hinted.kvpairs_per_record = 12; // the corpus emits 4..=12 words/line
+    let mut unhinted = hinted.clone();
+    unhinted.kvpairs_per_record = unhinted.stores_per_thread; // forced worst case
+
+    let good = run_map(&dev, &split, &recs, mapper.as_ref(), &hinted).unwrap();
+    let bad = run_map(&dev, &split, &recs, mapper.as_ref(), &unhinted).unwrap();
+    assert_eq!(
+        good.dropped_records, 0,
+        "accurate bound should fit every record"
+    );
+    assert!(
+        bad.dropped_records > 0,
+        "worst-case provisioning should exhaust the KV store and drop records"
+    );
+}
+
+/// HD010's premise: the branchy token loop the lint flags in Histmovies
+/// shows up as divergent lanes in the simulator.
+#[test]
+fn hd010_premise_flagged_mapper_diverges_warps() {
+    let app = hetero_apps::app_by_code("HS").unwrap();
+    let c = compile(app.mapper_source()).unwrap();
+    assert!(c.lint.diags.iter().any(|d| d.code == "HD010"));
+
+    let dev = Device::new(GpuSpec::tesla_k40());
+    let split = app.generate_split(400, 7);
+    let recs = locate_records(&dev, &split).unwrap().records;
+    let mapper = app.mapper();
+    // Static record partitioning keeps whole warps in lockstep, so the
+    // per-lane imbalance the lint predicts lands in `divergent_lanes`.
+    let mut cfg = small_cfg(app.as_ref());
+    cfg.opts.record_stealing = false;
+    let out = run_map(&dev, &split, &recs, mapper.as_ref(), &cfg).unwrap();
+    assert!(
+        out.stats.counters.divergent_lanes > 0,
+        "HS map kernel should show warp divergence, got {:?}",
+        out.stats.counters
+    );
+}
+
+/// HD009's premise: KMeans' profile table costs random global
+/// transactions unless it is texture-bound — exactly the fix the lint
+/// proposes when the `texture` clause is removed.
+#[test]
+fn hd009_premise_texture_clause_removes_random_loads() {
+    let app = hetero_apps::app_by_code("KM").unwrap();
+
+    // The shipped source binds the table to texture — no HD009.
+    let src = app.mapper_source();
+    let c = compile(src).unwrap();
+    assert!(!c.lint.diags.iter().any(|d| d.code == "HD009"));
+
+    // Degrade the source: an unsized pointer in plain sharedRO is
+    // exactly the global-memory placement the lint warns about.
+    let degraded = src
+        .replace("double profiles[48];", "double *profiles;")
+        .replace("texture(profiles)", "sharedRO(profiles)");
+    assert_ne!(src, degraded, "degradation must rewrite the source");
+    let d = compile(&degraded).unwrap();
+    let hd009 = d
+        .lint
+        .diags
+        .iter()
+        .find(|d| d.code == "HD009")
+        .expect("degraded KMeans source should draw HD009");
+    assert!(hd009.msg.contains("texture(profiles)"), "{}", hd009.msg);
+
+    // The simulator agrees: texture binding turns the profile-table
+    // reads from random global transactions into texture hits.
+    let dev = Device::new(GpuSpec::tesla_k40());
+    let split = app.generate_split(300, 23);
+    let recs = locate_records(&dev, &split).unwrap().records;
+    let mapper = app.mapper();
+    let with_tex = small_cfg(app.as_ref());
+    let mut without_tex = small_cfg(app.as_ref());
+    without_tex.opts.texture = false;
+    let tex = run_map(&dev, &split, &recs, mapper.as_ref(), &with_tex).unwrap();
+    let glob = run_map(&dev, &split, &recs, mapper.as_ref(), &without_tex).unwrap();
+    assert!(tex.stats.counters.tex_hits > 0);
+    assert_eq!(glob.stats.counters.tex_hits, 0);
+    assert!(
+        glob.stats.counters.random_txns() > tex.stats.counters.random_txns(),
+        "texture should remove random global transactions: with={} without={}",
+        tex.stats.counters.random_txns(),
+        glob.stats.counters.random_txns()
+    );
+}
+
+/// Linting must not perturb anything: generated kernels are identical
+/// at every lint level, and running the analyzer between two identical
+/// simulations leaves the simulated cycle count bit-for-bit unchanged.
+#[test]
+fn lint_is_zero_perturbation() {
+    for (name, src) in benchmark_units() {
+        let off = compile_with(&src, LintLevel::Off).unwrap();
+        let warn = compile(&src).unwrap();
+        assert_eq!(
+            off.sources, warn.sources,
+            "{name}: codegen differs by lint level"
+        );
+        assert!(off.lint.diags.is_empty(), "{name}");
+    }
+
+    let app = hetero_apps::app_by_code("WC").unwrap();
+    let split = app.generate_split(200, 3);
+    let mapper = app.mapper();
+    let cfg = small_cfg(app.as_ref());
+
+    let run_once = || {
+        let dev = Device::new(GpuSpec::tesla_k40());
+        let recs = locate_records(&dev, &split).unwrap().records;
+        let out = run_map(&dev, &split, &recs, mapper.as_ref(), &cfg).unwrap();
+        out.stats.cycles
+    };
+    let before = run_once();
+    for (_, src) in benchmark_units() {
+        let prog = parse(&src).unwrap();
+        let analysis = analyze(&prog).unwrap();
+        let _ = lint_program(&src, &prog, &analysis);
+    }
+    let after = run_once();
+    assert_eq!(
+        before.to_bits(),
+        after.to_bits(),
+        "lint run perturbed the simulated cycle count"
+    );
+}
