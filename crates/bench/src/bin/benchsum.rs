@@ -1,0 +1,135 @@
+//! Summarize a criterion-stub run into the repo-root perf-trajectory
+//! artifacts: `BENCH_scheduler.json` (the `des*` groups, including the
+//! indexed-vs-reference throughput delta) and `BENCH_kernels.json`
+//! (map kernel, scan, sort). Input is the JSON-lines log the bundled
+//! criterion stand-in appends when `CRITERION_STUB_LOG` is set — one
+//! `{"id": ..., "mean_s": ..., "iters": ...}` object per benchmark.
+//!
+//! Usage: `benchsum [--log <file>] [--out-dir <dir>]`
+//! (defaults: `target/criterion-stub.jsonl`, repo root — as driven by
+//! `scripts/bench.sh`).
+use hetero_bench::{json_array, JsonObj};
+use std::collections::BTreeMap;
+
+/// One parsed log line.
+#[derive(Debug, Clone)]
+struct Entry {
+    id: String,
+    mean_s: f64,
+    iters: u64,
+}
+
+/// Extract a `"key": value` field from a single-line JSON object. The
+/// stub writes these lines itself, so a targeted parse is enough — no
+/// JSON library needed offline.
+fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}'])?;
+    Some(rest[..end].trim())
+}
+
+fn parse(line: &str) -> Option<Entry> {
+    let id = field(line, "id")?.trim_matches('"').to_string();
+    let mean_s: f64 = field(line, "mean_s")?.parse().ok()?;
+    let iters: u64 = field(line, "iters")?.parse().ok()?;
+    Some(Entry { id, mean_s, iters })
+}
+
+fn flag_value(name: &str) -> Option<String> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == name {
+            return args.next();
+        }
+        if let Some(v) = a.strip_prefix(&format!("{name}=")) {
+            return Some(v.to_string());
+        }
+    }
+    None
+}
+
+fn entries_json(entries: &BTreeMap<String, Entry>, prefixes: &[&str]) -> String {
+    json_array(
+        entries
+            .values()
+            .filter(|e| prefixes.iter().any(|p| e.id.starts_with(p)))
+            .map(|e| {
+                JsonObj::new()
+                    .str("id", &e.id)
+                    .float("mean_s", e.mean_s)
+                    .int("iters", e.iters)
+                    .build()
+            }),
+    )
+}
+
+fn main() {
+    let log = flag_value("--log").unwrap_or_else(|| "target/criterion-stub.jsonl".to_string());
+    let out_dir = flag_value("--out-dir").unwrap_or_else(|| ".".to_string());
+    let text = std::fs::read_to_string(&log)
+        .unwrap_or_else(|e| panic!("cannot read bench log {log}: {e} (run scripts/bench.sh)"));
+
+    // Last result wins when a benchmark ran more than once (BTreeMap also
+    // gives deterministic output order).
+    let mut entries: BTreeMap<String, Entry> = BTreeMap::new();
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        match parse(line) {
+            Some(e) => {
+                entries.insert(e.id.clone(), e);
+            }
+            None => eprintln!("benchsum: skipping unparsable line: {line}"),
+        }
+    }
+
+    // Indexed-vs-reference delta on the workloads measured both ways:
+    // des/<s> vs des_ref/<s>, and the des_1k pair.
+    let mut deltas = Vec::new();
+    let pairs: Vec<(String, String, String)> = entries
+        .keys()
+        .filter_map(|id| {
+            let s = id.strip_prefix("des/")?;
+            Some((id.clone(), format!("des_ref/{s}"), format!("des/{s}")))
+        })
+        .chain(entries.keys().filter_map(|id| {
+            let s = id.strip_suffix("-reference")?;
+            Some((s.to_string(), id.clone(), s.to_string()))
+        }))
+        .collect();
+    for (indexed_id, ref_id, label) in pairs {
+        let (Some(a), Some(b)) = (entries.get(&indexed_id), entries.get(&ref_id)) else {
+            continue;
+        };
+        deltas.push(
+            JsonObj::new()
+                .str("case", &label)
+                .float("indexed_s", a.mean_s)
+                .float("reference_s", b.mean_s)
+                .float("speedup", b.mean_s / a.mean_s.max(1e-12))
+                .build(),
+        );
+    }
+
+    let scheduler = JsonObj::new()
+        .str("artifact", "BENCH_scheduler")
+        .raw("benches", entries_json(&entries, &["des"]))
+        .raw("indexed_vs_reference", json_array(deltas))
+        .build();
+    let kernels = JsonObj::new()
+        .str("artifact", "BENCH_kernels")
+        .raw(
+            "benches",
+            entries_json(&entries, &["map_kernel", "scan", "indirection_sort"]),
+        )
+        .build();
+
+    let sched_path = format!("{out_dir}/BENCH_scheduler.json");
+    let kern_path = format!("{out_dir}/BENCH_kernels.json");
+    std::fs::write(&sched_path, scheduler + "\n").expect("write BENCH_scheduler.json");
+    std::fs::write(&kern_path, kernels + "\n").expect("write BENCH_kernels.json");
+    println!(
+        "wrote {sched_path} and {kern_path} from {} benches",
+        entries.len()
+    );
+}

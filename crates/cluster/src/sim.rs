@@ -42,10 +42,10 @@ use crate::stats::{Device, JobStats, Outcome};
 use hetero_hdfs::{Locality, NodeId, Topology};
 use hetero_trace::{ArgValue, Category, Tracer};
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet, VecDeque};
+use std::collections::{BTreeSet, BinaryHeap, HashSet, VecDeque};
 
 #[derive(Debug, Clone, Copy, PartialEq)]
-enum Event {
+pub(crate) enum Event {
     Heartbeat(u32),
     ExpiryCheck,
     NodeCrash(u32),
@@ -56,10 +56,10 @@ enum Event {
 }
 
 #[derive(Debug, Clone, Copy)]
-struct Scheduled {
-    time: f64,
-    seq: u64,
-    event: Event,
+pub(crate) struct Scheduled {
+    pub(crate) time: f64,
+    pub(crate) seq: u64,
+    pub(crate) event: Event,
 }
 
 impl PartialEq for Scheduled {
@@ -140,53 +140,50 @@ struct NodeState {
     /// JobTracker's view: declared dead + blacklisted after expiry.
     dead_declared: bool,
     last_heartbeat: f64,
-    /// Per-CPU-slot busy flags (slot identity matters for the trace).
-    cpu_busy: Vec<bool>,
-    gpu_busy: Vec<bool>,
+    /// Free CPU map slots. Ascending order makes `grab_cpu` claim the
+    /// lowest-numbered slot, exactly like the reference's left-to-right
+    /// busy-flag scan (slot identity matters for the trace).
+    cpu_free: BTreeSet<u32>,
+    /// GPUs that are both idle and alive (the lowest is claimed first).
+    gpu_free: BTreeSet<u32>,
     gpu_dead: Vec<bool>,
+    /// Live GPU count, kept in sync with `gpu_dead`.
+    gpu_live: u32,
     gpu_queue: VecDeque<usize>, // queued attempt indices (forced tasks)
-    /// Per-reduce-slot busy flags.
-    reduce_busy: Vec<bool>,
+    /// Free reduce slots.
+    reduce_free: BTreeSet<u32>,
     cpu_samples: (f64, u32), // (total task seconds, count)
     gpu_samples: (f64, u32),
 }
 
 impl NodeState {
     fn free_cpu(&self) -> u32 {
-        self.cpu_busy.iter().filter(|b| !**b).count() as u32
+        self.cpu_free.len() as u32
     }
 
     /// Claim the lowest-numbered free CPU slot.
     fn grab_cpu(&mut self) -> u32 {
-        let i = self
-            .cpu_busy
-            .iter()
-            .position(|b| !*b)
-            .expect("grab_cpu with no free slot");
-        self.cpu_busy[i] = true;
-        i as u32
+        self.cpu_free
+            .pop_first()
+            .expect("grab_cpu with no free slot")
     }
 
     fn release_cpu(&mut self, slot: u32) {
-        self.cpu_busy[slot as usize] = false;
+        self.cpu_free.insert(slot);
     }
 
     fn free_reduce(&self) -> u32 {
-        self.reduce_busy.iter().filter(|b| !**b).count() as u32
+        self.reduce_free.len() as u32
     }
 
     fn grab_reduce(&mut self) -> u32 {
-        let i = self
-            .reduce_busy
-            .iter()
-            .position(|b| !*b)
-            .expect("grab_reduce with no free slot");
-        self.reduce_busy[i] = true;
-        i as u32
+        self.reduce_free
+            .pop_first()
+            .expect("grab_reduce with no free slot")
     }
 
     fn release_reduce(&mut self, slot: u32) {
-        self.reduce_busy[slot as usize] = false;
+        self.reduce_free.insert(slot);
     }
     fn ave_speedup(&self, fallback: f64) -> f64 {
         if self.cpu_samples.1 > 0 && self.gpu_samples.1 > 0 {
@@ -207,27 +204,170 @@ impl NodeState {
     }
 
     fn live_gpus(&self) -> u32 {
-        self.gpu_dead.iter().filter(|d| !**d).count() as u32
+        self.gpu_live
     }
 
     fn free_live_gpu(&self) -> Option<usize> {
-        self.gpu_busy
-            .iter()
-            .zip(&self.gpu_dead)
-            .position(|(b, d)| !*b && !*d)
+        self.gpu_free.first().map(|&g| g as usize)
     }
 
     fn free_live_gpu_count(&self) -> u32 {
-        self.gpu_busy
-            .iter()
-            .zip(&self.gpu_dead)
-            .filter(|(b, d)| !**b && !**d)
-            .count() as u32
+        self.gpu_free.len() as u32
+    }
+}
+
+/// The JobTracker's pending-map queue, indexed for O(log n) locality-aware
+/// picks instead of the reference's full-queue scan.
+///
+/// Queue order is materialized as a monotonically increasing entry
+/// sequence number, so "first task in queue order satisfying X" becomes
+/// "smallest `(seq, task)` pair in the index for X". Three views are kept
+/// in lockstep:
+///
+/// * `queue`   — every pending task in queue order (the off-rack pick and
+///   the FIFO head);
+/// * `by_node` — per node, the pending tasks with a readable replica on
+///   it (that node's node-local candidates);
+/// * `by_rack` — per rack, the pending tasks with a readable replica in
+///   it (the rack-local candidates for every node of the rack).
+///
+/// Invariants: a task is in `queue` iff `seq_of[task]` is `Some`; its
+/// `by_node` entries cover exactly its replicas on nodes that were alive
+/// at enqueue time and have not crashed since; a `by_rack[r]` entry
+/// exists iff the task still has a replica on an alive node in rack `r`.
+/// Replicas on crashed nodes are unreadable, so [`PendingIndex::node_crashed`]
+/// prunes them the moment the crash event fires — the same liveness
+/// filter the reference scan applies on every pick, paid once per crash
+/// instead of once per pick.
+struct PendingIndex {
+    next_seq: u64,
+    /// Per task: its live entry sequence, `None` when not pending.
+    seq_of: Vec<Option<u64>>,
+    queue: BTreeSet<(u64, u32)>,
+    by_node: Vec<BTreeSet<(u64, u32)>>,
+    by_rack: Vec<BTreeSet<(u64, u32)>>,
+}
+
+impl PendingIndex {
+    fn new(num_tasks: usize, num_nodes: u32, num_racks: u32) -> Self {
+        PendingIndex {
+            next_seq: 0,
+            seq_of: vec![None; num_tasks],
+            queue: BTreeSet::new(),
+            by_node: (0..num_nodes).map(|_| BTreeSet::new()).collect(),
+            by_rack: (0..num_racks).map(|_| BTreeSet::new()).collect(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    fn contains(&self, task: u32) -> bool {
+        self.seq_of[task as usize].is_some()
+    }
+
+    /// Append `task` at the queue tail. `live_replicas` must already be
+    /// filtered to in-range, currently-alive nodes.
+    fn push(&mut self, task: u32, live_replicas: &[NodeId], topo: &Topology) {
+        debug_assert!(self.seq_of[task as usize].is_none(), "double-queued task");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.seq_of[task as usize] = Some(seq);
+        self.queue.insert((seq, task));
+        for &r in live_replicas {
+            self.by_node[r.0 as usize].insert((seq, task));
+            self.by_rack[topo.rack_of(r).0 as usize].insert((seq, task));
+        }
+    }
+
+    /// Remove `task` from the queue (claimed, or no longer runnable).
+    /// `replicas` may be the raw unfiltered replica list — removing an
+    /// entry that was never inserted is a no-op.
+    fn remove(&mut self, task: u32, replicas: &[NodeId], topo: &Topology) {
+        let Some(seq) = self.seq_of[task as usize].take() else {
+            return;
+        };
+        self.queue.remove(&(seq, task));
+        for &r in replicas {
+            if (r.0 as usize) < self.by_node.len() {
+                self.by_node[r.0 as usize].remove(&(seq, task));
+                self.by_rack[topo.rack_of(r).0 as usize].remove(&(seq, task));
+            }
+        }
+    }
+
+    /// The locality-aware FCFS pick for `node`: its oldest node-local
+    /// task, else the oldest task rack-local to it, else the queue head —
+    /// the same task the reference scan returns, found in O(log n).
+    /// Panics if the queue is empty.
+    fn pick(&self, node: NodeId, topo: &Topology) -> (u32, Locality) {
+        if let Some(&(_, t)) = self.by_node[node.0 as usize].first() {
+            return (t, Locality::NodeLocal);
+        }
+        if let Some(&(_, t)) = self.by_rack[topo.rack_of(node).0 as usize].first() {
+            return (t, Locality::RackLocal);
+        }
+        let &(_, t) = self.queue.first().expect("pick from an empty queue");
+        (t, Locality::OffRack)
+    }
+
+    /// Node `n` crashed: every replica it held is now unreadable. Its
+    /// node-local index empties wholesale, and each of its pending tasks
+    /// keeps its rack-local entry only while another alive replica
+    /// remains in the rack (`alive` reports post-crash liveness).
+    fn node_crashed(
+        &mut self,
+        n: u32,
+        job: &JobSpec,
+        topo: &Topology,
+        alive: impl Fn(u32) -> bool,
+    ) {
+        let entries = std::mem::take(&mut self.by_node[n as usize]);
+        let rack = topo.rack_of(NodeId(n)).0 as usize;
+        for (seq, t) in entries {
+            let still_rack_local = job.maps[t as usize].replicas.iter().any(|r| {
+                (r.0 as usize) < self.by_node.len()
+                    && alive(r.0)
+                    && topo.rack_of(*r).0 as usize == rack
+            });
+            if !still_rack_local {
+                self.by_rack[rack].remove(&(seq, t));
+            }
+        }
+    }
+}
+
+/// A TaskTracker expiry deadline in the lazy expiry heap (min-heap by
+/// deadline, node id breaking ties).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct ExpiryEntry {
+    deadline: f64,
+    node: u32,
+}
+
+impl Eq for ExpiryEntry {}
+impl PartialOrd for ExpiryEntry {
+    fn partial_cmp(&self, o: &Self) -> Option<Ordering> {
+        Some(self.cmp(o))
+    }
+}
+impl Ord for ExpiryEntry {
+    fn cmp(&self, o: &Self) -> Ordering {
+        // Min-heap: earliest deadline first.
+        o.deadline
+            .partial_cmp(&self.deadline)
+            .unwrap_or(Ordering::Equal)
+            .then(o.node.cmp(&self.node))
     }
 }
 
 /// splitmix64 finalizer — the deterministic fault die.
-fn mix64(mut z: u64) -> u64 {
+pub(crate) fn mix64(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -235,7 +375,7 @@ fn mix64(mut z: u64) -> u64 {
 }
 
 /// Uniform value in [0, 1) hashed from the fault seed and attempt identity.
-fn fault_unit(seed: u64, a: u64, b: u64, c: u64) -> f64 {
+pub(crate) fn fault_unit(seed: u64, a: u64, b: u64, c: u64) -> f64 {
     let h = mix64(seed ^ mix64(a ^ mix64(b ^ mix64(c))));
     (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
 }
@@ -268,7 +408,7 @@ struct Sim<'a> {
     nodes: Vec<NodeState>,
     tasks: Vec<TaskState>,
     attempts: Vec<Attempt>,
-    pending: Vec<u32>,
+    pending: PendingIndex,
     pending_reduces: VecDeque<u32>,
     running_reduces: Vec<RunningReduce>,
     maps_done: usize,
@@ -280,6 +420,25 @@ struct Sim<'a> {
     max_speedup: f64,
     shuffle_per_reduce_s: f64,
     planned_crashes: u32,
+    /// Nodes with `alive && !dead_declared`, maintained incrementally so
+    /// heartbeats stop paying an O(nodes) census each.
+    usable_nodes: u32,
+    /// Live GPUs across usable nodes (the job-tail threshold input).
+    cluster_live_gpus: u32,
+    /// Tasks that are not done and have ≥1 live attempt — the speculation
+    /// candidate pool, iterated in task order like the reference's full
+    /// task-table scan.
+    undone_live: BTreeSet<u32>,
+    /// Live (queued or running) attempt indices per node, in attempt
+    /// order: dead-node reaping and GPU-fault victim lookup read these
+    /// instead of scanning the whole attempt table.
+    node_attempts: Vec<BTreeSet<usize>>,
+    /// Completed tasks whose winning map output lives on each node (the
+    /// re-execution set when a tracker dies mid-shuffle).
+    node_winners: Vec<BTreeSet<u32>>,
+    /// Lazy min-heap of TaskTracker expiry deadlines; entries go stale
+    /// when a node heartbeats and are refreshed on pop.
+    expiry: BinaryHeap<ExpiryEntry>,
     heap: BinaryHeap<Scheduled>,
     seq: u64,
     now: f64,
@@ -327,11 +486,12 @@ impl<'a> Sim<'a> {
                 alive: true,
                 dead_declared: false,
                 last_heartbeat: 0.0,
-                cpu_busy: vec![false; cfg.map_slots_per_node as usize],
-                gpu_busy: vec![false; gpus as usize],
+                cpu_free: (0..cfg.map_slots_per_node).collect(),
+                gpu_free: (0..gpus).collect(),
                 gpu_dead: vec![false; gpus as usize],
+                gpu_live: gpus,
                 gpu_queue: VecDeque::new(),
-                reduce_busy: vec![false; cfg.reduce_slots_per_node as usize],
+                reduce_free: (0..cfg.reduce_slots_per_node).collect(),
                 cpu_samples: (0.0, 0),
                 gpu_samples: (0.0, 0),
             })
@@ -344,14 +504,24 @@ impl<'a> Sim<'a> {
             total_shuffle_bytes as f64 / job.reduces.len() as f64 / cfg.shuffle_bw
         };
 
+        let topo = Topology::new(cfg.num_slaves, cfg.nodes_per_rack);
+        let mut pending = PendingIndex::new(job.maps.len(), cfg.num_slaves, topo.num_racks());
+        // Initial fill in task order — the reference's `(0..n).collect()`.
+        let mut live: Vec<NodeId> = Vec::new();
+        for (t, m) in job.maps.iter().enumerate() {
+            live.clear();
+            live.extend(m.replicas.iter().copied().filter(|r| r.0 < cfg.num_slaves));
+            pending.push(t as u32, &live, &topo);
+        }
+
         let mut sim = Sim {
             cfg,
             job,
-            topo: Topology::new(cfg.num_slaves, cfg.nodes_per_rack),
+            topo,
             nodes,
             tasks: (0..job.maps.len()).map(|_| TaskState::default()).collect(),
             attempts: Vec::new(),
-            pending: (0..job.maps.len() as u32).collect(),
+            pending,
             pending_reduces: (0..job.reduces.len() as u32).collect(),
             running_reduces: Vec::new(),
             maps_done: 0,
@@ -361,6 +531,12 @@ impl<'a> Sim<'a> {
             max_speedup: 1.0,
             shuffle_per_reduce_s,
             planned_crashes: 0,
+            usable_nodes: cfg.num_slaves,
+            cluster_live_gpus: cfg.num_slaves * gpus,
+            undone_live: BTreeSet::new(),
+            node_attempts: (0..cfg.num_slaves).map(|_| BTreeSet::new()).collect(),
+            node_winners: (0..cfg.num_slaves).map(|_| BTreeSet::new()).collect(),
+            expiry: BinaryHeap::new(),
             heap: BinaryHeap::new(),
             seq: 0,
             now: 0.0,
@@ -391,8 +567,34 @@ impl<'a> Sim<'a> {
         }
         if sim.planned_crashes > 0 {
             sim.push(cfg.heartbeat_s, Event::ExpiryCheck);
+            // Arm the expiry heap: every node's first deadline is one
+            // timeout past its (virtual) time-zero heartbeat.
+            for n in 0..cfg.num_slaves {
+                sim.expiry.push(ExpiryEntry {
+                    deadline: cfg.heartbeat_timeout_s,
+                    node: n,
+                });
+            }
         }
         sim
+    }
+
+    /// Re-queue `task` at the back of the pending queue, indexing the
+    /// replicas that are still readable (alive, in-range nodes).
+    fn queue_pending(&mut self, task: u32) {
+        let live: Vec<NodeId> = self.job.maps[task as usize]
+            .replicas
+            .iter()
+            .copied()
+            .filter(|r| self.nodes.get(r.0 as usize).is_some_and(|nd| nd.alive))
+            .collect();
+        self.pending.push(task, &live, &self.topo);
+    }
+
+    /// Drop `task` from the pending queue and every locality index.
+    fn unqueue_pending(&mut self, task: u32) {
+        self.pending
+            .remove(task, &self.job.maps[task as usize].replicas, &self.topo);
     }
 
     fn push(&mut self, time: f64, event: Event) {
@@ -533,7 +735,23 @@ impl<'a> Sim<'a> {
                 Event::Heartbeat(n) => self.heartbeat(n),
                 Event::ExpiryCheck => self.expiry_check(),
                 Event::NodeCrash(n) => {
-                    self.nodes[n as usize].alive = false;
+                    let ni = n as usize;
+                    self.nodes[ni].alive = false;
+                    // The usable census excludes crashed-but-undeclared
+                    // nodes (`usable()` checks `alive`), so the aggregates
+                    // drop here, not at declaration time.
+                    if !self.nodes[ni].dead_declared {
+                        self.usable_nodes -= 1;
+                        self.cluster_live_gpus -= self.nodes[ni].gpu_live;
+                    }
+                    // Replicas on the crashed node are unreadable: prune
+                    // its locality-index entries (alive is already false).
+                    let job = self.job;
+                    let topo = self.topo.clone();
+                    let alive: Vec<bool> = self.nodes.iter().map(|nd| nd.alive).collect();
+                    self.pending.node_crashed(n, job, &topo, |r| {
+                        alive.get(r as usize).copied().unwrap_or(false)
+                    });
                     self.trace_node_instant(Category::Fault, "node crash", n);
                 }
                 Event::GpuFault { node, gpu } => self.gpu_fault(node, gpu),
@@ -612,21 +830,18 @@ impl<'a> Sim<'a> {
     }
 
     /// Map assignment (Algorithm 2, JobTracker side), with both tail
-    /// thresholds derived from the surviving cluster.
+    /// thresholds derived from the surviving cluster. The live-cluster
+    /// census and the locality-aware FCFS pick are answered from the
+    /// incrementally-maintained counters and [`PendingIndex`] — no scan
+    /// over nodes or the pending queue.
     fn assign_maps(&mut self, n: u32) {
         let ni = n as usize;
         if self.pending.is_empty() {
             return;
         }
-        let live_nodes = self.nodes.iter().filter(|nd| nd.usable()).count().max(1) as f64;
-        let cluster_live_gpus: u32 = self
-            .nodes
-            .iter()
-            .filter(|nd| nd.usable())
-            .map(|nd| nd.live_gpus())
-            .sum();
+        let live_nodes = self.usable_nodes.max(1) as f64;
         let remaining = self.pending.len() as f64;
-        let job_tail = cluster_live_gpus as f64 * self.max_speedup;
+        let job_tail = self.cluster_live_gpus as f64 * self.max_speedup;
         let in_job_tail = self.cfg.scheduler == Scheduler::TailScheduling && remaining <= job_tail;
         let node_live_gpus = self.nodes[ni].live_gpus();
         let free_gpus = self.nodes[ni].free_live_gpu_count();
@@ -647,8 +862,8 @@ impl<'a> Sim<'a> {
                 break;
             }
             // Locality-aware FCFS pick.
-            let (idx, loc) = self.pick_task(n);
-            let task = self.pending.remove(idx);
+            let (task, loc) = self.pending.pick(NodeId(n), &self.topo);
+            self.unqueue_pending(task);
             self.stats.record_locality(loc);
 
             // --- TaskTracker side placement. ---
@@ -674,42 +889,15 @@ impl<'a> Sim<'a> {
             match placed {
                 Device::Cpu => {
                     if self.nodes[ni].free_cpu() == 0 {
-                        // No CPU slot after all: requeue task.
-                        self.pending.push(task);
+                        // No CPU slot after all: requeue task (at the
+                        // back, like the reference's Vec push).
+                        self.queue_pending(task);
                         continue;
                     }
                     self.launch(task, n, Device::Cpu, None, false);
                 }
                 Device::Gpu => self.launch(task, n, Device::Gpu, gpu_free, false),
             }
-        }
-    }
-
-    /// Choose a pending task for `node`: node-local, then rack-local, then
-    /// the queue head. Replicas on crashed nodes are unreadable and do not
-    /// count toward locality.
-    fn pick_task(&self, n: u32) -> (usize, Locality) {
-        let node = NodeId(n);
-        let mut rack_pick: Option<usize> = None;
-        let mut live_replicas: Vec<NodeId> = Vec::new();
-        for (i, &t) in self.pending.iter().enumerate() {
-            live_replicas.clear();
-            live_replicas.extend(
-                self.job.maps[t as usize]
-                    .replicas
-                    .iter()
-                    .copied()
-                    .filter(|r| self.nodes.get(r.0 as usize).is_some_and(|nd| nd.alive)),
-            );
-            match self.topo.locality(node, &live_replicas) {
-                Locality::NodeLocal => return (i, Locality::NodeLocal),
-                Locality::RackLocal if rack_pick.is_none() => rack_pick = Some(i),
-                _ => {}
-            }
-        }
-        match rack_pick {
-            Some(i) => (i, Locality::RackLocal),
-            None => (0, Locality::OffRack),
         }
     }
 
@@ -771,6 +959,8 @@ impl<'a> Sim<'a> {
             rec,
         });
         self.tasks[ti].attempts.push(aidx);
+        self.node_attempts[ni].insert(aidx);
+        self.undone_live.insert(task);
         match device {
             Device::Cpu => {
                 let slot = self.nodes[ni].grab_cpu();
@@ -779,7 +969,7 @@ impl<'a> Sim<'a> {
             }
             Device::Gpu => match gpu {
                 Some(g) => {
-                    self.nodes[ni].gpu_busy[g] = true;
+                    self.nodes[ni].gpu_free.remove(&(g as u32));
                     self.ignite(aidx);
                 }
                 None => self.nodes[ni].gpu_queue.push_back(aidx),
@@ -817,7 +1007,7 @@ impl<'a> Sim<'a> {
                 return;
             }
         }
-        self.nodes[ni].gpu_busy[g] = false;
+        self.nodes[ni].gpu_free.insert(g as u32);
     }
 
     fn map_done(&mut self, aidx: usize) {
@@ -838,11 +1028,14 @@ impl<'a> Sim<'a> {
             return; // another attempt already won (guard; losers are killed)
         }
         self.attempts[aidx].state = AttemptState::Succeeded;
+        self.node_attempts[ni].remove(&aidx);
         let rec = self.attempts[aidx].rec;
         self.stats.finish_attempt(rec, self.now, Outcome::Success);
         self.trace_attempt_end(aidx, Outcome::Success);
         self.tasks[task as usize].done = true;
         self.tasks[task as usize].winner_node = Some(n);
+        self.undone_live.remove(&task);
+        self.node_winners[ni].insert(task);
         self.maps_done += 1;
         self.last_map_done_t = self.now;
         if let Some(h) = self.hook.as_mut() {
@@ -883,6 +1076,7 @@ impl<'a> Sim<'a> {
             }
             let was_running = self.attempts[ai].state == AttemptState::Running;
             self.attempts[ai].state = AttemptState::Killed;
+            self.node_attempts[self.attempts[ai].node as usize].remove(&ai);
             let rec = self.attempts[ai].rec;
             self.stats
                 .finish_attempt(rec, self.now, Outcome::SpeculativeKilled);
@@ -918,6 +1112,7 @@ impl<'a> Sim<'a> {
             return; // the node death supersedes the task failure
         }
         self.attempts[aidx].state = AttemptState::Failed;
+        self.node_attempts[ni].remove(&aidx);
         let rec = self.attempts[aidx].rec;
         self.stats.finish_attempt(rec, self.now, outcome);
         self.trace_attempt_end(aidx, outcome);
@@ -952,8 +1147,11 @@ impl<'a> Sim<'a> {
             .attempts
             .iter()
             .any(|&ai| self.attempts[ai].live());
-        if !has_live && !self.pending.contains(&task) {
-            self.pending.push(task);
+        if !has_live {
+            self.undone_live.remove(&task);
+            if !self.pending.contains(task) {
+                self.queue_pending(task);
+            }
         }
     }
 
@@ -969,6 +1167,11 @@ impl<'a> Sim<'a> {
             return;
         }
         self.nodes[ni].gpu_dead[g] = true;
+        self.nodes[ni].gpu_free.remove(&gpu);
+        self.nodes[ni].gpu_live -= 1;
+        if self.nodes[ni].usable() {
+            self.cluster_live_gpus -= 1;
+        }
         self.stats.gpu_faults_seen += 1;
         if self.trace_on {
             self.tracer.instant(
@@ -980,15 +1183,17 @@ impl<'a> Sim<'a> {
                 vec![("gpu", ArgValue::from(gpu))],
             );
         }
-        // The attempt on the device dies with it.
-        let victim = self.attempts.iter().position(|a| {
-            a.state == AttemptState::Running
-                && a.node == node
-                && a.device == Device::Gpu
-                && a.slot == gpu
+        // The attempt on the device dies with it. At most one running
+        // attempt occupies a given GPU, and the node's live-attempt set
+        // iterates in attempt order, so its first match is the same one
+        // the reference's global `position()` scan finds.
+        let victim = self.node_attempts[ni].iter().copied().find(|&ai| {
+            let a = &self.attempts[ai];
+            a.state == AttemptState::Running && a.device == Device::Gpu && a.slot == gpu
         });
         if let Some(ai) = victim {
             self.attempts[ai].state = AttemptState::Failed;
+            self.node_attempts[ni].remove(&ai);
             let rec = self.attempts[ai].rec;
             let task = self.attempts[ai].task;
             self.stats.finish_attempt(rec, self.now, Outcome::GpuFault);
@@ -1003,6 +1208,7 @@ impl<'a> Sim<'a> {
                     continue;
                 }
                 self.attempts[ai].state = AttemptState::Failed;
+                self.node_attempts[ni].remove(&ai);
                 let rec = self.attempts[ai].rec;
                 let task = self.attempts[ai].task;
                 self.stats.finish_attempt(rec, self.now, Outcome::GpuFault);
@@ -1012,12 +1218,44 @@ impl<'a> Sim<'a> {
     }
 
     fn expiry_check(&mut self) {
-        for n in 0..self.nodes.len() as u32 {
-            if !self.nodes[n as usize].dead_declared
-                && self.now - self.nodes[n as usize].last_heartbeat > self.cfg.heartbeat_timeout_s
-            {
-                self.declare_dead(n);
+        // Lazy deadline heap instead of the reference's all-node sweep.
+        // Entries go stale when a node heartbeats (its deadline moved
+        // later); the heap is only a conservative candidate filter — the
+        // reference's own expression decides, so floating-point rounding
+        // between `last_heartbeat + timeout` (the key) and
+        // `now - last_heartbeat > timeout` (the test) cannot change the
+        // verdict. The half-heartbeat margin makes the filter inclusive.
+        let margin = 0.5 * self.cfg.heartbeat_s;
+        let horizon = self.now + margin;
+        let mut candidates: Vec<ExpiryEntry> = Vec::new();
+        while let Some(&e) = self.expiry.peek() {
+            if e.deadline >= horizon {
+                break;
             }
+            candidates.push(self.expiry.pop().unwrap());
+        }
+        let mut expired: Vec<u32> = Vec::new();
+        for e in candidates {
+            let nd = &self.nodes[e.node as usize];
+            if nd.dead_declared {
+                continue; // entry retired with the node
+            }
+            if self.now - nd.last_heartbeat > self.cfg.heartbeat_timeout_s {
+                expired.push(e.node);
+            } else {
+                // Stale or not-yet-expired: refresh from the current
+                // heartbeat and re-arm (processed outside the pop loop,
+                // so an unchanged deadline cannot spin).
+                self.expiry.push(ExpiryEntry {
+                    deadline: nd.last_heartbeat + self.cfg.heartbeat_timeout_s,
+                    node: e.node,
+                });
+            }
+        }
+        // The reference sweeps nodes in ascending id order per tick.
+        expired.sort_unstable();
+        for n in expired {
+            self.declare_dead(n);
         }
         // Keep checking until every planned crash has been detected.
         if self.stats.nodes_lost < self.planned_crashes && !self.stats.aborted {
@@ -1030,6 +1268,12 @@ impl<'a> Sim<'a> {
     /// reduces still need their outputs.
     fn declare_dead(&mut self, n: u32) {
         let ni = n as usize;
+        // Keep the usable census exact even if declaration ever precedes
+        // the crash event (a still-alive node falling silent).
+        if self.nodes[ni].alive && !self.nodes[ni].dead_declared {
+            self.usable_nodes -= 1;
+            self.cluster_live_gpus -= self.nodes[ni].gpu_live;
+        }
         self.nodes[ni].dead_declared = true;
         self.stats.nodes_lost += 1;
         self.stats.node_loss_detected.push((n, self.now));
@@ -1039,11 +1283,10 @@ impl<'a> Sim<'a> {
             vec![("node", ArgValue::from(n))],
         );
         // Reap in-flight map attempts; node loss is not the task's fault,
-        // so nothing is charged against max_attempts.
-        for ai in 0..self.attempts.len() {
-            if self.attempts[ai].node != n || !self.attempts[ai].live() {
-                continue;
-            }
+        // so nothing is charged against max_attempts. The per-node live
+        // set iterates in attempt order — the same order the reference's
+        // whole-table scan visits this node's live attempts in.
+        for ai in std::mem::take(&mut self.node_attempts[ni]) {
             self.attempts[ai].state = AttemptState::Lost;
             let rec = self.attempts[ai].rec;
             self.stats.finish_attempt(rec, self.now, Outcome::NodeLost);
@@ -1054,8 +1297,11 @@ impl<'a> Sim<'a> {
                 .attempts
                 .iter()
                 .any(|&a2| self.attempts[a2].live());
-            if !self.tasks[ti].done && !has_live && !self.pending.contains(&task) {
-                self.pending.push(task);
+            if !has_live {
+                self.undone_live.remove(&task);
+                if !self.tasks[ti].done && !self.pending.contains(task) {
+                    self.queue_pending(task);
+                }
             }
         }
         self.nodes[ni].gpu_queue.clear();
@@ -1063,18 +1309,17 @@ impl<'a> Sim<'a> {
         // must re-run while reduces still need to fetch them. Map-only
         // jobs write straight to HDFS and lose nothing (Hadoop 1.x).
         if !self.job.reduces.is_empty() && self.reduces_done < self.job.reduces.len() {
-            let mut re_ran = false;
-            for t in 0..self.tasks.len() {
-                if self.tasks[t].done && self.tasks[t].winner_node == Some(n) {
-                    self.tasks[t].done = false;
-                    self.tasks[t].winner_node = None;
-                    self.maps_done -= 1;
-                    self.stats.re_executed += 1;
-                    re_ran = true;
-                    let id = t as u32;
-                    if !self.pending.contains(&id) {
-                        self.pending.push(id);
-                    }
+            let winners = std::mem::take(&mut self.node_winners[ni]);
+            let re_ran = !winners.is_empty();
+            for id in winners {
+                let t = id as usize;
+                debug_assert_eq!(self.tasks[t].winner_node, Some(n));
+                self.tasks[t].done = false;
+                self.tasks[t].winner_node = None;
+                self.maps_done -= 1;
+                self.stats.re_executed += 1;
+                if !self.pending.contains(id) {
+                    self.queue_pending(id);
                 }
             }
             if re_ran {
@@ -1107,7 +1352,7 @@ impl<'a> Sim<'a> {
             }
         }
         // With nobody left alive the job can never finish.
-        if self.work_remains() && !self.nodes.iter().any(|nd| nd.usable()) {
+        if self.work_remains() && self.usable_nodes == 0 {
             self.stats.aborted = true;
         }
     }
@@ -1209,38 +1454,36 @@ impl<'a> Sim<'a> {
             if !has_cpu && gpu_free.is_none() {
                 return;
             }
-            let mut sum = 0.0;
-            let mut cnt = 0u32;
+            // Every done task contributes exactly 1.0 progress; only the
+            // undone-with-live-attempts pool needs walking. The pool is a
+            // BTreeSet, so iteration is in task order — the same visit
+            // order (and thus min-progress tie-break) as the reference's
+            // full table scan.
+            let mut sum = self.maps_done as f64;
+            let mut cnt = self.maps_done as u32;
             // Slowest backup candidate: single live attempt, off-node.
             let mut cand: Option<(u32, f64)> = None;
-            for (t, ts) in self.tasks.iter().enumerate() {
-                if ts.done {
-                    sum += 1.0;
-                    cnt += 1;
-                    continue;
+            for &t in &self.undone_live {
+                let ts = &self.tasks[t as usize];
+                let mut live_cnt = 0u32;
+                let mut only_live: usize = 0;
+                let mut p = 0.0f64;
+                for &ai in &ts.attempts {
+                    let a = &self.attempts[ai];
+                    if !a.live() {
+                        continue;
+                    }
+                    live_cnt += 1;
+                    only_live = ai;
+                    p = p.max(((self.now - a.start) / a.dur.max(1e-9)).clamp(0.0, 1.0));
                 }
-                let live: Vec<usize> = ts
-                    .attempts
-                    .iter()
-                    .copied()
-                    .filter(|&ai| self.attempts[ai].live())
-                    .collect();
-                if live.is_empty() {
-                    continue;
-                }
-                let p = live
-                    .iter()
-                    .map(|&ai| {
-                        let a = &self.attempts[ai];
-                        ((self.now - a.start) / a.dur.max(1e-9)).clamp(0.0, 1.0)
-                    })
-                    .fold(0.0f64, f64::max);
+                debug_assert!(live_cnt > 0, "stale undone_live entry");
                 sum += p;
                 cnt += 1;
-                if live.len() == 1 && self.attempts[live[0]].node != n {
+                if live_cnt == 1 && self.attempts[only_live].node != n {
                     match cand {
                         Some((_, cp)) if cp <= p => {}
-                        _ => cand = Some((t as u32, p)),
+                        _ => cand = Some((t, p)),
                     }
                 }
             }
@@ -1272,7 +1515,12 @@ impl<'a> Sim<'a> {
 /// A reduce that started shuffling at `start` completes its shuffle+merge
 /// `shuffle_s` after start (overlapped with the map phase) but its compute
 /// can only run once every map is done (`maps_done_t`).
-fn reduce_finish_time(start: f64, maps_done_t: f64, shuffle_s: f64, compute_s: f64) -> f64 {
+pub(crate) fn reduce_finish_time(
+    start: f64,
+    maps_done_t: f64,
+    shuffle_s: f64,
+    compute_s: f64,
+) -> f64 {
     (start + shuffle_s).max(maps_done_t) + compute_s
 }
 

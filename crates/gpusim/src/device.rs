@@ -8,6 +8,7 @@ use crate::mem::{DevPtr, MemTracker};
 use crate::spec::GpuSpec;
 use parking_lot::Mutex;
 use rayon::prelude::*;
+use std::sync::Arc;
 
 /// Grid/block geometry for a kernel launch, mirroring the paper's `blocks`
 /// and `threads` clauses (Table 1).
@@ -52,7 +53,11 @@ pub struct KernelLogEntry {
 #[derive(Debug)]
 struct DevState {
     mem: MemTracker,
-    tex_sizes: Vec<u64>,
+    /// Bound read-only texture footprints. Behind `Arc` so each launch
+    /// shares the current snapshot with its blocks via a refcount bump
+    /// instead of cloning the vector out of the mutex; mutators copy on
+    /// write only while a launch still holds the old snapshot.
+    tex_sizes: Arc<Vec<u64>>,
     totals: Counters,
     kernels_launched: u64,
     sim_time_s: f64,
@@ -95,7 +100,7 @@ impl Device {
             spec,
             state: Mutex::new(DevState {
                 mem,
-                tex_sizes: Vec::new(),
+                tex_sizes: Arc::new(Vec::new()),
                 totals: Counters::default(),
                 kernels_launched: 0,
                 sim_time_s: 0.0,
@@ -119,7 +124,7 @@ impl Device {
             spec: self.spec.clone(),
             state: Mutex::new(DevState {
                 mem: MemTracker::new(self.spec.global_mem_bytes),
-                tex_sizes: Vec::new(),
+                tex_sizes: Arc::new(Vec::new()),
                 totals: Counters::default(),
                 kernels_launched: 0,
                 sim_time_s: 0.0,
@@ -183,7 +188,7 @@ impl Device {
     pub fn reset(&self) {
         let mut st = self.state.lock();
         st.mem.free_all();
-        st.tex_sizes.clear();
+        Arc::make_mut(&mut st.tex_sizes).clear();
     }
 
     /// Free device memory in bytes — what the host driver grabs for the
@@ -201,7 +206,7 @@ impl Device {
     /// texture unit (Algorithm 1, lines 11–15).
     pub fn bind_texture(&self, bytes: u64) -> TexBinding {
         let mut st = self.state.lock();
-        st.tex_sizes.push(bytes);
+        Arc::make_mut(&mut st.tex_sizes).push(bytes);
         TexBinding((st.tex_sizes.len() - 1) as u32)
     }
 
@@ -342,7 +347,7 @@ impl Device {
         if let Some(log) = st.kernel_log.as_mut() {
             log.truncate(mark.log_len);
         }
-        st.tex_sizes.truncate(mark.tex_len);
+        Arc::make_mut(&mut st.tex_sizes).truncate(mark.tex_len);
         st.mem.free_since(mark.mem_mark);
     }
 
@@ -414,7 +419,9 @@ impl Device {
             return Err(GpuError::BadLaunch("empty grid".to_string()));
         }
         let blocks = payloads.len() as u32;
-        let tex_sizes = self.state.lock().tex_sizes.clone();
+        // Refcount bump, not a Vec clone: the launch keeps this snapshot
+        // alive even if a concurrent bind copy-on-writes a new one.
+        let tex_sizes = Arc::clone(&self.state.lock().tex_sizes);
 
         let per_block: Vec<Result<(f64, f64, Counters), GpuError>> = payloads
             .into_par_iter()
@@ -658,6 +665,42 @@ mod tests {
         let a = dev.bind_texture(100);
         let b = dev.bind_texture(200);
         assert_ne!(a.0, b.0);
+    }
+
+    #[test]
+    fn launch_shares_tex_bindings_by_refcount() {
+        let dev = Device::new(GpuSpec::tesla_k40());
+        // A footprint much larger than the texture cache, so fetches
+        // produce misses — proof the kernel saw the binding.
+        let big = dev.bind_texture(512 << 20);
+        let stats = dev
+            .launch_named("texread", 128, vec![(); 4], |ctx, _| {
+                ctx.warp_round(|_, lane| {
+                    for _ in 0..8 {
+                        let _ = lane.tex(big, 4096);
+                    }
+                });
+                Ok(())
+            })
+            .unwrap();
+        assert!(stats.counters.tex_misses > 0, "tex reads went uncounted");
+        // Idle device: the state holds the only reference (the launch's
+        // snapshot was a refcount bump that has since been dropped).
+        assert_eq!(Arc::strong_count(&dev.state.lock().tex_sizes), 1);
+        // Copy-on-write: a bind while a snapshot is outstanding must not
+        // disturb the snapshot, and later binds must not keep copying.
+        let snapshot = Arc::clone(&dev.state.lock().tex_sizes);
+        dev.bind_texture(123);
+        assert_eq!(snapshot.len(), 1, "outstanding snapshot was mutated");
+        assert_eq!(dev.state.lock().tex_sizes.len(), 2);
+        assert_eq!(Arc::strong_count(&snapshot), 1, "state still aliases it");
+        // Rollback and reset still manage bindings exactly as before.
+        let mark = dev.begin_attempt();
+        dev.bind_texture(55);
+        dev.rollback_attempt(&mark);
+        assert_eq!(dev.state.lock().tex_sizes.len(), 2);
+        dev.reset();
+        assert!(dev.state.lock().tex_sizes.is_empty());
     }
 
     #[test]

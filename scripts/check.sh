@@ -20,4 +20,7 @@ cargo run -q -p hetero-bench --bin heterolint -- --deny-warnings --json results/
 echo "== heterolint --expect-findings (negative fixtures)"
 cargo run -q -p hetero-bench --bin heterolint -- --expect-findings crates/cc/tests/fixtures/lint/*.c
 
+echo "== DES scale smoke (1k nodes / 100k tasks under a wall-clock budget)"
+cargo run --release -q -p hetero-bench --bin scale -- --smoke
+
 echo "All checks passed."

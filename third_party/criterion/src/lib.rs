@@ -1,12 +1,54 @@
 //! Offline stand-in for `criterion`: runs each benchmark closure a small
-//! fixed number of times and prints mean wall-clock time. No statistics,
-//! no warm-up control, no HTML reports — enough for the workspace's
+//! number of times and prints mean wall-clock time. No statistics, no
+//! warm-up control, no HTML reports — enough for the workspace's
 //! `[[bench]]` targets to build and produce indicative numbers offline.
+//!
+//! Two environment knobs support the repo's perf harness
+//! (`scripts/bench.sh`):
+//!
+//! * `CRITERION_STUB_ITERS` — overrides every benchmark's iteration
+//!   count (quick mode for CI);
+//! * `CRITERION_STUB_LOG` — append one JSON line
+//!   `{"id": "...", "mean_s": ..., "iters": ...}` per benchmark to the
+//!   given file, for downstream summarizers (`--bin benchsum`).
 
+use std::io::Write;
 use std::time::Instant;
 
-/// Iterations per benchmark in the stub (criterion samples adaptively).
-const ITERS: u32 = 10;
+/// Default iterations per benchmark when neither [`sample_size`] nor the
+/// `CRITERION_STUB_ITERS` override applies (criterion samples adaptively).
+///
+/// [`sample_size`]: BenchmarkGroup::sample_size
+const DEFAULT_ITERS: u32 = 10;
+
+/// Iterations to run: env override, else the group's sample size, else
+/// the default.
+fn effective_iters(sample_size: Option<u32>) -> u32 {
+    std::env::var("CRITERION_STUB_ITERS")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .filter(|&n| n > 0)
+        .or(sample_size)
+        .unwrap_or(DEFAULT_ITERS)
+}
+
+/// Report one finished benchmark: print it, and append to the JSON-lines
+/// log when `CRITERION_STUB_LOG` is set.
+fn report(id: &str, mean_s: f64, iters: u32) {
+    println!("bench {id}: {:.3} ms/iter", mean_s * 1e3);
+    if let Ok(path) = std::env::var("CRITERION_STUB_LOG") {
+        if let Ok(mut f) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+        {
+            let _ = writeln!(
+                f,
+                "{{\"id\": {id:?}, \"mean_s\": {mean_s:?}, \"iters\": {iters}}}"
+            );
+        }
+    }
+}
 
 /// Benchmark identifier (`group/function/parameter`).
 #[derive(Debug, Clone)]
@@ -32,61 +74,64 @@ impl BenchmarkId {
 
 /// Timing driver handed to benchmark closures.
 pub struct Bencher {
+    iters: u32,
     elapsed_s: f64,
 }
 
 impl Bencher {
-    /// Time `routine` over a fixed number of iterations.
+    /// Time `routine` over this benchmark's iteration count.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
         let start = Instant::now();
-        for _ in 0..ITERS {
+        for _ in 0..self.iters {
             black_box(routine());
         }
-        self.elapsed_s = start.elapsed().as_secs_f64() / ITERS as f64;
+        self.elapsed_s = start.elapsed().as_secs_f64() / self.iters as f64;
     }
 }
 
 /// A named group of related benchmarks.
 pub struct BenchmarkGroup<'a> {
     name: String,
+    sample_size: Option<u32>,
     _criterion: &'a mut Criterion,
 }
 
 impl BenchmarkGroup<'_> {
+    fn run_one<F>(&mut self, id: String, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let iters = effective_iters(self.sample_size);
+        let mut b = Bencher {
+            iters,
+            elapsed_s: 0.0,
+        };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id), b.elapsed_s, iters);
+    }
+
     /// Run one benchmark with an input value.
     pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher, &I),
     {
-        let mut b = Bencher { elapsed_s: 0.0 };
-        f(&mut b, input);
-        println!(
-            "bench {}/{}: {:.3} ms/iter",
-            self.name,
-            id.name,
-            b.elapsed_s * 1e3
-        );
+        self.run_one(id.name.clone(), |b| f(b, input));
         self
     }
 
     /// Run one benchmark without an input.
-    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
     {
-        let mut b = Bencher { elapsed_s: 0.0 };
-        f(&mut b);
-        println!(
-            "bench {}/{}: {:.3} ms/iter",
-            self.name,
-            id.into(),
-            b.elapsed_s * 1e3
-        );
+        self.run_one(id.into(), f);
         self
     }
 
-    /// Accepted and ignored in the stub.
-    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+    /// Number of iterations for benchmarks in this group (criterion's
+    /// sample count; here used directly as the iteration count).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some((n as u32).max(1));
         self
     }
 
@@ -103,6 +148,7 @@ impl Criterion {
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         BenchmarkGroup {
             name: name.into(),
+            sample_size: None,
             _criterion: self,
         }
     }
@@ -112,9 +158,13 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        let mut b = Bencher { elapsed_s: 0.0 };
+        let iters = effective_iters(None);
+        let mut b = Bencher {
+            iters,
+            elapsed_s: 0.0,
+        };
         f(&mut b);
-        println!("bench {}: {:.3} ms/iter", id.into(), b.elapsed_s * 1e3);
+        report(&id.into(), b.elapsed_s, iters);
         self
     }
 }
