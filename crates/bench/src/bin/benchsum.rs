@@ -37,6 +37,28 @@ fn parse(line: &str) -> Option<Entry> {
     Some(Entry { id, mean_s, iters })
 }
 
+/// Extract the balanced-brace JSON object value of `key` from `src`
+/// (the bench artifacts are written by our own stable emitter, so a
+/// brace scan is exact — strings in them never contain braces).
+fn extract_object(src: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\": {{");
+    let start = src.find(&pat)? + pat.len() - 1;
+    let mut depth = 0usize;
+    for (i, c) in src[start..].char_indices() {
+        match c {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(src[start..=start + i].to_string());
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
 fn flag_value(name: &str) -> Option<String> {
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -132,4 +154,38 @@ fn main() {
         "wrote {sched_path} and {kern_path} from {} benches",
         entries.len()
     );
+
+    // Fold the fault-model artifacts into BENCH_faults.json when present:
+    // the chaos sweep's recovery-overhead distribution (results/chaos.json)
+    // plus the faults bin's master-crash sweep and correlated-fault
+    // numbers (results/faults.json). Standalone `--bin chaos` runs also
+    // write BENCH_faults.json directly; this enriched form wins when the
+    // whole bench.sh pipeline runs.
+    let chaos = std::fs::read_to_string("results/chaos.json").ok();
+    let faults = std::fs::read_to_string("results/faults.json").ok();
+    if chaos.is_some() || faults.is_some() {
+        let mut obj = JsonObj::new().str("artifact", "BENCH_faults");
+        if let Some(c) = chaos
+            .as_deref()
+            .and_then(|s| extract_object(s, "recovery_overhead"))
+        {
+            obj = obj.raw("recovery_overhead", c);
+        }
+        if let Some(f) = faults.as_deref() {
+            if let Some(sweep) = f
+                .find("\"jobtracker_crash_sweep\": [")
+                .and_then(|i| f[i..].find(']').map(|j| f[i + 26..=i + j].to_string()))
+            {
+                obj = obj.raw("jobtracker_crash_sweep", sweep);
+            }
+            for key in ["rack_failure", "partition"] {
+                if let Some(v) = extract_object(f, key) {
+                    obj = obj.raw(key, v);
+                }
+            }
+        }
+        let faults_path = format!("{out_dir}/BENCH_faults.json");
+        std::fs::write(&faults_path, obj.build() + "\n").expect("write BENCH_faults.json");
+        println!("wrote {faults_path}");
+    }
 }

@@ -4,7 +4,12 @@
 //! a perfect cluster. Reports the price of recovery: makespan overhead,
 //! re-executed tasks, wasted work, and speculative waste — plus how
 //! speculative execution composes with tail scheduling under stragglers.
-use hetero_bench::pool_from_args;
+//!
+//! Fault model v2 adds the correlated faults and master outages: a
+//! JobTracker crash-recovery overhead sweep, a whole-rack failure, and a
+//! network partition with lossy heartbeats (false expiry + re-admission).
+//! All measured numbers land in `results/faults.json` for `benchsum`.
+use hetero_bench::{json_array, pool_from_args, JsonObj};
 use hetero_cluster::{
     simulate, ClusterConfig, FaultPlan, JobSpec, JobStats, ReduceTaskSpec, Scheduler,
 };
@@ -214,4 +219,111 @@ fn main() {
         cj.gpu_placed.len(),
         cj.job.gpu_tasks
     );
+
+    // 6. Fault model v2 — master outage: crash the JobTracker across the
+    //    job and measure the recovery overhead (journal replay +
+    //    re-registration + deferred-report drain vs the clean run).
+    println!("\nJobTracker crash-recovery — overhead vs crash point (GpuFirst)");
+    println!(
+        "{:<14}{:>14}{:>14}{:>12}",
+        "crash frac", "makespan (s)", "overhead (s)", "replayed"
+    );
+    let jt_clean = simulate(&cfg(Scheduler::GpuFirst, true, FaultPlan::none()), &j);
+    let mut jt_rows = Vec::new();
+    for i in 0..8u64 {
+        let frac = (i as f64 + 0.5) / 8.0;
+        let plan = FaultPlan::seeded(i).with_jobtracker_crash(frac * jt_clean.makespan_s);
+        let st = simulate(&cfg(Scheduler::GpuFirst, true, plan), &j);
+        assert!(!st.aborted, "master crash must not abort the job");
+        assert_eq!(st.completed_maps(), j.maps.len());
+        assert_eq!(
+            st.re_executed, 0,
+            "a JT crash alone must not lose map output"
+        );
+        let (_, replayed) = st.jobtracker_recoveries[0];
+        let overhead = st.makespan_s - jt_clean.makespan_s;
+        println!(
+            "{frac:<14.3}{:>14.1}{overhead:>14.1}{replayed:>12}",
+            st.makespan_s
+        );
+        jt_rows.push(
+            JsonObj::new()
+                .float("crash_frac", frac)
+                .float("makespan_s", st.makespan_s)
+                .float("overhead_s", overhead)
+                .int("journal_replayed", replayed)
+                .int("journal_records", st.journal_records)
+                .build(),
+        );
+    }
+
+    // 7. Fault model v2 — correlated faults: a whole-rack failure and a
+    //    network partition with lossy heartbeats. The partitioned nodes
+    //    are falsely expired and re-admitted after the heal; the rack's
+    //    finished maps re-execute elsewhere.
+    println!("\nCorrelated faults — rack failure and network partition");
+    let rack_plan = FaultPlan::seeded(5)
+        .with_rack_failure(1, 0.3 * jt_clean.makespan_s)
+        .with_jobtracker_crash(0.45 * jt_clean.makespan_s);
+    let rack_st = simulate(&cfg(Scheduler::GpuFirst, true, rack_plan), &j);
+    assert!(!rack_st.aborted);
+    assert_eq!(rack_st.completed_maps(), j.maps.len());
+    println!(
+        "rack 1 + master crash: makespan {:.1}s (+{:.1}s), {} nodes lost, {} maps re-executed",
+        rack_st.makespan_s,
+        rack_st.makespan_s - jt_clean.makespan_s,
+        rack_st.nodes_lost,
+        rack_st.re_executed
+    );
+    let part_plan = FaultPlan::seeded(6)
+        .with_partition(
+            vec![1, 4, 6],
+            0.2 * jt_clean.makespan_s,
+            0.6 * jt_clean.makespan_s,
+        )
+        .with_heartbeat_loss_p(0.1)
+        .with_heartbeat_jitter_s(0.05);
+    let part_st = simulate(&cfg(Scheduler::GpuFirst, true, part_plan), &j);
+    assert!(!part_st.aborted);
+    assert_eq!(part_st.completed_maps(), j.maps.len());
+    assert!(part_st.nodes_readmitted >= 1, "healed nodes must re-admit");
+    println!(
+        "partition of 3 nodes + 10% heartbeat loss: makespan {:.1}s (+{:.1}s), \
+         {} beats lost, {} nodes re-admitted",
+        part_st.makespan_s,
+        part_st.makespan_s - jt_clean.makespan_s,
+        part_st.heartbeats_lost,
+        part_st.nodes_readmitted
+    );
+
+    // Everything measured above, as a stable artifact for benchsum.
+    std::fs::create_dir_all("results").expect("create results/");
+    let json = JsonObj::new()
+        .str("artifact", "faults")
+        .float("clean_makespan_s", clean.makespan_s)
+        .float("storm_makespan_s", faulted.makespan_s)
+        .float("storm_overhead_pct", overhead)
+        .int("storm_failed_attempts", faulted.failed_attempts as u64)
+        .int("storm_re_executed", faulted.re_executed as u64)
+        .raw("jobtracker_crash_sweep", json_array(jt_rows))
+        .raw(
+            "rack_failure",
+            JsonObj::new()
+                .float("makespan_s", rack_st.makespan_s)
+                .int("nodes_lost", rack_st.nodes_lost as u64)
+                .int("re_executed", rack_st.re_executed as u64)
+                .int("recoveries", rack_st.jobtracker_recoveries.len() as u64)
+                .build(),
+        )
+        .raw(
+            "partition",
+            JsonObj::new()
+                .float("makespan_s", part_st.makespan_s)
+                .int("heartbeats_lost", part_st.heartbeats_lost.into())
+                .int("nodes_readmitted", part_st.nodes_readmitted as u64)
+                .build(),
+        )
+        .build();
+    std::fs::write("results/faults.json", json + "\n").expect("write results/faults.json");
+    println!("\nwrote results/faults.json");
 }

@@ -17,6 +17,7 @@ fn cfg(s: Scheduler) -> ClusterConfig {
         shuffle_bw: 1e9,
         max_attempts: 4,
         heartbeat_timeout_s: 3.0,
+        jobtracker_recovery_s: 2.0,
         faults: FaultPlan::none(),
         trace: TraceConfig::default(),
     }

@@ -41,7 +41,42 @@ pub struct FaultPlan {
     /// their nominal duration — straggler injection for speculative
     /// execution experiments.
     pub stragglers: Vec<(u32, f64)>,
+    /// Times at which the JobTracker crash-stops. While down no
+    /// heartbeat is answered, no expiry fires, and TaskTracker reports
+    /// (map/reduce completions, failures, GPU faults) are buffered on
+    /// the trackers. [`ClusterConfig::jobtracker_recovery_s`] later, the
+    /// master restarts, rebuilds its state from snapshot + journal
+    /// replay, re-registers every alive tracker, and drains the buffered
+    /// reports in their original order.
+    pub jobtracker_crashes: Vec<f64>,
+    /// `(rack, time_s)`: every node of the rack crash-stops at `time_s`
+    /// — correlated failure (rack power loss). Expanded into per-node
+    /// crash events at simulation start.
+    pub rack_failures: Vec<(u32, f64)>,
+    /// `(nodes, start_s, end_s)`: a network partition — heartbeats from
+    /// the node set are dropped during the window, so the JobTracker
+    /// falsely expires the nodes, loses their in-flight work, and
+    /// re-admits them on their first heartbeat after the heal.
+    pub partitions: Vec<(Vec<u32>, f64, f64)>,
+    /// Per-heartbeat probability that the beat is lost in the network
+    /// (drawn deterministically from `seed`, node, and beat number).
+    pub heartbeat_loss_p: f64,
+    /// Maximum extra delay added to each heartbeat interval, seconds
+    /// (uniform jitter drawn deterministically like the loss die).
+    pub heartbeat_jitter_s: f64,
 }
+
+/// A [`FaultPlan`] that failed validation, with the offending entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlanError(pub String);
+
+impl std::fmt::Display for FaultPlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid FaultPlan: {}", self.0)
+    }
+}
+
+impl std::error::Error for FaultPlanError {}
 
 impl FaultPlan {
     /// The empty plan: a perfect cluster.
@@ -56,6 +91,11 @@ impl FaultPlan {
             && self.gpu_faults.is_empty()
             && self.corrupt_task_inputs.is_empty()
             && self.stragglers.is_empty()
+            && self.jobtracker_crashes.is_empty()
+            && self.rack_failures.is_empty()
+            && self.partitions.is_empty()
+            && self.heartbeat_loss_p == 0.0
+            && self.heartbeat_jitter_s == 0.0
     }
 
     /// Straggler slowdown factor for `node` (1.0 when not a straggler).
@@ -65,6 +105,186 @@ impl FaultPlan {
             .find(|(n, _)| *n == node)
             .map(|(_, f)| *f)
             .unwrap_or(1.0)
+    }
+
+    // ------------------------------------------------ builder helpers
+    //
+    // Shared by the sim/reference/differential test setups so fault
+    // scenarios are written once instead of as duplicated struct
+    // literals.
+
+    /// An empty plan with only the seed set.
+    pub fn seeded(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Add a node crash-stop at `time_s`.
+    pub fn with_node_crash(mut self, node: u32, time_s: f64) -> Self {
+        self.node_crashes.push((node, time_s));
+        self
+    }
+
+    /// Set the per-attempt transient failure probability.
+    pub fn with_transient_p(mut self, p: f64) -> Self {
+        self.transient_fail_p = p;
+        self
+    }
+
+    /// Add a permanent GPU device fault.
+    pub fn with_gpu_fault(mut self, node: u32, gpu: u32, time_s: f64) -> Self {
+        self.gpu_faults.push((node, gpu, time_s));
+        self
+    }
+
+    /// Mark a task's first input read as hitting a corrupt replica.
+    pub fn with_corrupt_input(mut self, task: u32) -> Self {
+        self.corrupt_task_inputs.push(task);
+        self
+    }
+
+    /// Make `node` a straggler running map attempts `factor`× slower.
+    pub fn with_straggler(mut self, node: u32, factor: f64) -> Self {
+        self.stragglers.push((node, factor));
+        self
+    }
+
+    /// Crash-stop the JobTracker at `time_s`.
+    pub fn with_jobtracker_crash(mut self, time_s: f64) -> Self {
+        self.jobtracker_crashes.push(time_s);
+        self
+    }
+
+    /// Crash-stop every node of `rack` at `time_s`.
+    pub fn with_rack_failure(mut self, rack: u32, time_s: f64) -> Self {
+        self.rack_failures.push((rack, time_s));
+        self
+    }
+
+    /// Partition `nodes` away from the master during `[start_s, end_s]`.
+    pub fn with_partition(mut self, nodes: Vec<u32>, start_s: f64, end_s: f64) -> Self {
+        self.partitions.push((nodes, start_s, end_s));
+        self
+    }
+
+    /// Set the per-heartbeat loss probability.
+    pub fn with_heartbeat_loss_p(mut self, p: f64) -> Self {
+        self.heartbeat_loss_p = p;
+        self
+    }
+
+    /// Set the maximum per-heartbeat jitter in seconds.
+    pub fn with_heartbeat_jitter_s(mut self, s: f64) -> Self {
+        self.heartbeat_jitter_s = s;
+        self
+    }
+
+    // ------------------------------------------------------ validation
+
+    /// Validate the plan against the cluster it will run on. Called by
+    /// both simulators at start; rejects out-of-range node/rack/GPU ids,
+    /// non-finite or negative times, probabilities outside [0, 1],
+    /// non-positive straggler factors, inverted partition windows, and
+    /// duplicate crashes for the same node — each with a descriptive
+    /// error naming the offending entry, instead of the former silent
+    /// no-op/panic-later behavior.
+    pub fn validate(
+        &self,
+        num_slaves: u32,
+        num_racks: u32,
+        gpus_per_node: u32,
+    ) -> Result<(), FaultPlanError> {
+        let err = |msg: String| Err(FaultPlanError(msg));
+        let finite_time = |what: &str, t: f64| -> Result<(), FaultPlanError> {
+            if !t.is_finite() || t < 0.0 {
+                return Err(FaultPlanError(format!(
+                    "{what}: time {t} must be finite and non-negative"
+                )));
+            }
+            Ok(())
+        };
+        let mut crashed = std::collections::HashSet::new();
+        for &(n, t) in &self.node_crashes {
+            if n >= num_slaves {
+                return err(format!(
+                    "node_crashes: node {n} out of range (cluster has {num_slaves} slaves)"
+                ));
+            }
+            finite_time(&format!("node_crashes[node {n}]"), t)?;
+            if !crashed.insert(n) {
+                return err(format!("node_crashes: duplicate crash for node {n}"));
+            }
+        }
+        for &(r, t) in &self.rack_failures {
+            if r >= num_racks {
+                return err(format!(
+                    "rack_failures: rack {r} out of range (cluster has {num_racks} racks)"
+                ));
+            }
+            finite_time(&format!("rack_failures[rack {r}]"), t)?;
+        }
+        for &(n, g, t) in &self.gpu_faults {
+            if n >= num_slaves {
+                return err(format!("gpu_faults: node {n} out of range"));
+            }
+            if g >= gpus_per_node.max(1) {
+                return err(format!(
+                    "gpu_faults: gpu {g} out of range on node {n} ({gpus_per_node} per node)"
+                ));
+            }
+            finite_time(&format!("gpu_faults[node {n} gpu {g}]"), t)?;
+        }
+        for &(n, f) in &self.stragglers {
+            if n >= num_slaves {
+                return err(format!("stragglers: node {n} out of range"));
+            }
+            if !f.is_finite() || f <= 0.0 {
+                return err(format!(
+                    "stragglers: node {n} factor {f} must be finite and positive"
+                ));
+            }
+        }
+        for &t in &self.jobtracker_crashes {
+            finite_time("jobtracker_crashes", t)?;
+        }
+        for (i, (nodes, start, end)) in self.partitions.iter().enumerate() {
+            for &n in nodes {
+                if n >= num_slaves {
+                    return err(format!("partitions[{i}]: node {n} out of range"));
+                }
+            }
+            finite_time(&format!("partitions[{i}] start"), *start)?;
+            finite_time(&format!("partitions[{i}] end"), *end)?;
+            if end < start {
+                return err(format!(
+                    "partitions[{i}]: window [{start}, {end}] ends before it starts"
+                ));
+            }
+        }
+        for (what, p) in [
+            ("transient_fail_p", self.transient_fail_p),
+            ("heartbeat_loss_p", self.heartbeat_loss_p),
+        ] {
+            if !p.is_finite() || !(0.0..=1.0).contains(&p) {
+                return err(format!("{what}: probability {p} must be within [0, 1]"));
+            }
+        }
+        if self.heartbeat_loss_p >= 1.0 && self.heartbeat_loss_p != 0.0 {
+            return err(
+                "heartbeat_loss_p: 1.0 silences every tracker forever (no re-registration \
+                 can ever arrive); use a probability below 1"
+                    .to_string(),
+            );
+        }
+        if !self.heartbeat_jitter_s.is_finite() || self.heartbeat_jitter_s < 0.0 {
+            return err(format!(
+                "heartbeat_jitter_s: {} must be finite and non-negative",
+                self.heartbeat_jitter_s
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -128,6 +348,9 @@ pub struct ClusterConfig {
     /// TaskTracker dead and blacklists it
     /// (`mapred.tasktracker.expiry.interval`).
     pub heartbeat_timeout_s: f64,
+    /// Seconds a crashed JobTracker stays down before it restarts and
+    /// recovers from snapshot + journal replay.
+    pub jobtracker_recovery_s: f64,
     /// Injected faults (empty = perfect cluster).
     pub faults: FaultPlan,
     /// Observability: event tracing for this run (all off by default).
@@ -151,9 +374,21 @@ impl ClusterConfig {
             shuffle_bw: 1e9,
             max_attempts: 4,
             heartbeat_timeout_s: 3.0,
+            jobtracker_recovery_s: 2.0,
             faults: FaultPlan::none(),
             trace: TraceConfig::default(),
         }
+    }
+
+    /// The Fig. 3 walkthrough cluster: one node, two CPU slots, one 6×
+    /// GPU, map-only, fast heartbeats. Shared by the sim unit tests, the
+    /// differential suite, and the chaos harness.
+    pub fn fig3(scheduler: Scheduler) -> Self {
+        let mut cfg = ClusterConfig::small(1, scheduler);
+        cfg.nodes_per_rack = 1;
+        cfg.reduce_slots_per_node = 0;
+        cfg.heartbeat_s = 0.01;
+        cfg
     }
 
     /// Effective GPUs per node (zero under CPU-only scheduling).
@@ -188,5 +423,116 @@ mod tests {
         assert!(!p.is_empty());
         assert_eq!(p.straggler_factor(3), 2.5);
         assert_eq!(p.straggler_factor(4), 1.0);
+    }
+
+    /// Reject-message helper: validate against a 4-slave, 1-rack,
+    /// 2-GPU cluster and return the error text.
+    fn reject(p: FaultPlan) -> String {
+        p.validate(4, 1, 2)
+            .expect_err("plan should be rejected")
+            .to_string()
+    }
+
+    #[test]
+    fn validate_accepts_reasonable_plans() {
+        let p = FaultPlan::seeded(7)
+            .with_node_crash(0, 5.0)
+            .with_node_crash(3, 9.0)
+            .with_gpu_fault(1, 1, 2.0)
+            .with_corrupt_input(12)
+            .with_straggler(2, 3.0)
+            .with_jobtracker_crash(4.0)
+            .with_rack_failure(0, 8.0)
+            .with_partition(vec![1, 2], 1.0, 6.0)
+            .with_heartbeat_loss_p(0.2)
+            .with_heartbeat_jitter_s(0.1)
+            .with_transient_p(0.05);
+        assert!(p.validate(4, 1, 2).is_ok());
+        assert!(FaultPlan::none().validate(4, 1, 2).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_ids() {
+        let msg = reject(FaultPlan::none().with_node_crash(4, 1.0));
+        assert!(msg.contains("out of range"), "{msg}");
+        assert!(msg.contains("invalid FaultPlan"), "{msg}");
+        let msg = reject(FaultPlan::none().with_rack_failure(1, 1.0));
+        assert!(msg.contains("out of range"), "{msg}");
+        let msg = reject(FaultPlan::none().with_gpu_fault(5, 0, 1.0));
+        assert!(msg.contains("out of range"), "{msg}");
+        let msg = reject(FaultPlan::none().with_gpu_fault(0, 2, 1.0));
+        assert!(msg.contains("gpu 2"), "{msg}");
+        let msg = reject(FaultPlan::none().with_straggler(9, 2.0));
+        assert!(msg.contains("out of range"), "{msg}");
+        let msg = reject(FaultPlan::none().with_partition(vec![0, 7], 0.0, 1.0));
+        assert!(msg.contains("node 7"), "{msg}");
+    }
+
+    #[test]
+    fn validate_rejects_bad_times() {
+        for t in [-1.0, f64::NAN, f64::INFINITY] {
+            let msg = reject(FaultPlan::none().with_node_crash(0, t));
+            assert!(msg.contains("finite and non-negative"), "{msg}");
+            let msg = reject(FaultPlan::none().with_jobtracker_crash(t));
+            assert!(msg.contains("jobtracker_crashes"), "{msg}");
+        }
+        let msg = reject(FaultPlan::none().with_partition(vec![0], 5.0, 2.0));
+        assert!(msg.contains("ends before it starts"), "{msg}");
+    }
+
+    #[test]
+    fn validate_rejects_duplicate_node_crash() {
+        let msg = reject(
+            FaultPlan::none()
+                .with_node_crash(1, 2.0)
+                .with_node_crash(1, 7.0),
+        );
+        assert!(msg.contains("duplicate crash for node 1"), "{msg}");
+    }
+
+    #[test]
+    fn validate_rejects_bad_probabilities_and_factors() {
+        let msg = reject(FaultPlan::none().with_transient_p(1.5));
+        assert!(msg.contains("within [0, 1]"), "{msg}");
+        let msg = reject(FaultPlan::none().with_heartbeat_loss_p(-0.1));
+        assert!(msg.contains("within [0, 1]"), "{msg}");
+        // Exactly 1.0 passes the range check but would silence every
+        // tracker forever — rejected with a dedicated message.
+        let msg = reject(FaultPlan::none().with_heartbeat_loss_p(1.0));
+        assert!(msg.contains("silences every tracker"), "{msg}");
+        let msg = reject(FaultPlan::none().with_straggler(0, 0.0));
+        assert!(msg.contains("finite and positive"), "{msg}");
+        let msg = reject(FaultPlan::none().with_straggler(0, f64::NAN));
+        assert!(msg.contains("finite and positive"), "{msg}");
+        let msg = reject(FaultPlan::none().with_heartbeat_jitter_s(-0.5));
+        assert!(msg.contains("heartbeat_jitter_s"), "{msg}");
+    }
+
+    #[test]
+    fn gpu_fault_range_uses_at_least_one_gpu() {
+        // A CpuOnly run keeps gpus_per_node in the config; validation is
+        // against the physical device count, floored at one.
+        let p = FaultPlan::none().with_gpu_fault(0, 0, 1.0);
+        assert!(p.validate(4, 1, 0).is_ok());
+        assert!(p.validate(4, 1, 2).is_ok());
+        let p = FaultPlan::none().with_gpu_fault(0, 1, 1.0);
+        assert!(p.validate(4, 1, 0).is_err());
+    }
+
+    #[test]
+    fn builders_compose_into_one_plan() {
+        let p = FaultPlan::seeded(42)
+            .with_node_crash(0, 1.0)
+            .with_rack_failure(0, 2.0)
+            .with_partition(vec![1], 0.5, 3.0)
+            .with_jobtracker_crash(1.5)
+            .with_heartbeat_loss_p(0.1)
+            .with_heartbeat_jitter_s(0.05);
+        assert_eq!(p.seed, 42);
+        assert_eq!(p.node_crashes, vec![(0, 1.0)]);
+        assert_eq!(p.rack_failures, vec![(0, 2.0)]);
+        assert_eq!(p.partitions, vec![(vec![1], 0.5, 3.0)]);
+        assert_eq!(p.jobtracker_crashes, vec![1.5]);
+        assert!(!p.is_empty());
     }
 }

@@ -12,14 +12,17 @@
 
 #![warn(missing_docs)]
 
+pub mod audit;
 pub mod config;
 pub mod job;
+pub mod journal;
 pub mod reference;
 pub mod sim;
 pub mod stats;
 
-pub use config::{ClusterConfig, FaultPlan, Scheduler, TraceConfig};
+pub use config::{ClusterConfig, FaultPlan, FaultPlanError, Scheduler, TraceConfig};
 pub use job::{JobSpec, MapTaskSpec, ReduceTaskSpec};
+pub use journal::{Journal, JtRecord, RecoveredState};
 pub use reference::{simulate_reference, simulate_reference_traced};
 pub use sim::{simulate, simulate_hooked, simulate_traced, ExecHook};
 pub use stats::{Device, JobStats, Outcome, TaskRecord};

@@ -15,6 +15,7 @@
 
 use crate::config::{ClusterConfig, Scheduler};
 use crate::job::JobSpec;
+use crate::journal::{Journal, JtRecord};
 use crate::sim::{fault_unit, reduce_finish_time, Event, Scheduled};
 use crate::stats::{Device, JobStats, Outcome};
 use hetero_hdfs::{Locality, NodeId, Topology};
@@ -192,6 +193,22 @@ struct Sim<'a> {
     max_speedup: f64,
     shuffle_per_reduce_s: f64,
     planned_crashes: u32,
+    /// Whether the master is currently crash-stopped.
+    jt_down: bool,
+    /// TaskTracker reports that arrived while the master was down, in
+    /// their original `(time, seq)` order; drained at recovery.
+    deferred: Vec<Scheduled>,
+    /// The master's write-ahead journal — the same [`Journal`] the
+    /// indexed scheduler keeps, because journaling is part of the JT
+    /// spec (record counts are differentially compared).
+    journal: Journal,
+    /// Per-node heartbeat counter — the identity the loss/jitter dice
+    /// are drawn from.
+    hb_beat: Vec<u64>,
+    /// The plan injects faults that can silence a live tracker (or the
+    /// master), so expiry checks must keep running even after every
+    /// planned node crash has been detected.
+    silencing_faults: bool,
     heap: BinaryHeap<Scheduled>,
     seq: u64,
     now: f64,
@@ -219,6 +236,16 @@ pub fn simulate_reference_traced(cfg: &ClusterConfig, job: &JobSpec, tracer: &Tr
 impl<'a> Sim<'a> {
     fn new(cfg: &'a ClusterConfig, job: &'a JobSpec, tracer: &'a Tracer) -> Self {
         let gpus = cfg.effective_gpus();
+        let num_racks = Topology::new(cfg.num_slaves, cfg.nodes_per_rack).num_racks();
+        // Physical GPU count: a fault on a GPU the scheduler ignores is
+        // valid (and harmless), but a fault on hardware that does not
+        // exist is a plan bug.
+        if let Err(e) = cfg
+            .faults
+            .validate(cfg.num_slaves, num_racks, cfg.gpus_per_node)
+        {
+            panic!("{e}");
+        }
         let nodes: Vec<NodeState> = (0..cfg.num_slaves)
             .map(|_| NodeState {
                 alive: true,
@@ -258,6 +285,14 @@ impl<'a> Sim<'a> {
             max_speedup: 1.0,
             shuffle_per_reduce_s,
             planned_crashes: 0,
+            jt_down: false,
+            deferred: Vec::new(),
+            journal: Journal::new(job.maps.len(), cfg.num_slaves as usize, job.reduces.len()),
+            hb_beat: vec![0; cfg.num_slaves as usize],
+            silencing_faults: !cfg.faults.partitions.is_empty()
+                || cfg.faults.heartbeat_loss_p > 0.0
+                || cfg.faults.heartbeat_jitter_s > 0.0
+                || !cfg.faults.jobtracker_crashes.is_empty(),
             heap: BinaryHeap::new(),
             seq: 0,
             now: 0.0,
@@ -274,18 +309,32 @@ impl<'a> Sim<'a> {
                 Event::Heartbeat(n),
             );
         }
-        // Inject the fault plan as first-class events.
+        // Inject the fault plan as first-class events. Rack failures are
+        // correlated node crashes: they expand to one crash event per
+        // member node, after the singleton crashes, sharing the dedup set
+        // so a node named both ways crashes exactly once (first event
+        // wins, as in the physical world).
         let mut crash_nodes = HashSet::new();
         for &(n, t) in &cfg.faults.node_crashes {
             if n < cfg.num_slaves && crash_nodes.insert(n) {
                 sim.push(t, Event::NodeCrash(n));
             }
         }
+        for &(r, t) in &cfg.faults.rack_failures {
+            for n in 0..cfg.num_slaves {
+                if sim.topo.rack_of(NodeId(n)).0 == r && crash_nodes.insert(n) {
+                    sim.push(t, Event::NodeCrash(n));
+                }
+            }
+        }
         sim.planned_crashes = crash_nodes.len() as u32;
         for &(n, g, t) in &cfg.faults.gpu_faults {
             sim.push(t, Event::GpuFault { node: n, gpu: g });
         }
-        if sim.planned_crashes > 0 {
+        for &t in &cfg.faults.jobtracker_crashes {
+            sim.push(t, Event::JobTrackerCrash);
+        }
+        if sim.planned_crashes > 0 || sim.silencing_faults {
             sim.push(cfg.heartbeat_s, Event::ExpiryCheck);
         }
         sim
@@ -423,8 +472,30 @@ impl<'a> Sim<'a> {
     }
 
     fn run(&mut self) {
-        while let Some(Scheduled { time, event, .. }) = self.heap.pop() {
+        while let Some(sch) = self.heap.pop() {
+            let Scheduled { time, event, .. } = sch;
             self.now = time;
+            if self.jt_down {
+                match event {
+                    // TaskTracker reports cannot reach a dead master: the
+                    // trackers buffer them and re-deliver after recovery,
+                    // in their original order.
+                    Event::MapDone { .. }
+                    | Event::MapFail { .. }
+                    | Event::ReduceDone { .. }
+                    | Event::GpuFault { .. } => {
+                        self.deferred.push(sch);
+                        continue;
+                    }
+                    // The master's expiry timer died with it; recovery
+                    // re-arms it.
+                    Event::ExpiryCheck => continue,
+                    // Heartbeats (unanswered but re-arming), node crashes
+                    // (physical), and the master's own crash/recover
+                    // events proceed.
+                    _ => {}
+                }
+            }
             match event {
                 Event::Heartbeat(n) => self.heartbeat(n),
                 Event::ExpiryCheck => self.expiry_check(),
@@ -436,6 +507,8 @@ impl<'a> Sim<'a> {
                 Event::MapDone { attempt } => self.map_done(attempt),
                 Event::MapFail { attempt, outcome } => self.map_fail(attempt, outcome),
                 Event::ReduceDone { node, task, epoch } => self.reduce_done_ev(node, task, epoch),
+                Event::JobTrackerCrash => self.jobtracker_crash(),
+                Event::JobTrackerRecover => self.jobtracker_recover(),
             }
             if self.stats.aborted || !self.work_remains() {
                 break;
@@ -447,28 +520,210 @@ impl<'a> Sim<'a> {
         self.stats.makespan_s = self.now;
         self.stats.map_phase_s = self.last_map_done_t;
         self.stats.max_speedup_seen = self.max_speedup;
+        self.stats.journal_records = self.journal.records_written();
+        self.stats.journal_snapshots = self.journal.snapshots_taken();
     }
 
     // ---------------------------------------------------------- heartbeats
+
+    /// Whether `node` sits inside an active partition window right now.
+    /// Windows are half-open `[start, end)`: the first beat at or after
+    /// `end` is the one that heals the partition.
+    fn partitioned(&self, node: u32) -> bool {
+        self.cfg
+            .faults
+            .partitions
+            .iter()
+            .any(|(nodes, start, end)| {
+                self.now >= *start && self.now < *end && nodes.contains(&node)
+            })
+    }
 
     fn heartbeat(&mut self, n: u32) {
         let ni = n as usize;
         if !self.nodes[ni].alive {
             return; // crashed: the tracker falls silent
         }
-        self.nodes[ni].last_heartbeat = self.now;
-        if self.trace_on && self.cfg.trace.heartbeats {
-            self.trace_node_instant(Category::Heartbeat, "heartbeat", n);
-        }
-        if !self.nodes[ni].dead_declared {
-            self.assign_reduces(n);
-            self.assign_maps(n);
-            if self.cfg.speculative {
-                self.try_speculate(n);
+        let fp = &self.cfg.faults;
+        let beat = self.hb_beat[ni];
+        self.hb_beat[ni] += 1;
+        // Delivery: a beat is dropped inside a partition window or by the
+        // per-beat loss die, and goes unanswered while the master is down
+        // (the tracker keeps beating either way).
+        let lost = self.partitioned(n)
+            || (fp.heartbeat_loss_p > 0.0
+                && fault_unit(fp.seed ^ 0x4C4F_5353_4C4F_5353, n as u64, beat, 0)
+                    < fp.heartbeat_loss_p);
+        if lost {
+            self.stats.heartbeats_lost += 1;
+            self.trace_node_instant(Category::Partition, "heartbeat dropped", n);
+        } else if !self.jt_down {
+            self.nodes[ni].last_heartbeat = self.now;
+            if self.trace_on && self.cfg.trace.heartbeats {
+                self.trace_node_instant(Category::Heartbeat, "heartbeat", n);
+            }
+            if self.nodes[ni].dead_declared {
+                // A blacklisted tracker proved it is alive: the partition
+                // healed (or the loss streak ended). Re-admit it.
+                self.readmit(n);
+            }
+            if !self.nodes[ni].dead_declared {
+                self.assign_reduces(n);
+                self.assign_maps(n);
+                if self.cfg.speculative {
+                    self.try_speculate(n);
+                }
             }
         }
         if self.work_remains() {
-            self.push(self.now + self.cfg.heartbeat_s, Event::Heartbeat(n));
+            let mut next = self.now + self.cfg.heartbeat_s;
+            if fp.heartbeat_jitter_s > 0.0 {
+                next += fp.heartbeat_jitter_s
+                    * fault_unit(fp.seed ^ 0x4A49_5454_4A49_5454, n as u64, beat, 1);
+            }
+            self.push(next, Event::Heartbeat(n));
+        }
+    }
+
+    /// Re-admit a falsely-expired, still-alive tracker on its first
+    /// delivered heartbeat: lift the blacklist, reset its slots (the
+    /// tracker killed its orphaned work when it learned it had been
+    /// declared dead — its old attempts are already marked `Lost`).
+    fn readmit(&mut self, n: u32) {
+        let ni = n as usize;
+        self.nodes[ni].dead_declared = false;
+        self.nodes[ni].cpu_busy = vec![false; self.cfg.map_slots_per_node as usize];
+        self.nodes[ni].gpu_busy = vec![false; self.cfg.effective_gpus() as usize];
+        self.nodes[ni].gpu_queue.clear();
+        self.nodes[ni].reduce_busy = vec![false; self.cfg.reduce_slots_per_node as usize];
+        self.stats.nodes_readmitted += 1;
+        self.journal.append(JtRecord::NodeReadmitted { node: n });
+        self.trace_jt_instant(
+            Category::Recovery,
+            format!("node {n} re-admitted"),
+            vec![("node", ArgValue::from(n))],
+        );
+    }
+
+    // ------------------------------------------------- master recovery
+
+    fn jobtracker_crash(&mut self) {
+        if self.jt_down {
+            return; // a crash scheduled inside another outage is moot
+        }
+        self.jt_down = true;
+        self.stats.jobtracker_crashes_seen += 1;
+        self.trace_jt_instant(Category::Fault, "jobtracker crash".to_string(), vec![]);
+        self.push(
+            self.now + self.cfg.jobtracker_recovery_s,
+            Event::JobTrackerRecover,
+        );
+    }
+
+    /// The master restarts: every scrap of JT-logical state is discarded
+    /// and rebuilt from the journal replay plus the re-registration
+    /// heartbeats of the trackers that can reach it (see
+    /// [`crate::sim`]'s recovery doc for the full protocol). The scan
+    /// flavor of the same rebuild: everything recomputed from the plain
+    /// tables, in the same deterministic orders.
+    fn jobtracker_recover(&mut self) {
+        let rec = self.journal.replay();
+        let replayed = self.journal.records_written();
+
+        // (a) Journal-derived task/reduce/blacklist state.
+        self.maps_done = 0;
+        for (t, ts) in self.tasks.iter_mut().enumerate() {
+            ts.winner_node = rec.winner[t];
+            ts.done = rec.winner[t].is_some();
+            ts.failed_count = rec.failed_count[t];
+            if ts.done {
+                self.maps_done += 1;
+            }
+        }
+        self.reduces_done = rec.reduces_done.iter().filter(|&&d| d).count();
+        for (n, nd) in self.nodes.iter_mut().enumerate() {
+            nd.dead_declared = rec.blacklisted[n];
+        }
+
+        // (b) Re-registration: alive, reachable trackers report in now;
+        // silent ones keep their stale heartbeat and face expiry.
+        for n in 0..self.cfg.num_slaves {
+            if self.nodes[n as usize].alive && !self.partitioned(n) {
+                self.nodes[n as usize].last_heartbeat = self.now;
+            }
+        }
+
+        // Slot occupancy from the re-reported attempt table. Queued GPU
+        // attempts hold no slot (they wait in the tracker-side driver
+        // queue, which survives).
+        for nd in self.nodes.iter_mut() {
+            nd.cpu_busy = vec![false; self.cfg.map_slots_per_node as usize];
+            nd.gpu_busy = vec![false; self.cfg.effective_gpus() as usize];
+            nd.reduce_busy = vec![false; self.cfg.reduce_slots_per_node as usize];
+        }
+        for a in &self.attempts {
+            if a.state == AttemptState::Running {
+                let ni = a.node as usize;
+                match a.device {
+                    Device::Cpu => self.nodes[ni].cpu_busy[a.slot as usize] = true,
+                    Device::Gpu => self.nodes[ni].gpu_busy[a.slot as usize] = true,
+                }
+            }
+        }
+        for rr in &self.running_reduces {
+            if !self.stats.reduce_done(rr.task) {
+                self.nodes[rr.node as usize].reduce_busy[rr.slot as usize] = true;
+            }
+        }
+
+        // Queues, in task-id order: undone maps with no live attempt, and
+        // unfinished reduces not currently holding a slot.
+        self.pending = (0..self.job.maps.len() as u32)
+            .filter(|&t| {
+                !self.tasks[t as usize].done
+                    && !self.tasks[t as usize]
+                        .attempts
+                        .iter()
+                        .any(|&ai| self.attempts[ai].live())
+            })
+            .collect();
+        let running: HashSet<u32> = self.running_reduces.iter().map(|rr| rr.task).collect();
+        self.pending_reduces = (0..self.job.reduces.len() as u32)
+            .filter(|&r| !rec.reduces_done[r as usize] && !running.contains(&r))
+            .collect();
+
+        // The speedup census, from the re-registration reports.
+        self.max_speedup = 1.0;
+        for nd in self.nodes.iter().filter(|nd| nd.alive) {
+            let ave = nd.ave_speedup(1.0);
+            if ave > self.max_speedup {
+                self.max_speedup = ave;
+            }
+        }
+
+        self.stats.jobtracker_recoveries.push((self.now, replayed));
+        self.trace_jt_instant(
+            Category::Recovery,
+            "jobtracker recovered".to_string(),
+            vec![
+                ("journal_records", ArgValue::from(replayed)),
+                ("deferred_reports", ArgValue::from(self.deferred.len())),
+            ],
+        );
+
+        // Back in business: re-arm the expiry timer and drain the
+        // buffered tracker reports in their original (time, seq) order.
+        self.jt_down = false;
+        self.push(self.now + self.cfg.heartbeat_s, Event::ExpiryCheck);
+        let deferred = std::mem::take(&mut self.deferred);
+        for sch in deferred {
+            match sch.event {
+                Event::MapDone { attempt } => self.map_done(attempt),
+                Event::MapFail { attempt, outcome } => self.map_fail(attempt, outcome),
+                Event::ReduceDone { node, task, epoch } => self.reduce_done_ev(node, task, epoch),
+                Event::GpuFault { node, gpu } => self.gpu_fault(node, gpu),
+                _ => unreachable!("only tracker reports are deferred"),
+            }
         }
     }
 
@@ -650,6 +905,8 @@ impl<'a> Sim<'a> {
         let rec = self
             .stats
             .start_attempt(task, attempt_no, n, device, speculative, self.now);
+        self.journal
+            .append(JtRecord::AttemptStarted { task, node: n });
         if speculative {
             self.stats.speculative_attempts += 1;
         }
@@ -739,6 +996,8 @@ impl<'a> Sim<'a> {
         self.trace_attempt_end(aidx, Outcome::Success);
         self.tasks[task as usize].done = true;
         self.tasks[task as usize].winner_node = Some(n);
+        self.journal
+            .append(JtRecord::TaskCompleted { task, node: n });
         self.maps_done += 1;
         self.last_map_done_t = self.now;
         self.kill_losers(task, aidx);
@@ -833,7 +1092,10 @@ impl<'a> Sim<'a> {
         // Task-caused failures count toward `max_attempts`; environment
         // faults (GPU death, node loss) do not — Hadoop charges those to
         // the tracker (blacklisting), not the task.
-        if matches!(outcome, Outcome::TransientFail | Outcome::ChecksumFail) {
+        let charged = matches!(outcome, Outcome::TransientFail | Outcome::ChecksumFail);
+        self.journal
+            .append(JtRecord::AttemptFailed { task, charged });
+        if charged {
             self.tasks[ti].failed_count += 1;
             if self.tasks[ti].failed_count >= self.cfg.max_attempts {
                 // mapred.map.max.attempts exhausted: the job fails.
@@ -912,8 +1174,13 @@ impl<'a> Sim<'a> {
                 self.declare_dead(n);
             }
         }
-        // Keep checking until every planned crash has been detected.
-        if self.stats.nodes_lost < self.planned_crashes && !self.stats.aborted {
+        // Keep checking until every planned crash has been detected —
+        // forever when the plan can silence a live tracker (partitions,
+        // heartbeat loss/jitter) or the master itself (trackers may
+        // still need expiring after any recovery).
+        if (self.stats.nodes_lost < self.planned_crashes || self.silencing_faults)
+            && !self.stats.aborted
+        {
             self.push(self.now + self.cfg.heartbeat_s, Event::ExpiryCheck);
         }
     }
@@ -924,6 +1191,7 @@ impl<'a> Sim<'a> {
     fn declare_dead(&mut self, n: u32) {
         let ni = n as usize;
         self.nodes[ni].dead_declared = true;
+        self.journal.append(JtRecord::NodeDeclaredDead { node: n });
         self.stats.nodes_lost += 1;
         self.stats.node_loss_detected.push((n, self.now));
         self.trace_jt_instant(
@@ -961,10 +1229,11 @@ impl<'a> Sim<'a> {
                 if self.tasks[t].done && self.tasks[t].winner_node == Some(n) {
                     self.tasks[t].done = false;
                     self.tasks[t].winner_node = None;
+                    let id = t as u32;
+                    self.journal.append(JtRecord::TaskInvalidated { task: id });
                     self.maps_done -= 1;
                     self.stats.re_executed += 1;
                     re_ran = true;
-                    let id = t as u32;
                     if !self.pending.contains(&id) {
                         self.pending.push(id);
                     }
@@ -999,8 +1268,16 @@ impl<'a> Sim<'a> {
                 i += 1;
             }
         }
-        // With nobody left alive the job can never finish.
-        if self.work_remains() && !self.nodes.iter().any(|nd| nd.usable()) {
+        // With nobody left the job can never finish. Declared-dead
+        // trackers that are physically alive (false expiry under a
+        // partition or loss streak) still count as a future: they will
+        // re-register and be re-admitted — only an all-crashed cluster
+        // is hopeless. (With legacy plans declared ⇒ crashed, so this is
+        // the old usable-nodes abort exactly.)
+        if self.work_remains()
+            && !self.nodes.iter().any(|nd| nd.usable())
+            && self.nodes.iter().all(|nd| !nd.alive)
+        {
             self.stats.aborted = true;
         }
     }
@@ -1044,6 +1321,7 @@ impl<'a> Sim<'a> {
         }
         if self.stats.mark_reduce_done(task, self.now) {
             self.reduces_done += 1;
+            self.journal.append(JtRecord::ReduceCompleted { task });
             // Release the slot this reduce held (and drop its entry —
             // it no longer needs rescheduling or rescue).
             if let Some(i) = self

@@ -38,6 +38,7 @@
 
 use crate::config::{ClusterConfig, Scheduler};
 use crate::job::JobSpec;
+use crate::journal::{Journal, JtRecord};
 use crate::stats::{Device, JobStats, Outcome};
 use hetero_hdfs::{Locality, NodeId, Topology};
 use hetero_trace::{ArgValue, Category, Tracer};
@@ -49,10 +50,26 @@ pub(crate) enum Event {
     Heartbeat(u32),
     ExpiryCheck,
     NodeCrash(u32),
-    GpuFault { node: u32, gpu: u32 },
-    MapDone { attempt: usize },
-    MapFail { attempt: usize, outcome: Outcome },
-    ReduceDone { node: u32, task: u32, epoch: u32 },
+    GpuFault {
+        node: u32,
+        gpu: u32,
+    },
+    MapDone {
+        attempt: usize,
+    },
+    MapFail {
+        attempt: usize,
+        outcome: Outcome,
+    },
+    ReduceDone {
+        node: u32,
+        task: u32,
+        epoch: u32,
+    },
+    /// The master crash-stops (`FaultPlan::jobtracker_crashes`).
+    JobTrackerCrash,
+    /// The master restarts and recovers from snapshot + journal replay.
+    JobTrackerRecover,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -439,6 +456,29 @@ struct Sim<'a> {
     /// Lazy min-heap of TaskTracker expiry deadlines; entries go stale
     /// when a node heartbeats and are refreshed on pop.
     expiry: BinaryHeap<ExpiryEntry>,
+    /// Whether the master is currently crash-stopped.
+    jt_down: bool,
+    /// TaskTracker reports (map/reduce completions, failures, GPU
+    /// faults) that arrived while the master was down, in their original
+    /// `(time, seq)` order; drained at recovery.
+    deferred: Vec<Scheduled>,
+    /// The master's write-ahead journal (snapshot + tail); recovery
+    /// replays it instead of trusting any live bookkeeping.
+    journal: Journal,
+    /// Per-node heartbeat counter — the identity the loss/jitter dice
+    /// are drawn from.
+    hb_beat: Vec<u64>,
+    /// The plan injects faults that can silence a live tracker (or the
+    /// master), so expiry checks must keep running even after every
+    /// planned node crash has been detected.
+    silencing_faults: bool,
+    /// Audit every event by default only on small runs: the per-event
+    /// ground-truth rebuild is O(cluster state), which would slow the
+    /// paper-scale sims (48 nodes × ~1k maps) by orders of magnitude in
+    /// debug test builds. `HETERO_AUDIT=1` forces full audit at any size
+    /// (how the chaos harness and CI run).
+    #[cfg(any(debug_assertions, feature = "audit"))]
+    audit_default: bool,
     heap: BinaryHeap<Scheduled>,
     seq: u64,
     now: f64,
@@ -481,6 +521,16 @@ pub fn simulate_hooked(
 impl<'a> Sim<'a> {
     fn new(cfg: &'a ClusterConfig, job: &'a JobSpec, tracer: &'a Tracer) -> Self {
         let gpus = cfg.effective_gpus();
+        let num_racks = Topology::new(cfg.num_slaves, cfg.nodes_per_rack).num_racks();
+        // Physical GPU count: a fault on a GPU the scheduler ignores is
+        // valid (and harmless), but a fault on hardware that does not
+        // exist is a plan bug.
+        if let Err(e) = cfg
+            .faults
+            .validate(cfg.num_slaves, num_racks, cfg.gpus_per_node)
+        {
+            panic!("{e}");
+        }
         let nodes: Vec<NodeState> = (0..cfg.num_slaves)
             .map(|_| NodeState {
                 alive: true,
@@ -537,6 +587,16 @@ impl<'a> Sim<'a> {
             node_attempts: (0..cfg.num_slaves).map(|_| BTreeSet::new()).collect(),
             node_winners: (0..cfg.num_slaves).map(|_| BTreeSet::new()).collect(),
             expiry: BinaryHeap::new(),
+            jt_down: false,
+            deferred: Vec::new(),
+            journal: Journal::new(job.maps.len(), cfg.num_slaves as usize, job.reduces.len()),
+            hb_beat: vec![0; cfg.num_slaves as usize],
+            silencing_faults: !cfg.faults.partitions.is_empty()
+                || cfg.faults.heartbeat_loss_p > 0.0
+                || cfg.faults.heartbeat_jitter_s > 0.0
+                || !cfg.faults.jobtracker_crashes.is_empty(),
+            #[cfg(any(debug_assertions, feature = "audit"))]
+            audit_default: (cfg.num_slaves as usize).saturating_mul(job.maps.len()) <= 16_384,
             heap: BinaryHeap::new(),
             seq: 0,
             now: 0.0,
@@ -554,18 +614,32 @@ impl<'a> Sim<'a> {
                 Event::Heartbeat(n),
             );
         }
-        // Inject the fault plan as first-class events.
+        // Inject the fault plan as first-class events. Rack failures are
+        // correlated node crashes: they expand to one crash event per
+        // member node, after the singleton crashes, sharing the dedup set
+        // so a node named both ways crashes exactly once (first event
+        // wins, as in the physical world).
         let mut crash_nodes = HashSet::new();
         for &(n, t) in &cfg.faults.node_crashes {
             if n < cfg.num_slaves && crash_nodes.insert(n) {
                 sim.push(t, Event::NodeCrash(n));
             }
         }
+        for &(r, t) in &cfg.faults.rack_failures {
+            for n in 0..cfg.num_slaves {
+                if sim.topo.rack_of(NodeId(n)).0 == r && crash_nodes.insert(n) {
+                    sim.push(t, Event::NodeCrash(n));
+                }
+            }
+        }
         sim.planned_crashes = crash_nodes.len() as u32;
         for &(n, g, t) in &cfg.faults.gpu_faults {
             sim.push(t, Event::GpuFault { node: n, gpu: g });
         }
-        if sim.planned_crashes > 0 {
+        for &t in &cfg.faults.jobtracker_crashes {
+            sim.push(t, Event::JobTrackerCrash);
+        }
+        if sim.planned_crashes > 0 || sim.silencing_faults {
             sim.push(cfg.heartbeat_s, Event::ExpiryCheck);
             // Arm the expiry heap: every node's first deadline is one
             // timeout past its (virtual) time-zero heartbeat.
@@ -729,35 +803,47 @@ impl<'a> Sim<'a> {
     }
 
     fn run(&mut self) {
-        while let Some(Scheduled { time, event, .. }) = self.heap.pop() {
+        while let Some(sch) = self.heap.pop() {
+            let Scheduled { time, event, .. } = sch;
             self.now = time;
+            if self.jt_down {
+                match event {
+                    // TaskTracker reports cannot reach a dead master: the
+                    // trackers buffer them and re-deliver after recovery,
+                    // in their original order.
+                    Event::MapDone { .. }
+                    | Event::MapFail { .. }
+                    | Event::ReduceDone { .. }
+                    | Event::GpuFault { .. } => {
+                        self.deferred.push(sch);
+                        continue;
+                    }
+                    // The master's expiry timer died with it; recovery
+                    // re-arms it.
+                    Event::ExpiryCheck => continue,
+                    // Heartbeats (unanswered but re-arming), node crashes
+                    // (physical), and the master's own crash/recover
+                    // events proceed.
+                    _ => {}
+                }
+            }
             match event {
                 Event::Heartbeat(n) => self.heartbeat(n),
                 Event::ExpiryCheck => self.expiry_check(),
-                Event::NodeCrash(n) => {
-                    let ni = n as usize;
-                    self.nodes[ni].alive = false;
-                    // The usable census excludes crashed-but-undeclared
-                    // nodes (`usable()` checks `alive`), so the aggregates
-                    // drop here, not at declaration time.
-                    if !self.nodes[ni].dead_declared {
-                        self.usable_nodes -= 1;
-                        self.cluster_live_gpus -= self.nodes[ni].gpu_live;
-                    }
-                    // Replicas on the crashed node are unreadable: prune
-                    // its locality-index entries (alive is already false).
-                    let job = self.job;
-                    let topo = self.topo.clone();
-                    let alive: Vec<bool> = self.nodes.iter().map(|nd| nd.alive).collect();
-                    self.pending.node_crashed(n, job, &topo, |r| {
-                        alive.get(r as usize).copied().unwrap_or(false)
-                    });
-                    self.trace_node_instant(Category::Fault, "node crash", n);
-                }
+                Event::NodeCrash(n) => self.node_crash(n),
                 Event::GpuFault { node, gpu } => self.gpu_fault(node, gpu),
                 Event::MapDone { attempt } => self.map_done(attempt),
                 Event::MapFail { attempt, outcome } => self.map_fail(attempt, outcome),
                 Event::ReduceDone { node, task, epoch } => self.reduce_done_ev(node, task, epoch),
+                Event::JobTrackerCrash => self.jobtracker_crash(),
+                Event::JobTrackerRecover => self.jobtracker_recover(),
+            }
+            #[cfg(any(debug_assertions, feature = "audit"))]
+            if (self.audit_default || crate::audit::forced_on())
+                && crate::audit::enabled()
+                && !self.stats.aborted
+            {
+                self.audit_invariants(&event);
             }
             if self.stats.aborted || !self.work_remains() {
                 break;
@@ -769,28 +855,291 @@ impl<'a> Sim<'a> {
         self.stats.makespan_s = self.now;
         self.stats.map_phase_s = self.last_map_done_t;
         self.stats.max_speedup_seen = self.max_speedup;
+        self.stats.journal_records = self.journal.records_written();
+        self.stats.journal_snapshots = self.journal.snapshots_taken();
+    }
+
+    fn node_crash(&mut self, n: u32) {
+        let ni = n as usize;
+        self.nodes[ni].alive = false;
+        // The usable census excludes crashed-but-undeclared
+        // nodes (`usable()` checks `alive`), so the aggregates
+        // drop here, not at declaration time.
+        if !self.nodes[ni].dead_declared {
+            self.usable_nodes -= 1;
+            self.cluster_live_gpus -= self.nodes[ni].gpu_live;
+        }
+        // Replicas on the crashed node are unreadable: prune
+        // its locality-index entries (alive is already false).
+        let job = self.job;
+        let topo = self.topo.clone();
+        let alive: Vec<bool> = self.nodes.iter().map(|nd| nd.alive).collect();
+        self.pending.node_crashed(n, job, &topo, |r| {
+            alive.get(r as usize).copied().unwrap_or(false)
+        });
+        self.trace_node_instant(Category::Fault, "node crash", n);
     }
 
     // ---------------------------------------------------------- heartbeats
+
+    /// Whether `node` sits inside an active partition window right now.
+    /// Windows are half-open `[start, end)`: the first beat at or after
+    /// `end` is the one that heals the partition.
+    fn partitioned(&self, node: u32) -> bool {
+        self.cfg
+            .faults
+            .partitions
+            .iter()
+            .any(|(nodes, start, end)| {
+                self.now >= *start && self.now < *end && nodes.contains(&node)
+            })
+    }
 
     fn heartbeat(&mut self, n: u32) {
         let ni = n as usize;
         if !self.nodes[ni].alive {
             return; // crashed: the tracker falls silent
         }
-        self.nodes[ni].last_heartbeat = self.now;
-        if self.trace_on && self.cfg.trace.heartbeats {
-            self.trace_node_instant(Category::Heartbeat, "heartbeat", n);
-        }
-        if !self.nodes[ni].dead_declared {
-            self.assign_reduces(n);
-            self.assign_maps(n);
-            if self.cfg.speculative {
-                self.try_speculate(n);
+        let fp = &self.cfg.faults;
+        let beat = self.hb_beat[ni];
+        self.hb_beat[ni] += 1;
+        // Delivery: a beat is dropped inside a partition window or by the
+        // per-beat loss die, and goes unanswered while the master is down
+        // (the tracker keeps beating either way).
+        let lost = self.partitioned(n)
+            || (fp.heartbeat_loss_p > 0.0
+                && fault_unit(fp.seed ^ 0x4C4F_5353_4C4F_5353, n as u64, beat, 0)
+                    < fp.heartbeat_loss_p);
+        if lost {
+            self.stats.heartbeats_lost += 1;
+            self.trace_node_instant(Category::Partition, "heartbeat dropped", n);
+        } else if !self.jt_down {
+            self.nodes[ni].last_heartbeat = self.now;
+            if self.trace_on && self.cfg.trace.heartbeats {
+                self.trace_node_instant(Category::Heartbeat, "heartbeat", n);
+            }
+            if self.nodes[ni].dead_declared {
+                // A blacklisted tracker proved it is alive: the partition
+                // healed (or the loss streak ended). Re-admit it.
+                self.readmit(n);
+            }
+            if !self.nodes[ni].dead_declared {
+                self.assign_reduces(n);
+                self.assign_maps(n);
+                if self.cfg.speculative {
+                    self.try_speculate(n);
+                }
             }
         }
         if self.work_remains() {
-            self.push(self.now + self.cfg.heartbeat_s, Event::Heartbeat(n));
+            let mut next = self.now + self.cfg.heartbeat_s;
+            if fp.heartbeat_jitter_s > 0.0 {
+                next += fp.heartbeat_jitter_s
+                    * fault_unit(fp.seed ^ 0x4A49_5454_4A49_5454, n as u64, beat, 1);
+            }
+            self.push(next, Event::Heartbeat(n));
+        }
+    }
+
+    /// Re-admit a falsely-expired, still-alive tracker on its first
+    /// delivered heartbeat: lift the blacklist, reset its slots (the
+    /// tracker killed its orphaned work when it learned it had been
+    /// declared dead — its old attempts are already marked `Lost`), and
+    /// re-arm its expiry deadline.
+    fn readmit(&mut self, n: u32) {
+        let ni = n as usize;
+        self.nodes[ni].dead_declared = false;
+        self.usable_nodes += 1;
+        self.cluster_live_gpus += self.nodes[ni].gpu_live;
+        self.nodes[ni].cpu_free = (0..self.cfg.map_slots_per_node).collect();
+        self.nodes[ni].gpu_free = (0..self.cfg.effective_gpus())
+            .filter(|&g| !self.nodes[ni].gpu_dead[g as usize])
+            .collect();
+        self.nodes[ni].gpu_queue.clear();
+        self.nodes[ni].reduce_free = (0..self.cfg.reduce_slots_per_node).collect();
+        self.expiry.push(ExpiryEntry {
+            deadline: self.now + self.cfg.heartbeat_timeout_s,
+            node: n,
+        });
+        self.stats.nodes_readmitted += 1;
+        self.journal.append(JtRecord::NodeReadmitted { node: n });
+        self.trace_jt_instant(
+            Category::Recovery,
+            format!("node {n} re-admitted"),
+            vec![("node", ArgValue::from(n))],
+        );
+    }
+
+    // ------------------------------------------------- master recovery
+
+    fn jobtracker_crash(&mut self) {
+        if self.jt_down {
+            return; // a crash scheduled inside another outage is moot
+        }
+        self.jt_down = true;
+        self.stats.jobtracker_crashes_seen += 1;
+        self.trace_jt_instant(Category::Fault, "jobtracker crash".to_string(), vec![]);
+        self.push(
+            self.now + self.cfg.jobtracker_recovery_s,
+            Event::JobTrackerRecover,
+        );
+    }
+
+    /// The master restarts: every scrap of JT-logical state is discarded
+    /// and rebuilt from (a) the journal replay — which tasks are done and
+    /// where, per-task charges, the blacklist, finished reduces — and
+    /// (b) the re-registration heartbeats of the trackers that can reach
+    /// it, which re-report node health, running attempts, slot occupancy,
+    /// and speedup samples. Trackers that are crashed or partitioned do
+    /// not re-register; their assigned work stays on the books until the
+    /// re-armed expiry path declares them dead, exactly as for a live
+    /// master. Buffered TaskTracker reports are then drained in their
+    /// original order (stale ones fall to the normal staleness guards).
+    fn jobtracker_recover(&mut self) {
+        let rec = self.journal.replay();
+        let replayed = self.journal.records_written();
+
+        // (a) Journal-derived task/reduce/blacklist state.
+        self.maps_done = 0;
+        for (t, ts) in self.tasks.iter_mut().enumerate() {
+            ts.winner_node = rec.winner[t];
+            ts.done = rec.winner[t].is_some();
+            ts.failed_count = rec.failed_count[t];
+            if ts.done {
+                self.maps_done += 1;
+            }
+        }
+        self.reduces_done = rec.reduces_done.iter().filter(|&&d| d).count();
+        for (n, nd) in self.nodes.iter_mut().enumerate() {
+            nd.dead_declared = rec.blacklisted[n];
+        }
+
+        // (b) Re-registration: alive, reachable trackers report in now;
+        // silent ones keep their stale heartbeat and face expiry.
+        self.usable_nodes = 0;
+        self.cluster_live_gpus = 0;
+        self.expiry.clear();
+        for n in 0..self.cfg.num_slaves {
+            let reachable = self.nodes[n as usize].alive && !self.partitioned(n);
+            if reachable {
+                self.nodes[n as usize].last_heartbeat = self.now;
+            }
+            let nd = &self.nodes[n as usize];
+            if nd.usable() {
+                self.usable_nodes += 1;
+                self.cluster_live_gpus += nd.gpu_live;
+            }
+            if !nd.dead_declared {
+                self.expiry.push(ExpiryEntry {
+                    deadline: nd.last_heartbeat + self.cfg.heartbeat_timeout_s,
+                    node: n,
+                });
+            }
+        }
+
+        // Slot occupancy and the per-node live-attempt sets, from the
+        // re-reported attempt table. Queued GPU attempts hold no slot
+        // (they wait in the tracker-side driver queue, which survives).
+        for (n, nd) in self.nodes.iter_mut().enumerate() {
+            self.node_attempts[n].clear();
+            nd.cpu_free = (0..self.cfg.map_slots_per_node).collect();
+            nd.gpu_free = (0..self.cfg.effective_gpus())
+                .filter(|&g| !nd.gpu_dead[g as usize])
+                .collect();
+            nd.reduce_free = (0..self.cfg.reduce_slots_per_node).collect();
+        }
+        for (ai, a) in self.attempts.iter().enumerate() {
+            if !a.live() {
+                continue;
+            }
+            let ni = a.node as usize;
+            self.node_attempts[ni].insert(ai);
+            if a.state == AttemptState::Running {
+                match a.device {
+                    Device::Cpu => {
+                        self.nodes[ni].cpu_free.remove(&a.slot);
+                    }
+                    Device::Gpu => {
+                        self.nodes[ni].gpu_free.remove(&a.slot);
+                    }
+                }
+            }
+        }
+        for rr in &self.running_reduces {
+            if !self.stats.reduce_done(rr.task) {
+                self.nodes[rr.node as usize].reduce_free.remove(&rr.slot);
+            }
+        }
+
+        // Queues, in task-id order (reference sorts its Vec identically):
+        // undone maps with no live attempt, and unfinished reduces not
+        // currently holding a slot.
+        self.pending = PendingIndex::new(
+            self.job.maps.len(),
+            self.cfg.num_slaves,
+            self.topo.num_racks(),
+        );
+        self.undone_live.clear();
+        for t in 0..self.job.maps.len() as u32 {
+            if self.tasks[t as usize].done {
+                continue;
+            }
+            let has_live = self.tasks[t as usize]
+                .attempts
+                .iter()
+                .any(|&ai| self.attempts[ai].live());
+            if has_live {
+                self.undone_live.insert(t);
+            } else {
+                self.queue_pending(t);
+            }
+        }
+        let running: HashSet<u32> = self.running_reduces.iter().map(|rr| rr.task).collect();
+        self.pending_reduces = (0..self.job.reduces.len() as u32)
+            .filter(|&r| !rec.reduces_done[r as usize] && !running.contains(&r))
+            .collect();
+
+        // Winner placement (which node holds each finished map's output)
+        // and the speedup census, from the re-registration reports.
+        for nw in &mut self.node_winners {
+            nw.clear();
+        }
+        for (t, ts) in self.tasks.iter().enumerate() {
+            if let (true, Some(w)) = (ts.done, ts.winner_node) {
+                self.node_winners[w as usize].insert(t as u32);
+            }
+        }
+        self.max_speedup = 1.0;
+        for nd in self.nodes.iter().filter(|nd| nd.alive) {
+            let ave = nd.ave_speedup(1.0);
+            if ave > self.max_speedup {
+                self.max_speedup = ave;
+            }
+        }
+
+        self.stats.jobtracker_recoveries.push((self.now, replayed));
+        self.trace_jt_instant(
+            Category::Recovery,
+            "jobtracker recovered".to_string(),
+            vec![
+                ("journal_records", ArgValue::from(replayed)),
+                ("deferred_reports", ArgValue::from(self.deferred.len())),
+            ],
+        );
+
+        // Back in business: re-arm the expiry timer and drain the
+        // buffered tracker reports in their original (time, seq) order.
+        self.jt_down = false;
+        self.push(self.now + self.cfg.heartbeat_s, Event::ExpiryCheck);
+        let deferred = std::mem::take(&mut self.deferred);
+        for sch in deferred {
+            match sch.event {
+                Event::MapDone { attempt } => self.map_done(attempt),
+                Event::MapFail { attempt, outcome } => self.map_fail(attempt, outcome),
+                Event::ReduceDone { node, task, epoch } => self.reduce_done_ev(node, task, epoch),
+                Event::GpuFault { node, gpu } => self.gpu_fault(node, gpu),
+                _ => unreachable!("only tracker reports are deferred"),
+            }
         }
     }
 
@@ -942,6 +1291,8 @@ impl<'a> Sim<'a> {
         let rec = self
             .stats
             .start_attempt(task, attempt_no, n, device, speculative, self.now);
+        self.journal
+            .append(JtRecord::AttemptStarted { task, node: n });
         if speculative {
             self.stats.speculative_attempts += 1;
         }
@@ -1034,6 +1385,8 @@ impl<'a> Sim<'a> {
         self.trace_attempt_end(aidx, Outcome::Success);
         self.tasks[task as usize].done = true;
         self.tasks[task as usize].winner_node = Some(n);
+        self.journal
+            .append(JtRecord::TaskCompleted { task, node: n });
         self.undone_live.remove(&task);
         self.node_winners[ni].insert(task);
         self.maps_done += 1;
@@ -1135,7 +1488,10 @@ impl<'a> Sim<'a> {
         // Task-caused failures count toward `max_attempts`; environment
         // faults (GPU death, node loss) do not — Hadoop charges those to
         // the tracker (blacklisting), not the task.
-        if matches!(outcome, Outcome::TransientFail | Outcome::ChecksumFail) {
+        let charged = matches!(outcome, Outcome::TransientFail | Outcome::ChecksumFail);
+        self.journal
+            .append(JtRecord::AttemptFailed { task, charged });
+        if charged {
             self.tasks[ti].failed_count += 1;
             if self.tasks[ti].failed_count >= self.cfg.max_attempts {
                 // mapred.map.max.attempts exhausted: the job fails.
@@ -1257,8 +1613,13 @@ impl<'a> Sim<'a> {
         for n in expired {
             self.declare_dead(n);
         }
-        // Keep checking until every planned crash has been detected.
-        if self.stats.nodes_lost < self.planned_crashes && !self.stats.aborted {
+        // Keep checking until every planned crash has been detected —
+        // forever when the plan can silence a live tracker (partitions,
+        // heartbeat loss/jitter) or the master itself (trackers may
+        // still need expiring after any recovery).
+        if (self.stats.nodes_lost < self.planned_crashes || self.silencing_faults)
+            && !self.stats.aborted
+        {
             self.push(self.now + self.cfg.heartbeat_s, Event::ExpiryCheck);
         }
     }
@@ -1275,6 +1636,7 @@ impl<'a> Sim<'a> {
             self.cluster_live_gpus -= self.nodes[ni].gpu_live;
         }
         self.nodes[ni].dead_declared = true;
+        self.journal.append(JtRecord::NodeDeclaredDead { node: n });
         self.stats.nodes_lost += 1;
         self.stats.node_loss_detected.push((n, self.now));
         self.trace_jt_instant(
@@ -1316,6 +1678,7 @@ impl<'a> Sim<'a> {
                 debug_assert_eq!(self.tasks[t].winner_node, Some(n));
                 self.tasks[t].done = false;
                 self.tasks[t].winner_node = None;
+                self.journal.append(JtRecord::TaskInvalidated { task: id });
                 self.maps_done -= 1;
                 self.stats.re_executed += 1;
                 if !self.pending.contains(id) {
@@ -1351,8 +1714,13 @@ impl<'a> Sim<'a> {
                 i += 1;
             }
         }
-        // With nobody left alive the job can never finish.
-        if self.work_remains() && self.usable_nodes == 0 {
+        // With nobody left the job can never finish. Declared-dead
+        // trackers that are physically alive (false expiry under a
+        // partition or loss streak) still count as a future: they will
+        // re-register and be re-admitted — only an all-crashed cluster
+        // is hopeless. (With legacy plans declared ⇒ crashed, so this is
+        // the old `usable_nodes == 0` abort exactly.)
+        if self.work_remains() && self.usable_nodes == 0 && self.nodes.iter().all(|nd| !nd.alive) {
             self.stats.aborted = true;
         }
     }
@@ -1396,6 +1764,7 @@ impl<'a> Sim<'a> {
         }
         if self.stats.mark_reduce_done(task, self.now) {
             self.reduces_done += 1;
+            self.journal.append(JtRecord::ReduceCompleted { task });
             // Release the slot this reduce held (and drop its entry —
             // it no longer needs rescheduling or rescue).
             if let Some(i) = self
@@ -1510,6 +1879,211 @@ impl<'a> Sim<'a> {
             }
         }
     }
+
+    // ------------------------------------------------------------ audit
+
+    /// Cross-check every incrementally-maintained structure against a
+    /// ground-truth recomputation from the task/attempt/node tables.
+    /// Called after each DES event in audited builds; panics (via
+    /// [`crate::audit::violation`]) at the first drifted index.
+    #[cfg(any(debug_assertions, feature = "audit"))]
+    fn audit_invariants(&self, event: &Event) {
+        use crate::audit::check;
+        let ctx = format!("after {:?} @ t={}", event, self.now);
+
+        // Node census and per-node slot free-lists.
+        let mut usable = 0u32;
+        let mut live_gpus = 0u32;
+        for (n, nd) in self.nodes.iter().enumerate() {
+            let true_gpu_live = nd.gpu_dead.iter().filter(|&&d| !d).count() as u32;
+            check(nd.gpu_live == true_gpu_live, &ctx, || {
+                format!(
+                    "node {n}: gpu_live {} != live count {true_gpu_live}",
+                    nd.gpu_live
+                )
+            });
+            if nd.usable() {
+                usable += 1;
+                live_gpus += nd.gpu_live;
+                let mut cpu_busy: BTreeSet<u32> = BTreeSet::new();
+                let mut gpu_busy: BTreeSet<u32> = BTreeSet::new();
+                for &ai in &self.node_attempts[n] {
+                    let a = &self.attempts[ai];
+                    if a.state == AttemptState::Running {
+                        match a.device {
+                            Device::Cpu => {
+                                cpu_busy.insert(a.slot);
+                            }
+                            Device::Gpu => {
+                                gpu_busy.insert(a.slot);
+                            }
+                        }
+                    }
+                }
+                let cpu_truth: BTreeSet<u32> = (0..self.cfg.map_slots_per_node)
+                    .filter(|s| !cpu_busy.contains(s))
+                    .collect();
+                check(nd.cpu_free == cpu_truth, &ctx, || {
+                    format!("node {n}: cpu_free {:?} != {:?}", nd.cpu_free, cpu_truth)
+                });
+                let gpu_truth: BTreeSet<u32> = (0..self.cfg.effective_gpus())
+                    .filter(|&g| !nd.gpu_dead[g as usize] && !gpu_busy.contains(&g))
+                    .collect();
+                check(nd.gpu_free == gpu_truth, &ctx, || {
+                    format!("node {n}: gpu_free {:?} != {:?}", nd.gpu_free, gpu_truth)
+                });
+                let red_busy: BTreeSet<u32> = self
+                    .running_reduces
+                    .iter()
+                    .filter(|rr| rr.node as usize == n)
+                    .map(|rr| rr.slot)
+                    .collect();
+                let red_truth: BTreeSet<u32> = (0..self.cfg.reduce_slots_per_node)
+                    .filter(|s| !red_busy.contains(s))
+                    .collect();
+                check(nd.reduce_free == red_truth, &ctx, || {
+                    format!(
+                        "node {n}: reduce_free {:?} != {:?}",
+                        nd.reduce_free, red_truth
+                    )
+                });
+            }
+        }
+        check(self.usable_nodes == usable, &ctx, || {
+            format!("usable_nodes {} != census {usable}", self.usable_nodes)
+        });
+        check(self.cluster_live_gpus == live_gpus, &ctx, || {
+            format!(
+                "cluster_live_gpus {} != census {live_gpus}",
+                self.cluster_live_gpus
+            )
+        });
+
+        // Per-node live-attempt sets and the GPU driver queues — one pass
+        // over the attempt table builds every node's ground truth.
+        let mut attempts_truth: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); self.nodes.len()];
+        for (ai, a) in self.attempts.iter().enumerate() {
+            if a.live() {
+                attempts_truth[a.node as usize].insert(ai);
+            }
+            if a.state == AttemptState::Queued {
+                check(
+                    self.nodes[a.node as usize].gpu_queue.contains(&ai),
+                    &ctx,
+                    || format!("queued attempt {ai} missing from node {} gpu_queue", a.node),
+                );
+            }
+        }
+        for (n, set) in self.node_attempts.iter().enumerate() {
+            check(*set == attempts_truth[n], &ctx, || {
+                format!("node {n}: node_attempts {set:?} != {:?}", attempts_truth[n])
+            });
+        }
+
+        // Task bookkeeping: completion census, winner placement, the
+        // speculation pool, and queue/liveness totality.
+        let done_count = self.tasks.iter().filter(|t| t.done).count();
+        check(self.maps_done == done_count, &ctx, || {
+            format!("maps_done {} != census {done_count}", self.maps_done)
+        });
+        check(
+            self.reduces_done == self.stats.completed_reduces(),
+            &ctx,
+            || {
+                format!(
+                    "reduces_done {} != stats {}",
+                    self.reduces_done,
+                    self.stats.completed_reduces()
+                )
+            },
+        );
+        let mut winners_truth: Vec<BTreeSet<u32>> = vec![BTreeSet::new(); self.nodes.len()];
+        for (t, ts) in self.tasks.iter().enumerate() {
+            if let (true, Some(w)) = (ts.done, ts.winner_node) {
+                winners_truth[w as usize].insert(t as u32);
+            }
+        }
+        for (n, nw) in self.node_winners.iter().enumerate() {
+            check(*nw == winners_truth[n], &ctx, || {
+                format!("node {n}: node_winners {nw:?} != {:?}", winners_truth[n])
+            });
+        }
+        let undone_truth: BTreeSet<u32> = (0..self.tasks.len() as u32)
+            .filter(|&t| {
+                !self.tasks[t as usize].done
+                    && self.tasks[t as usize]
+                        .attempts
+                        .iter()
+                        .any(|&ai| self.attempts[ai].live())
+            })
+            .collect();
+        check(self.undone_live == undone_truth, &ctx, || {
+            format!("undone_live {:?} != {undone_truth:?}", self.undone_live)
+        });
+        for t in 0..self.tasks.len() as u32 {
+            let ts = &self.tasks[t as usize];
+            let has_live = ts.attempts.iter().any(|&ai| self.attempts[ai].live());
+            if self.pending.contains(t) {
+                check(!ts.done && !has_live, &ctx, || {
+                    format!("task {t} pending while done={} live={has_live}", ts.done)
+                });
+            } else if !self.jt_down {
+                // Totality: an undone task with no live attempt must be
+                // queued (while the master is up to queue it).
+                check(ts.done || has_live, &ctx, || {
+                    format!("task {t} is neither done, live, nor pending")
+                });
+            }
+        }
+
+        // PendingIndex locality views against a fresh recomputation — one
+        // pass over the queue × replicas builds every view's ground truth.
+        let mut by_node_truth: Vec<BTreeSet<(u64, u32)>> =
+            vec![BTreeSet::new(); self.pending.by_node.len()];
+        let mut by_rack_truth: Vec<BTreeSet<(u64, u32)>> =
+            vec![BTreeSet::new(); self.pending.by_rack.len()];
+        for &(seq, t) in &self.pending.queue {
+            for rep in &self.job.maps[t as usize].replicas {
+                let n = rep.0 as usize;
+                if n < self.nodes.len() && self.nodes[n].alive {
+                    by_node_truth[n].insert((seq, t));
+                    by_rack_truth[self.topo.rack_of(*rep).0 as usize].insert((seq, t));
+                }
+            }
+        }
+        for (n, view) in self.pending.by_node.iter().enumerate() {
+            check(*view == by_node_truth[n], &ctx, || {
+                format!("pending.by_node[{n}] {view:?} != {:?}", by_node_truth[n])
+            });
+        }
+        for (r, view) in self.pending.by_rack.iter().enumerate() {
+            check(*view == by_rack_truth[r], &ctx, || {
+                format!("pending.by_rack[{r}] {view:?} != {:?}", by_rack_truth[r])
+            });
+        }
+        for t in 0..self.tasks.len() as u32 {
+            let in_queue = self.pending.seq_of[t as usize]
+                .map(|s| self.pending.queue.contains(&(s, t)))
+                .unwrap_or(false);
+            check(in_queue == self.pending.contains(t), &ctx, || {
+                format!("task {t}: seq_of/queue views disagree")
+            });
+        }
+
+        // The lazy expiry heap must cover every not-yet-declared node
+        // whenever expiry is armed, or a silent tracker could escape
+        // detection forever.
+        if (self.planned_crashes > 0 || self.silencing_faults) && !self.jt_down {
+            let covered: HashSet<u32> = self.expiry.iter().map(|e| e.node).collect();
+            for (n, nd) in self.nodes.iter().enumerate() {
+                if !nd.dead_declared {
+                    check(covered.contains(&(n as u32)), &ctx, || {
+                        format!("node {n} not covered by any expiry-heap entry")
+                    });
+                }
+            }
+        }
+    }
 }
 
 /// A reduce that started shuffling at `start` completes its shuffle+merge
@@ -1531,23 +2105,7 @@ mod tests {
 
     /// The Fig. 3 scenario: 19 tasks, one 6x GPU, two CPU slots, one node.
     fn fig3_cluster(s: Scheduler) -> ClusterConfig {
-        ClusterConfig {
-            num_slaves: 1,
-            nodes_per_rack: 1,
-            map_slots_per_node: 2,
-            reduce_slots_per_node: 0,
-            gpus_per_node: 1,
-            heartbeat_s: 0.01,
-            scheduler: s,
-            reduce_start_frac: 0.2,
-            speculative: false,
-            speculative_lag: 0.2,
-            shuffle_bw: 1e9,
-            max_attempts: 4,
-            heartbeat_timeout_s: 3.0,
-            faults: FaultPlan::none(),
-            trace: crate::config::TraceConfig::default(),
-        }
+        ClusterConfig::fig3(s)
     }
 
     fn fig3_job() -> JobSpec {

@@ -108,6 +108,19 @@ pub struct JobStats {
     pub checksum_failures: u32,
     /// Running reduce attempts lost to node death and re-queued.
     pub reduce_attempts_lost: u32,
+    /// JobTracker crash-stops taken (master failures, not node failures).
+    pub jobtracker_crashes_seen: u32,
+    /// `(recovered_at_s, journal_records_replayed)` per master recovery.
+    pub jobtracker_recoveries: Vec<(f64, u64)>,
+    /// Falsely-expired trackers re-admitted after a partition healed.
+    pub nodes_readmitted: u32,
+    /// Heartbeats that never reached the JobTracker (partition window or
+    /// the per-beat loss die).
+    pub heartbeats_lost: u32,
+    /// Total records the master journaled over the run.
+    pub journal_records: u64,
+    /// Journal snapshot compactions taken over the run.
+    pub journal_snapshots: u64,
     /// Whether the job aborted (a task exhausted `max_attempts`, or no
     /// live node remained to finish the work).
     pub aborted: bool,
@@ -137,6 +150,12 @@ impl JobStats {
             gpu_faults_seen: 0,
             checksum_failures: 0,
             reduce_attempts_lost: 0,
+            jobtracker_crashes_seen: 0,
+            jobtracker_recoveries: Vec::new(),
+            nodes_readmitted: 0,
+            heartbeats_lost: 0,
+            journal_records: 0,
+            journal_snapshots: 0,
             aborted: false,
             reduces_finished: Vec::new(),
             reduce_done_set: HashSet::new(),
@@ -275,6 +294,18 @@ impl JobStats {
             "faults.reduce_attempts_lost",
             u64::from(self.reduce_attempts_lost),
         );
+        m.set(
+            "faults.jobtracker_crashes",
+            u64::from(self.jobtracker_crashes_seen),
+        );
+        m.set(
+            "faults.jobtracker_recoveries",
+            self.jobtracker_recoveries.len() as u64,
+        );
+        m.set("faults.nodes_readmitted", u64::from(self.nodes_readmitted));
+        m.set("faults.heartbeats_lost", u64::from(self.heartbeats_lost));
+        m.set("journal.records", self.journal_records);
+        m.set("journal.snapshots", self.journal_snapshots);
         m.set("speculation.attempts", u64::from(self.speculative_attempts));
         m.set("speculation.wasted_s", self.speculative_wasted_s);
         m.set("waste.total_s", self.wasted_work_s);

@@ -83,6 +83,40 @@ fn assert_stats_identical(a: &JobStats, b: &JobStats, ctx: &str) {
         a.reduce_attempts_lost, b.reduce_attempts_lost,
         "{ctx}: reduce_attempts_lost"
     );
+    assert_eq!(
+        a.jobtracker_crashes_seen, b.jobtracker_crashes_seen,
+        "{ctx}: jobtracker_crashes_seen"
+    );
+    assert_eq!(
+        a.jobtracker_recoveries.len(),
+        b.jobtracker_recoveries.len(),
+        "{ctx}: jobtracker_recoveries count"
+    );
+    for (i, (x, y)) in a
+        .jobtracker_recoveries
+        .iter()
+        .zip(&b.jobtracker_recoveries)
+        .enumerate()
+    {
+        f(x.0, y.0, &format!("jobtracker_recoveries[{i}].t"));
+        assert_eq!(x.1, y.1, "{ctx}: jobtracker_recoveries[{i}].records");
+    }
+    assert_eq!(
+        a.nodes_readmitted, b.nodes_readmitted,
+        "{ctx}: nodes_readmitted"
+    );
+    assert_eq!(
+        a.heartbeats_lost, b.heartbeats_lost,
+        "{ctx}: heartbeats_lost"
+    );
+    assert_eq!(
+        a.journal_records, b.journal_records,
+        "{ctx}: journal_records"
+    );
+    assert_eq!(
+        a.journal_snapshots, b.journal_snapshots,
+        "{ctx}: journal_snapshots"
+    );
     assert_eq!(a.aborted, b.aborted, "{ctx}: aborted");
     assert_eq!(
         a.node_loss_detected.len(),
@@ -123,7 +157,13 @@ fn assert_stats_identical(a: &JobStats, b: &JobStats, ctx: &str) {
 
 /// Run both implementations on `(cfg, job)` and require identical stats
 /// and byte-identical trace JSON.
+///
+/// The per-event invariant auditor is switched off here: these tests are
+/// about sim/reference bit-equality, and full-state audits after every
+/// event make the sweep ~100× slower. `tests/invariants.rs` runs the
+/// same random generator with the auditor on.
 fn check(cfg: &ClusterConfig, job: &JobSpec, ctx: &str) {
+    hetero_cluster::audit::set_enabled(false);
     let a = simulate(cfg, job);
     let b = simulate_reference(cfg, job);
     assert_stats_identical(&a, &b, ctx);
@@ -151,11 +191,7 @@ fn check(cfg: &ClusterConfig, job: &JobSpec, ctx: &str) {
 }
 
 fn fig3_cluster(s: Scheduler) -> ClusterConfig {
-    let mut cfg = ClusterConfig::small(1, s);
-    cfg.nodes_per_rack = 1;
-    cfg.reduce_slots_per_node = 0;
-    cfg.heartbeat_s = 0.01;
-    cfg
+    ClusterConfig::fig3(s)
 }
 
 const SCHEDULERS: [Scheduler; 3] = [
@@ -199,6 +235,7 @@ fn fault_storm_all_schedulers() {
             gpu_faults: vec![(0, 0, 3.0), (2, 0, 7.0), (4, 0, 11.0)],
             corrupt_task_inputs: vec![2, 17, 33, 61],
             stragglers: vec![(5, 3.0), (7, 1.7)],
+            ..FaultPlan::none()
         };
         let mut job = JobSpec::uniform("storm", 200, 8, 3, 3.0, 0.6);
         job.reduces = (0..6)
@@ -287,6 +324,34 @@ fn random_case(seed: u64) -> (ClusterConfig, JobSpec) {
             faults.corrupt_task_inputs.push(t);
         }
     }
+    // Fault-model v2: master crashes, correlated rack failures, partition
+    // windows, and per-beat heartbeat loss/jitter.
+    if rng.next().is_multiple_of(2) {
+        for _ in 0..rng.range(1, 2) {
+            faults.jobtracker_crashes.push(0.5 + 25.0 * rng.unit());
+        }
+    }
+    let num_racks = num_nodes.div_ceil(cfg.nodes_per_rack);
+    if num_racks > 1 && rng.next().is_multiple_of(4) {
+        let r = rng.range(0, num_racks as u64 - 1) as u32;
+        faults.rack_failures.push((r, 2.0 + 18.0 * rng.unit()));
+    }
+    if rng.next().is_multiple_of(3) {
+        let members: Vec<u32> = (0..num_nodes)
+            .filter(|_| rng.next().is_multiple_of(3))
+            .collect();
+        if !members.is_empty() {
+            let start = 1.0 + 10.0 * rng.unit();
+            let end = start + 0.5 + 6.0 * rng.unit();
+            faults.partitions.push((members, start, end));
+        }
+    }
+    if rng.next().is_multiple_of(3) {
+        faults.heartbeat_loss_p = 0.3 * rng.unit();
+    }
+    if rng.next().is_multiple_of(4) {
+        faults.heartbeat_jitter_s = 0.5 * cfg.heartbeat_s * rng.unit();
+    }
     cfg.faults = faults;
     (cfg, job)
 }
@@ -306,6 +371,7 @@ proptest::proptest! {
     /// schedules identically under both implementations.
     #[test]
     fn prop_indexed_matches_reference(seed in 1_000u64..100_000) {
+        hetero_cluster::audit::set_enabled(false);
         let (cfg, job) = random_case(seed);
         let a = simulate(&cfg, &job);
         let b = simulate_reference(&cfg, &job);

@@ -175,4 +175,50 @@ mod tests {
         let plain = run_functional_job(app.as_ref(), &p, &input, 0, OptFlags::all()).unwrap();
         assert_eq!(r.job.output, plain.output);
     }
+
+    /// ISSUE 7 acceptance: a JobTracker crash mid-job recovers and the
+    /// final job output is byte-identical to an uninterrupted run — the
+    /// journal replay preserved every completed map and the re-resolved
+    /// in-flight attempts changed scheduling, not data.
+    #[test]
+    fn jobtracker_crash_preserves_output_bytes() {
+        let app = hetero_apps::app_by_code("WC").unwrap();
+        let p = Preset::cluster1();
+        let input = app.generate_split(6000, 23);
+        let mut cfg = ClusterConfig::small(4, Scheduler::GpuFirst);
+        cfg.gpus_per_node = 1;
+        let dev = Device::new(p.gpu.clone());
+        let pool = ParallelRunner::new(4);
+        let run = |cfg: &ClusterConfig| {
+            run_cluster_functional_job(
+                app.as_ref(),
+                &p,
+                &input,
+                cfg,
+                OptFlags::all(),
+                &dev,
+                &Tracer::off(),
+                &pool,
+            )
+            .unwrap()
+        };
+        let clean = run(&cfg);
+        assert!(!clean.stats.aborted);
+        // Crash the master at several points across the clean makespan
+        // (including during the heavy map phase) plus a node loss.
+        for frac in [0.2, 0.5, 0.8] {
+            let mut faulty = cfg.clone();
+            faulty.faults = hetero_cluster::FaultPlan::seeded(13)
+                .with_jobtracker_crash(frac * clean.stats.makespan_s)
+                .with_node_crash(2, 0.7 * clean.stats.makespan_s);
+            let r = run(&faulty);
+            assert_eq!(r.stats.jobtracker_crashes_seen, 1, "crash@{frac}");
+            assert_eq!(r.stats.jobtracker_recoveries.len(), 1, "crash@{frac}");
+            assert!(!r.stats.aborted, "crash@{frac}");
+            assert_eq!(
+                r.job.output, clean.job.output,
+                "crash@{frac}: output bytes diverged after master recovery"
+            );
+        }
+    }
 }

@@ -45,6 +45,7 @@ impl Preset {
                 shuffle_bw: 6e9, // FDR InfiniBand
                 max_attempts: 4,
                 heartbeat_timeout_s: 3.0,
+                jobtracker_recovery_s: 2.0,
                 faults: FaultPlan::none(),
                 trace: TraceConfig::default(),
             },
@@ -75,6 +76,7 @@ impl Preset {
                 shuffle_bw: 4e9, // QDR InfiniBand
                 max_attempts: 4,
                 heartbeat_timeout_s: 3.0,
+                jobtracker_recovery_s: 2.0,
                 faults: FaultPlan::none(),
                 trace: TraceConfig::default(),
             },

@@ -22,6 +22,11 @@ pub enum Category {
     Pcie,
     /// An HDFS fileSplit/block read.
     Hdfs,
+    /// Master (JobTracker) recovery: journal replay, re-registration,
+    /// and re-admission of falsely-expired trackers.
+    Recovery,
+    /// Network-partition effects (dropped heartbeats, window heals).
+    Partition,
 }
 
 impl Category {
@@ -36,6 +41,8 @@ impl Category {
             Category::Kernel => "kernel",
             Category::Pcie => "pcie",
             Category::Hdfs => "hdfs",
+            Category::Recovery => "recovery",
+            Category::Partition => "partition",
         }
     }
 }

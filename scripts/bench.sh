@@ -32,7 +32,18 @@ cargo bench -p hetero-bench --bench scheduler --bench kernels --bench sort
 echo "== scale sweep (--bin scale)"
 cargo run --release -q -p hetero-bench --bin scale -- "${SCALE_ARGS[@]}"
 
-echo "== summarize -> BENCH_scheduler.json, BENCH_kernels.json"
+CHAOS_ARGS=()
+if [[ $QUICK == 1 ]]; then
+  CHAOS_ARGS+=(--smoke)
+fi
+
+echo "== chaos sweep (--bin chaos, audited)"
+HETERO_AUDIT=1 cargo run --release -q -p hetero-bench --features audit --bin chaos -- "${CHAOS_ARGS[@]}"
+
+echo "== fault-injection study (--bin faults)"
+cargo run --release -q -p hetero-bench --bin faults
+
+echo "== summarize -> BENCH_scheduler.json, BENCH_kernels.json, BENCH_faults.json"
 cargo run --release -q -p hetero-bench --bin benchsum
 
 echo "Bench run complete."

@@ -23,4 +23,7 @@ cargo run -q -p hetero-bench --bin heterolint -- --expect-findings crates/cc/tes
 echo "== DES scale smoke (1k nodes / 100k tasks under a wall-clock budget)"
 cargo run --release -q -p hetero-bench --bin scale -- --smoke
 
+echo "== chaos smoke (audited fault sweep: no hang, no lost task, 0 violations)"
+HETERO_AUDIT=1 cargo run --release -q -p hetero-bench --features audit --bin chaos -- --smoke
+
 echo "All checks passed."
