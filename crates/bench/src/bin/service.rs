@@ -1,0 +1,271 @@
+//! Multi-tenant service load sweep: offered load vs latency on a
+//! 1000-node cluster, driven through the knee of the latency-vs-load
+//! curve (EXPERIMENTS.md "Latency vs load").
+//!
+//! The sweep calibrates the cluster's job-throughput capacity from the
+//! workload's own shapes (mean node-seconds per job), then replays a
+//! seeded Poisson arrival trace at fixed fractions of that capacity.
+//! Each point reports completed/rejected jobs, per-tenant p50/p99
+//! wait and latency, and mean node-grant utilization.
+//!
+//! `results/service.json` contains **simulated quantities only** (no
+//! wall-clock), so a fixed seed reproduces it byte-for-byte. Wall time
+//! goes to stdout and, in `--smoke` mode, gates a wall-clock budget.
+//!
+//! Modes:
+//!
+//! * default — 6 load points × 200 jobs, 1000 nodes (< 60 s wall);
+//! * `--quick` — 5 points × 120 jobs (CI's bench job);
+//! * `--smoke` — 1 point × 60 jobs under a wall-clock budget (default
+//!   30 s, `--budget-s N`); exits non-zero on overrun.
+use hetero_bench::{json_array, JsonObj};
+use hetero_cluster::{
+    generate_workload, run_service, simulate, AdmissionControl, ArrivalProcess, ClusterConfig,
+    JobRequest, Scheduler, ServiceConfig, ServiceStats, TenantSpec, WorkloadConfig,
+};
+use std::time::Instant;
+
+const SEED: u64 = 0xD00B;
+
+/// The shared 1000-node cluster (scale.rs's shape) and its tenants:
+/// a heavy ETL tenant, a medium analytics tenant, and a light ad-hoc
+/// tenant, with 3:2:1 fair-share weights and sliced grants.
+fn service_config(nodes: u32) -> ServiceConfig {
+    let mut cluster = ClusterConfig::small(nodes, Scheduler::TailScheduling);
+    cluster.map_slots_per_node = 4;
+    cluster.nodes_per_rack = 16;
+    cluster.heartbeat_s = 1.0;
+    cluster.heartbeat_timeout_s = 10.0;
+    let slice = |frac: u32| (nodes / frac).max(1);
+    ServiceConfig {
+        cluster,
+        tenants: vec![
+            TenantSpec::new("etl", 3.0).with_nodes_per_job(slice(10)),
+            TenantSpec::new("analytics", 2.0).with_nodes_per_job(slice(20)),
+            TenantSpec::new("adhoc", 1.0).with_nodes_per_job(slice(50)),
+        ],
+        admission: AdmissionControl::default(),
+    }
+}
+
+fn workload(svc: &ServiceConfig, rate_per_s: f64, num_jobs: u32) -> Vec<JobRequest> {
+    generate_workload(
+        &WorkloadConfig {
+            seed: SEED,
+            num_jobs,
+            arrivals: ArrivalProcess::Poisson { rate_per_s },
+            transient_fail_p: 0.01,
+        },
+        svc,
+    )
+}
+
+/// Capacity calibration: mean node-seconds per job over a sample of the
+/// workload's own shapes, run contention-free on their grants. The
+/// cluster's saturation throughput is `nodes / mean_node_seconds`.
+fn capacity_jobs_per_s(svc: &ServiceConfig, sample: u32) -> f64 {
+    let jobs = workload(svc, 1.0, sample);
+    let mut node_s = 0.0;
+    for r in &jobs {
+        let t = &svc.tenants[r.tenant as usize];
+        let grant = if t.nodes_per_job == 0 {
+            svc.cluster.num_slaves
+        } else {
+            t.nodes_per_job
+        };
+        let mut cfg = svc.cluster.clone();
+        cfg.num_slaves = grant;
+        cfg.faults = r.faults.clone();
+        let st = simulate(&cfg, &r.spec);
+        node_s += grant as f64 * st.makespan_s;
+    }
+    svc.cluster.num_slaves as f64 / (node_s / jobs.len() as f64)
+}
+
+struct Point {
+    load_factor: f64,
+    rate_per_s: f64,
+    stats: ServiceStats,
+    wall_s: f64,
+}
+
+fn run_point(svc: &ServiceConfig, load_factor: f64, capacity: f64, num_jobs: u32) -> Point {
+    let rate = capacity * load_factor;
+    let jobs = workload(svc, rate, num_jobs);
+    let start = Instant::now();
+    let stats = run_service(svc, &jobs).expect("valid service config");
+    Point {
+        load_factor,
+        rate_per_s: rate,
+        stats,
+        wall_s: start.elapsed().as_secs_f64(),
+    }
+}
+
+/// Overall p99 latency of a point (all tenants pooled, nearest-rank).
+fn p99_latency(stats: &ServiceStats) -> f64 {
+    let mut lats: Vec<f64> = stats.jobs.iter().map(|j| j.latency_s()).collect();
+    lats.sort_by(f64::total_cmp);
+    if lats.is_empty() {
+        return 0.0;
+    }
+    let rank = (0.99 * lats.len() as f64).ceil() as usize;
+    lats[rank.clamp(1, lats.len()) - 1]
+}
+
+/// The saturation knee: the first sweep point whose pooled p99 latency
+/// exceeds 3× the lightest point's (queueing delay has taken over), or
+/// the last point when the sweep never gets there.
+fn knee_index(points: &[Point]) -> usize {
+    let base = p99_latency(&points[0].stats).max(1e-9);
+    points
+        .iter()
+        .position(|p| p99_latency(&p.stats) > 3.0 * base)
+        .unwrap_or(points.len() - 1)
+}
+
+fn point_json(p: &Point) -> String {
+    JsonObj::new()
+        .float("load_factor", p.load_factor)
+        .float("offered_jobs_per_s", p.rate_per_s)
+        .int("completed", p.stats.jobs.len() as u64)
+        .int("rejected", p.stats.rejections.len() as u64)
+        .float("p99_latency_s", p99_latency(&p.stats))
+        .float("mean_utilization", p.stats.mean_utilization)
+        .float("makespan_s", p.stats.makespan_s)
+        .raw(
+            "tenants",
+            json_array(p.stats.tenants.iter().map(|t| {
+                JsonObj::new()
+                    .str("name", &t.name)
+                    .int("completed", u64::from(t.completed))
+                    .int("rejected", u64::from(t.rejected))
+                    .float("p50_wait_s", t.p50_wait_s)
+                    .float("p99_wait_s", t.p99_wait_s)
+                    .float("p50_latency_s", t.p50_latency_s)
+                    .float("p99_latency_s", t.p99_latency_s)
+                    .float("mean_latency_s", t.mean_latency_s)
+                    .build()
+            })),
+        )
+        .build()
+}
+
+fn flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}
+
+fn flag_value(name: &str) -> Option<String> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == name {
+            return args.next();
+        }
+        if let Some(v) = a.strip_prefix(&format!("{name}=")) {
+            return Some(v.to_string());
+        }
+    }
+    None
+}
+
+fn main() {
+    let _threads = hetero_bench::threads_from_args();
+
+    if flag("--smoke") {
+        let budget_s: f64 = flag_value("--budget-s")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(30.0);
+        let svc = service_config(1_000);
+        let start = Instant::now();
+        let capacity = capacity_jobs_per_s(&svc, 8);
+        let p = run_point(&svc, 1.0, capacity, 60);
+        let wall_s = start.elapsed().as_secs_f64();
+        println!(
+            "service smoke: 60 jobs at capacity ({:.3} jobs/s) on 1000 nodes in {wall_s:.2}s \
+             wall (budget {budget_s}s): {} completed, p99 latency {:.1}s, util {:.2}",
+            capacity,
+            p.stats.jobs.len(),
+            p99_latency(&p.stats),
+            p.stats.mean_utilization
+        );
+        assert!(
+            !p.stats.jobs.is_empty(),
+            "service smoke completed zero jobs"
+        );
+        if wall_s > budget_s {
+            eprintln!(
+                "service smoke FAILED: {wall_s:.2}s wall exceeds the {budget_s}s budget — \
+                 the service or scheduler hot path has regressed"
+            );
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    let (factors, jobs_per_point): (&[f64], u32) = if flag("--quick") {
+        (&[0.4, 0.8, 1.2, 1.6, 2.0], 120)
+    } else {
+        (&[0.25, 0.5, 0.75, 1.0, 1.25, 1.5, 1.75, 2.0], 200)
+    };
+
+    let svc = service_config(1_000);
+    let t0 = Instant::now();
+    let capacity = capacity_jobs_per_s(&svc, 24);
+    println!(
+        "service load sweep — 1000 nodes, 3 tenants (etl/analytics/adhoc 3:2:1), \
+         calibrated capacity {capacity:.3} jobs/s"
+    );
+    println!(
+        "{:>6} {:>12} {:>10} {:>9} {:>14} {:>10} {:>9}",
+        "load", "jobs/s", "completed", "rejected", "p99 latency s", "util", "wall s"
+    );
+    let mut points = Vec::new();
+    for &f in factors {
+        let p = run_point(&svc, f, capacity, jobs_per_point);
+        println!(
+            "{:>6.2} {:>12.3} {:>10} {:>9} {:>14.1} {:>10.3} {:>9.2}",
+            p.load_factor,
+            p.rate_per_s,
+            p.stats.jobs.len(),
+            p.stats.rejections.len(),
+            p99_latency(&p.stats),
+            p.stats.mean_utilization,
+            p.wall_s
+        );
+        points.push(p);
+    }
+    let wall_s = t0.elapsed().as_secs_f64();
+
+    let knee = knee_index(&points);
+    println!(
+        "\nsaturation knee at load factor {:.2} ({:.3} jobs/s): p99 latency {:.1}s, \
+         utilization {:.3}",
+        points[knee].load_factor,
+        points[knee].rate_per_s,
+        p99_latency(&points[knee].stats),
+        points[knee].stats.mean_utilization
+    );
+    println!("total wall: {wall_s:.1}s");
+
+    // Simulated quantities only — byte-identical across runs.
+    std::fs::create_dir_all("results").expect("create results/");
+    let json = JsonObj::new()
+        .str("experiment", "service")
+        .int("nodes", 1_000)
+        .int("jobs_per_point", jobs_per_point as u64)
+        .int("seed", SEED)
+        .float("capacity_jobs_per_s", capacity)
+        .raw("sweep", json_array(points.iter().map(point_json)))
+        .raw(
+            "knee",
+            JsonObj::new()
+                .float("load_factor", points[knee].load_factor)
+                .float("offered_jobs_per_s", points[knee].rate_per_s)
+                .float("p99_latency_s", p99_latency(&points[knee].stats))
+                .float("mean_utilization", points[knee].stats.mean_utilization)
+                .build(),
+        )
+        .build();
+    std::fs::write("results/service.json", json + "\n").expect("write results/service.json");
+    println!("wrote results/service.json");
+}

@@ -399,6 +399,57 @@ impl ClusterConfig {
             self.gpus_per_node
         }
     }
+
+    /// Number of racks the cluster's topology will have.
+    pub fn num_racks(&self) -> u32 {
+        self.num_slaves.div_ceil(self.nodes_per_rack.max(1))
+    }
+
+    /// Validate the configuration (and its embedded [`FaultPlan`])
+    /// before a run. Both simulators call this at start; the service
+    /// admission path calls it per job and turns an `Err` into a
+    /// rejection instead of a panic.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.num_slaves == 0 {
+            return Err(ConfigError("num_slaves must be positive".into()));
+        }
+        if self.nodes_per_rack == 0 {
+            return Err(ConfigError("nodes_per_rack must be positive".into()));
+        }
+        if !self.heartbeat_s.is_finite() || self.heartbeat_s <= 0.0 {
+            return Err(ConfigError(format!(
+                "heartbeat_s {} must be finite and positive",
+                self.heartbeat_s
+            )));
+        }
+        if !self.heartbeat_timeout_s.is_finite() || self.heartbeat_timeout_s <= 0.0 {
+            return Err(ConfigError(format!(
+                "heartbeat_timeout_s {} must be finite and positive",
+                self.heartbeat_timeout_s
+            )));
+        }
+        self.faults
+            .validate(self.num_slaves, self.num_racks(), self.gpus_per_node)?;
+        Ok(())
+    }
+}
+
+/// A [`ClusterConfig`] that failed validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError(pub String);
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid ClusterConfig: {}", self.0)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl From<FaultPlanError> for ConfigError {
+    fn from(e: FaultPlanError) -> Self {
+        ConfigError(e.to_string())
+    }
 }
 
 #[cfg(test)]
@@ -517,6 +568,48 @@ mod tests {
         assert!(p.validate(4, 1, 2).is_ok());
         let p = FaultPlan::none().with_gpu_fault(0, 1, 1.0);
         assert!(p.validate(4, 1, 0).is_err());
+    }
+
+    #[test]
+    fn config_validate_covers_cluster_shape_and_faults() {
+        assert!(ClusterConfig::small(4, Scheduler::GpuFirst)
+            .validate()
+            .is_ok());
+
+        let mut c = ClusterConfig::small(4, Scheduler::GpuFirst);
+        c.num_slaves = 0;
+        let msg = c.validate().expect_err("0 slaves").to_string();
+        assert!(msg.contains("num_slaves"), "{msg}");
+        assert!(msg.contains("invalid ClusterConfig"), "{msg}");
+
+        let mut c = ClusterConfig::small(4, Scheduler::GpuFirst);
+        c.nodes_per_rack = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = ClusterConfig::small(4, Scheduler::GpuFirst);
+        c.heartbeat_s = 0.0;
+        assert!(c.validate().is_err());
+        c.heartbeat_s = f64::NAN;
+        assert!(c.validate().is_err());
+
+        let mut c = ClusterConfig::small(4, Scheduler::GpuFirst);
+        c.heartbeat_timeout_s = -1.0;
+        assert!(c.validate().is_err());
+
+        // Fault-plan errors surface through the config error.
+        let mut c = ClusterConfig::small(4, Scheduler::GpuFirst);
+        c.faults = FaultPlan::none().with_node_crash(9, 1.0);
+        let msg = c.validate().expect_err("oob crash").to_string();
+        assert!(msg.contains("out of range"), "{msg}");
+    }
+
+    #[test]
+    fn num_racks_matches_topology_rule() {
+        let mut c = ClusterConfig::small(9, Scheduler::CpuOnly);
+        c.nodes_per_rack = 4;
+        assert_eq!(c.num_racks(), 3);
+        c.num_slaves = 8;
+        assert_eq!(c.num_racks(), 2);
     }
 
     #[test]

@@ -44,11 +44,12 @@ impl JobSpec {
     /// Uniform job helper: `n` map tasks of fixed durations, replicas
     /// spread round-robin over `num_nodes` (replication `repl`).
     pub fn uniform(name: &str, n: u32, num_nodes: u32, repl: u32, cpu_s: f64, gpu_s: f64) -> Self {
+        let nodes = num_nodes.max(1);
         let maps = (0..n)
             .map(|i| MapTaskSpec {
                 id: i,
                 replicas: (0..repl.max(1))
-                    .map(|r| NodeId((i + r * 7) % num_nodes))
+                    .map(|r| NodeId((i + r * 7) % nodes))
                     .collect(),
                 cpu_s,
                 gpu_s,
@@ -91,5 +92,14 @@ mod tests {
         assert!(j.maps.iter().all(|m| m.replicas.len() == 3));
         assert!((j.total_cpu_work_s() - 60.0).abs() < 1e-9);
         assert!((j.mean_speedup() - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uniform_tolerates_zero_nodes() {
+        // Regression: `num_nodes = 0` used to divide by zero in the
+        // round-robin replica placement.
+        let j = JobSpec::uniform("z", 3, 0, 2, 1.0, 1.0);
+        assert_eq!(j.maps.len(), 3);
+        assert!(j.maps.iter().all(|m| m.replicas.iter().all(|r| r.0 == 0)));
     }
 }

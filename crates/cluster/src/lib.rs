@@ -17,12 +17,18 @@ pub mod config;
 pub mod job;
 pub mod journal;
 pub mod reference;
+pub mod service;
 pub mod sim;
 pub mod stats;
 
-pub use config::{ClusterConfig, FaultPlan, FaultPlanError, Scheduler, TraceConfig};
+pub use config::{ClusterConfig, ConfigError, FaultPlan, FaultPlanError, Scheduler, TraceConfig};
 pub use job::{JobSpec, MapTaskSpec, ReduceTaskSpec};
 pub use journal::{Journal, JtRecord, RecoveredState};
 pub use reference::{simulate_reference, simulate_reference_traced};
+pub use service::{
+    generate_workload, run_service, run_service_traced, AdmissionControl, ArrivalProcess,
+    JobOutcome, JobRequest, Rejection, ServiceConfig, ServiceStats, TenantSlo, TenantSpec,
+    WorkloadConfig,
+};
 pub use sim::{simulate, simulate_hooked, simulate_traced, ExecHook};
 pub use stats::{Device, JobStats, Outcome, TaskRecord};

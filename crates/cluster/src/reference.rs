@@ -236,14 +236,11 @@ pub fn simulate_reference_traced(cfg: &ClusterConfig, job: &JobSpec, tracer: &Tr
 impl<'a> Sim<'a> {
     fn new(cfg: &'a ClusterConfig, job: &'a JobSpec, tracer: &'a Tracer) -> Self {
         let gpus = cfg.effective_gpus();
-        let num_racks = Topology::new(cfg.num_slaves, cfg.nodes_per_rack).num_racks();
-        // Physical GPU count: a fault on a GPU the scheduler ignores is
-        // valid (and harmless), but a fault on hardware that does not
-        // exist is a plan bug.
-        if let Err(e) = cfg
-            .faults
-            .validate(cfg.num_slaves, num_racks, cfg.gpus_per_node)
-        {
+        // Full config validation (cluster shape plus the fault plan —
+        // against the physical GPU count: a fault on a GPU the scheduler
+        // ignores is valid, but a fault on hardware that does not exist
+        // is a plan bug). Identical to the indexed simulator's check.
+        if let Err(e) = cfg.validate() {
             panic!("{e}");
         }
         let nodes: Vec<NodeState> = (0..cfg.num_slaves)
@@ -472,6 +469,21 @@ impl<'a> Sim<'a> {
     }
 
     fn run(&mut self) {
+        // A cluster with zero capacity for a task kind the job needs can
+        // never finish: heartbeats would re-arm forever while
+        // `work_remains()` stays true. Abort up front instead of hanging.
+        let map_capacity = self.cfg.map_slots_per_node + self.cfg.effective_gpus();
+        if (!self.job.maps.is_empty() && map_capacity == 0)
+            || (!self.job.reduces.is_empty() && self.cfg.reduce_slots_per_node == 0)
+        {
+            self.stats.aborted = true;
+            self.stats.makespan_s = self.now;
+            self.stats.map_phase_s = self.last_map_done_t;
+            self.stats.max_speedup_seen = self.max_speedup;
+            self.stats.journal_records = self.journal.records_written();
+            self.stats.journal_snapshots = self.journal.snapshots_taken();
+            return;
+        }
         while let Some(sch) = self.heap.pop() {
             let Scheduled { time, event, .. } = sch;
             self.now = time;

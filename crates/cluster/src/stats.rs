@@ -312,6 +312,77 @@ impl JobStats {
         m
     }
 
+    /// Canonical deterministic rendering of the full run record: every
+    /// field, floats by their exact bits, set-valued state in insertion
+    /// order. Two runs are bit-identical iff their fingerprints are
+    /// byte-equal — unlike `Debug`, which leaks `HashSet` iteration
+    /// order (randomized per instance by `RandomState`).
+    pub fn fingerprint(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "name={} makespan={:016x} map_phase={:016x} gpu_busy={:016x} max_speedup={:016x} \
+             locality={}/{}/{} failed={} re_exec={} spec_attempts={} spec_wasted={:016x} \
+             wasted={:016x} nodes_lost={} loss_detected={:?} gpu_faults={} checksum={} \
+             reduce_lost={} jt_crashes={} jt_recoveries={:?} readmitted={} hb_lost={} \
+             journal={}/{} aborted={}",
+            self.name,
+            self.makespan_s.to_bits(),
+            self.map_phase_s.to_bits(),
+            self.gpu_busy_s.to_bits(),
+            self.max_speedup_seen.to_bits(),
+            self.node_local,
+            self.rack_local,
+            self.off_rack,
+            self.failed_attempts,
+            self.re_executed,
+            self.speculative_attempts,
+            self.speculative_wasted_s.to_bits(),
+            self.wasted_work_s.to_bits(),
+            self.nodes_lost,
+            self.node_loss_detected,
+            self.gpu_faults_seen,
+            self.checksum_failures,
+            self.reduce_attempts_lost,
+            self.jobtracker_crashes_seen,
+            self.jobtracker_recoveries,
+            self.nodes_readmitted,
+            self.heartbeats_lost,
+            self.journal_records,
+            self.journal_snapshots,
+            self.aborted,
+        );
+        for t in &self.tasks {
+            let _ = write!(
+                s,
+                "\n task={} a={} n={} d={:?} spec={} start={:016x} end={:?} out={:?}",
+                t.id,
+                t.attempt,
+                t.node,
+                t.device,
+                t.speculative,
+                t.start_s.to_bits(),
+                t.end_s.map(f64::to_bits),
+                t.outcome,
+            );
+        }
+        for (id, t) in &self.reduces_finished {
+            let _ = write!(s, "\n reduce={id} t={:016x}", t.to_bits());
+        }
+        s
+    }
+
+    /// Total slot-seconds consumed by map attempts (winning or not) —
+    /// the service layer's currency for per-tenant usage accounting.
+    /// Attempts still running when the job ended contribute nothing.
+    pub fn busy_slot_seconds(&self) -> f64 {
+        self.tasks
+            .iter()
+            .filter_map(|t| t.end_s.map(|e| (e - t.start_s).max(0.0)))
+            .sum()
+    }
+
     /// Winning map attempts that ran on CPU slots.
     pub fn cpu_tasks(&self) -> usize {
         self.tasks
@@ -373,6 +444,18 @@ mod tests {
         assert!(s.mark_reduce_done(3, 1.0));
         assert!(!s.mark_reduce_done(3, 2.0));
         assert_eq!(s.completed_reduces(), 1);
+    }
+
+    #[test]
+    fn busy_slot_seconds_sums_finished_attempts() {
+        let mut s = JobStats::new("t");
+        let a = s.start_attempt(0, 0, 1, Device::Cpu, false, 0.0);
+        s.finish_attempt(a, 3.0, Outcome::Success);
+        let b = s.start_attempt(1, 0, 2, Device::Gpu, false, 1.0);
+        s.finish_attempt(b, 2.5, Outcome::TransientFail);
+        // Still-running attempt: excluded.
+        s.start_attempt(2, 0, 3, Device::Cpu, false, 2.0);
+        assert!((s.busy_slot_seconds() - 4.5).abs() < 1e-9);
     }
 
     #[test]

@@ -160,6 +160,68 @@ fn corrupt_input_on_rack_that_later_fails() {
     assert_eq!(audit::violations(), 0);
 }
 
+/// Concurrent-job fault storm: a multi-tenant service run where every
+/// job carries a JobTracker crash (and some a node crash) in its fault
+/// plan. Each admitted job must preserve all of its completed maps —
+/// a master crash alone never loses map output (PR 7's guarantee, here
+/// exercised under multi-tenant load) — and the per-event invariant
+/// auditor must stay clean across every inner run.
+#[test]
+fn concurrent_jobs_survive_jobtracker_crash_storm() {
+    use hetero_cluster::{run_service, AdmissionControl, JobRequest, ServiceConfig, TenantSpec};
+    let mut cluster = ClusterConfig::small(8, Scheduler::GpuFirst);
+    cluster.nodes_per_rack = 4;
+    let svc = ServiceConfig {
+        cluster,
+        tenants: vec![
+            TenantSpec::new("batch", 2.0).with_nodes_per_job(4),
+            TenantSpec::new("adhoc", 1.0).with_nodes_per_job(2),
+        ],
+        admission: AdmissionControl::default(),
+    };
+    let mut rng = Rng(0x17_5708);
+    let mut reqs = Vec::new();
+    for i in 0..16u32 {
+        let tenant = i % 2;
+        let grant = if tenant == 0 { 4 } else { 2 };
+        let mut faults =
+            FaultPlan::seeded(rng.next()).with_jobtracker_crash(0.5 + 1.5 * rng.unit());
+        if rng.next().is_multiple_of(3) {
+            // A node crash inside the grant, composed with the outage.
+            faults = faults.with_node_crash(rng.range(0, grant - 1) as u32, 2.0 + 2.0 * rng.unit());
+        }
+        let mut job = JobSpec::uniform(&format!("storm-{i}"), 24, grant as u32, 2, 4.0, 1.0);
+        job.reduces = (0..(i % 3))
+            .map(|id| ReduceTaskSpec { id, compute_s: 1.0 })
+            .collect();
+        reqs.push(JobRequest {
+            tenant,
+            arrive_s: (i as f64) * 1.5,
+            spec: job,
+            faults,
+        });
+    }
+    let before = audit::violations();
+    let stats = run_service(&svc, &reqs).unwrap();
+    assert!(stats.rejections.is_empty(), "{:?}", stats.rejections);
+    assert_eq!(stats.jobs.len(), 16);
+    for j in &stats.jobs {
+        assert!(
+            j.stats.jobtracker_crashes_seen >= 1,
+            "{}: storm did not land",
+            j.name
+        );
+        assert!(!j.stats.aborted, "{}: aborted", j.name);
+        assert_eq!(
+            j.stats.completed_maps(),
+            24,
+            "{}: lost completed maps under the master crash",
+            j.name
+        );
+    }
+    assert_eq!(audit::violations(), before);
+}
+
 proptest::proptest! {
     /// Random kill/partition/outage sequences keep the auditor clean:
     /// `simulate` runs with the per-event invariant audit enabled (test

@@ -27,6 +27,9 @@ pub enum Category {
     Recovery,
     /// Network-partition effects (dropped heartbeats, window heals).
     Partition,
+    /// Multi-tenant job-service lifecycle (arrival, admission, launch,
+    /// completion, rejection) and per-tenant fair-share decisions.
+    Service,
 }
 
 impl Category {
@@ -43,6 +46,7 @@ impl Category {
             Category::Hdfs => "hdfs",
             Category::Recovery => "recovery",
             Category::Partition => "partition",
+            Category::Service => "service",
         }
     }
 }
@@ -152,5 +156,6 @@ mod tests {
         assert_eq!(Category::Task.as_str(), "task");
         assert_eq!(Category::Kernel.as_str(), "kernel");
         assert_eq!(Category::Hdfs.as_str(), "hdfs");
+        assert_eq!(Category::Service.as_str(), "service");
     }
 }

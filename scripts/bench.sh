@@ -43,7 +43,15 @@ HETERO_AUDIT=1 cargo run --release -q -p hetero-bench --features audit --bin cha
 echo "== fault-injection study (--bin faults)"
 cargo run --release -q -p hetero-bench --bin faults
 
-echo "== summarize -> BENCH_scheduler.json, BENCH_kernels.json, BENCH_faults.json"
+SERVICE_ARGS=()
+if [[ $QUICK == 1 ]]; then
+  SERVICE_ARGS+=(--quick)
+fi
+
+echo "== multi-tenant service load sweep (--bin service)"
+cargo run --release -q -p hetero-bench --bin service -- "${SERVICE_ARGS[@]}"
+
+echo "== summarize -> BENCH_scheduler.json, BENCH_kernels.json, BENCH_faults.json, BENCH_service.json"
 cargo run --release -q -p hetero-bench --bin benchsum
 
 echo "Bench run complete."

@@ -26,4 +26,7 @@ cargo run --release -q -p hetero-bench --bin scale -- --smoke
 echo "== chaos smoke (audited fault sweep: no hang, no lost task, 0 violations)"
 HETERO_AUDIT=1 cargo run --release -q -p hetero-bench --features audit --bin chaos -- --smoke
 
+echo "== service smoke (multi-tenant sweep point under a wall-clock budget)"
+cargo run --release -q -p hetero-bench --bin service -- --smoke --budget-s 30
+
 echo "All checks passed."
