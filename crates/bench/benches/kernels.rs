@@ -1,6 +1,10 @@
 //! Criterion wall-clock benchmarks of the simulator's hot kernels: the
-//! map kernel with/without record stealing and the scan primitive.
+//! map kernel with/without record stealing, the scan primitive, and the
+//! two kernel-execution backends (tree-walking interpreter vs the
+//! closure-compiled native backend) on the same annotated C mapper.
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hetero_cc::backend::{make_backend, BackendKind};
+use hetero_cc::interp::StreamIo;
 use hetero_gpusim::{Device, GpuSpec};
 use hetero_runtime::map_kernel::{run_map, MapConfig};
 use hetero_runtime::record::{locate_records, Record};
@@ -77,5 +81,39 @@ fn bench_scan(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_map_kernel, bench_scan);
+/// The wordcount mapper source over a text corpus, once per backend —
+/// the apples-to-apples number behind BENCH_kernels.json's
+/// `interp_vs_native` speedup entry. Both backends must charge the same
+/// stats; the checksum keeps the work honest (and un-optimized-away).
+fn bench_kernel_backend(c: &mut Criterion) {
+    let app = hetero_apps::app_by_code("WC").unwrap();
+    let prog = hetero_cc::compile(app.mapper_source()).unwrap().program;
+    let corpus = hetero_apps::datagen::text_corpus(400, 7);
+    let lines: Vec<Vec<u8>> = corpus
+        .split(|&b| b == b'\n')
+        .filter(|l| !l.is_empty())
+        .map(|l| l.to_vec())
+        .collect();
+    let mut g = c.benchmark_group("kernel_backend");
+    for kind in [BackendKind::Interp, BackendKind::Native] {
+        let backend = make_backend(kind, &prog);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &lines,
+            |b, lines| {
+                b.iter(|| {
+                    let mut ops = 0u64;
+                    for l in lines {
+                        let mut io = StreamIo::lines(vec![l.clone()]);
+                        ops += backend.run(&mut io).unwrap().ops;
+                    }
+                    ops
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_map_kernel, bench_scan, bench_kernel_backend);
 criterion_main!(benches);

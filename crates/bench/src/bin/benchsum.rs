@@ -188,13 +188,29 @@ fn summarize(log: &str, out_dir: &str, results_dir: &str) -> Vec<String> {
                 .raw("benches", entries_json(&entries, &["des"]))
                 .raw("indexed_vs_reference", json_array(deltas))
                 .build();
-            let kernels = JsonObj::new()
-                .str("artifact", "BENCH_kernels")
-                .raw(
-                    "benches",
-                    entries_json(&entries, &["map_kernel", "scan", "indirection_sort"]),
-                )
-                .build();
+            let mut kernels_obj = JsonObj::new().str("artifact", "BENCH_kernels").raw(
+                "benches",
+                entries_json(
+                    &entries,
+                    &["map_kernel", "scan", "indirection_sort", "kernel_backend"],
+                ),
+            );
+            // Interpreter-vs-native-backend speedup on the same annotated
+            // C mapper (the kernel_backend criterion group).
+            if let (Some(i), Some(n)) = (
+                entries.get("kernel_backend/interp"),
+                entries.get("kernel_backend/native"),
+            ) {
+                kernels_obj = kernels_obj.raw(
+                    "interp_vs_native",
+                    JsonObj::new()
+                        .float("interp_s", i.mean_s)
+                        .float("native_s", n.mean_s)
+                        .float("speedup", i.mean_s / n.mean_s.max(1e-12))
+                        .build(),
+                );
+            }
+            let kernels = kernels_obj.build();
 
             let sched_path = format!("{out_dir}/BENCH_scheduler.json");
             let kern_path = format!("{out_dir}/BENCH_kernels.json");
@@ -428,5 +444,38 @@ mod tests {
         assert!(sched.contains("\"speedup\": 4"), "{sched}");
         let kern = s.read("BENCH_kernels.json");
         assert!(kern.contains("scan/1k"), "{kern}");
+    }
+
+    #[test]
+    fn kernel_backend_pair_yields_speedup_section() {
+        let s = Scratch::new("backend");
+        s.write(
+            "stub.jsonl",
+            concat!(
+                "{\"id\": \"kernel_backend/interp\", \"mean_s\": 0.08, \"iters\": 10}\n",
+                "{\"id\": \"kernel_backend/native\", \"mean_s\": 0.02, \"iters\": 10}\n",
+            ),
+        );
+        summarize(&s.path("stub.jsonl"), &s.path(""), &s.path("results"));
+        let kern = s.read("BENCH_kernels.json");
+        // Both backends fold into the benches list…
+        assert!(kern.contains("kernel_backend/interp"), "{kern}");
+        assert!(kern.contains("kernel_backend/native"), "{kern}");
+        // …and the explicit speedup entry records interp_s / native_s.
+        assert!(kern.contains("\"interp_vs_native\""), "{kern}");
+        assert!(kern.contains("\"speedup\": 4"), "{kern}");
+    }
+
+    #[test]
+    fn lone_backend_entry_omits_speedup_section() {
+        let s = Scratch::new("lone");
+        s.write(
+            "stub.jsonl",
+            "{\"id\": \"kernel_backend/native\", \"mean_s\": 0.02, \"iters\": 10}\n",
+        );
+        summarize(&s.path("stub.jsonl"), &s.path(""), &s.path("results"));
+        let kern = s.read("BENCH_kernels.json");
+        assert!(kern.contains("kernel_backend/native"), "{kern}");
+        assert!(!kern.contains("interp_vs_native"), "{kern}");
     }
 }

@@ -1,0 +1,172 @@
+//! Kernel execution backends.
+//!
+//! A [`KernelBackend`] runs a parsed MapReduce program against a
+//! [`StreamIo`] and returns [`InterpStats`]. Two implementations exist:
+//!
+//! * [`InterpBackend`] — the tree-walking interpreter
+//!   ([`crate::interp::Interp`]), the executable specification of the
+//!   C subset.
+//! * [`NativeBackend`] — the closure-compiled backend
+//!   ([`native`]): the AST is lowered **once per program** to a tree of
+//!   boxed Rust closures with names resolved to frame-slot offsets and
+//!   `printf`/`scanf` formats pre-parsed, then reused across records.
+//!
+//! The two are contractually equivalent: byte-identical stdout,
+//! identical `InterpStats` (so gpusim cost charging is bit-identical),
+//! and identical error messages. The differential test stack
+//! (`tests/differential_gen.rs`, `tests/edge_cases.rs`, and the
+//! 8-benchmark matrix in `hetero-core`) pins this contract.
+//!
+//! Select at runtime with the `HETERO_BACKEND` environment variable
+//! (`interp` or `native`); the default is `native`.
+
+pub mod native;
+
+use crate::ast::Program;
+use crate::error::CcError;
+use crate::interp::{Interp, InterpStats, StreamIo, DEFAULT_MAX_STEPS};
+
+/// A way to execute a kernel program against streaming I/O.
+pub trait KernelBackend: Send + Sync {
+    /// Run `main` to completion with an explicit evaluation-step cap.
+    fn run_capped(&self, io: &mut StreamIo, max_steps: u64) -> Result<InterpStats, CcError>;
+
+    /// Run `main` to completion with the default step cap.
+    fn run(&self, io: &mut StreamIo) -> Result<InterpStats, CcError> {
+        self.run_capped(io, DEFAULT_MAX_STEPS)
+    }
+
+    /// Short backend name (`"interp"` / `"native"`), used in traces and
+    /// bench labels.
+    fn name(&self) -> &'static str;
+}
+
+/// Which backend to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackendKind {
+    /// Tree-walking interpreter (the executable spec).
+    Interp,
+    /// Closure-compiled native backend (the default).
+    #[default]
+    Native,
+}
+
+impl BackendKind {
+    /// Parse a backend name (`"interp"`/`"interpreter"` or
+    /// `"native"`/`"compiled"`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "interp" | "interpreter" => Some(BackendKind::Interp),
+            "native" | "compiled" => Some(BackendKind::Native),
+            _ => None,
+        }
+    }
+
+    /// Read the `HETERO_BACKEND` environment variable; unset or
+    /// unrecognized values fall back to the default ([`Native`]).
+    ///
+    /// [`Native`]: BackendKind::Native
+    pub fn from_env() -> Self {
+        std::env::var("HETERO_BACKEND")
+            .ok()
+            .and_then(|v| Self::parse(&v))
+            .unwrap_or_default()
+    }
+
+    /// The backend's short name.
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendKind::Interp => "interp",
+            BackendKind::Native => "native",
+        }
+    }
+}
+
+/// Build a backend of the given kind over `prog`. The native backend
+/// compiles the whole program here, once; running it is then
+/// allocation-light per record batch.
+pub fn make_backend(kind: BackendKind, prog: &Program) -> Box<dyn KernelBackend> {
+    match kind {
+        BackendKind::Interp => Box::new(InterpBackend::new(prog.clone())),
+        BackendKind::Native => Box::new(NativeBackend::compile(prog)),
+    }
+}
+
+/// Backend that re-walks the AST with [`Interp`] on every run.
+pub struct InterpBackend {
+    prog: Program,
+}
+
+impl InterpBackend {
+    /// Wrap a parsed program.
+    pub fn new(prog: Program) -> Self {
+        InterpBackend { prog }
+    }
+}
+
+impl KernelBackend for InterpBackend {
+    fn run_capped(&self, io: &mut StreamIo, max_steps: u64) -> Result<InterpStats, CcError> {
+        Interp::new(&self.prog)
+            .with_max_steps(max_steps)
+            .run_main(io)
+    }
+
+    fn name(&self) -> &'static str {
+        "interp"
+    }
+}
+
+/// Backend that runs the closure-compiled [`native::NativeProgram`].
+pub struct NativeBackend {
+    prog: native::NativeProgram,
+}
+
+impl NativeBackend {
+    /// Lower `prog` to closures (no errors: ill-formed constructs
+    /// compile to deferred-error closures so laziness matches the
+    /// interpreter).
+    pub fn compile(prog: &Program) -> Self {
+        NativeBackend {
+            prog: native::NativeProgram::compile(prog),
+        }
+    }
+}
+
+impl KernelBackend for NativeBackend {
+    fn run_capped(&self, io: &mut StreamIo, max_steps: u64) -> Result<InterpStats, CcError> {
+        self.prog.run(io, max_steps)
+    }
+
+    fn name(&self) -> &'static str {
+        "native"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+
+    #[test]
+    fn backend_kind_parses_and_defaults() {
+        assert_eq!(BackendKind::parse("interp"), Some(BackendKind::Interp));
+        assert_eq!(BackendKind::parse("NATIVE"), Some(BackendKind::Native));
+        assert_eq!(BackendKind::parse("compiled"), Some(BackendKind::Native));
+        assert_eq!(BackendKind::parse("jit"), None);
+        assert_eq!(BackendKind::default(), BackendKind::Native);
+        assert_eq!(BackendKind::Interp.name(), "interp");
+        assert_eq!(BackendKind::Native.name(), "native");
+    }
+
+    #[test]
+    fn both_backends_run_a_trivial_program() {
+        let prog = parse("int main() { printf(\"k\\t%d\\n\", 7); return 0; }").unwrap();
+        for kind in [BackendKind::Interp, BackendKind::Native] {
+            let b = make_backend(kind, &prog);
+            let mut io = StreamIo::lines(vec![]);
+            let stats = b.run(&mut io).unwrap();
+            assert_eq!(io.stdout, b"k\t7\n", "{}", b.name());
+            assert_eq!(stats.lines_out, 1);
+        }
+    }
+}

@@ -1,0 +1,1256 @@
+//! Closure-compiled native backend.
+//!
+//! Lowers the typed AST **once per program** to a tree of boxed Rust
+//! closures, then reuses that tree across records. Relative to the
+//! interpreter the per-record work drops because compilation pre-pays:
+//!
+//! * variable names resolve to static frame-slot **offsets** (no
+//!   per-access `HashMap` lookups or scope walks),
+//! * `printf`/`scanf` format strings are parsed once into segments,
+//! * call targets (user function vs builtin, and the builtin itself)
+//!   dispatch is decided once,
+//! * 2-D strided indexing is decided from the declaration site.
+//!
+//! **Cost-parity contract.** The closures charge [`InterpStats`] at the
+//! exact points the interpreter does — one step+op per expression node
+//! evaluated, one step per statement executed (loop iterations
+//! included), `mem`/`sfu`/`records_in`/`lines_out` at identical call
+//! sites with identical amounts — and produce identical stdout bytes
+//! and identical error strings, in the same evaluation order. The
+//! shared semantic core in [`crate::interp`] (value arithmetic, heap
+//! ops, builtin bodies) is called from both backends so the contract
+//! cannot drift silently; the differential suites enforce the rest.
+//!
+//! **Laziness.** The interpreter only faults on code it actually
+//! executes, so lowering never fails: ill-formed constructs (unknown
+//! names, non-literal `printf` formats, unsized arrays...) compile to
+//! *deferred-error closures* that reproduce the interpreter's message
+//! if — and only if — the construct is reached.
+//!
+//! **Documented divergences** (outside the supported subset; the
+//! program generator never emits them, see [`crate::testgen`]):
+//! * A `&scalar` reference that escapes its function activation or is
+//!   held across a redeclaration observes different aliasing: the
+//!   interpreter never frees slots, while the native frame truncates on
+//!   return and reuses offsets across loop iterations.
+
+use crate::ast::*;
+use crate::error::CcError;
+use crate::interp::{
+    alloc_buffer, as_f64, as_int, binary, builtin_arity_err, builtin_min_args, cast, check_bounds,
+    cstr, default_value, getline_read, getline_store, leaf_type, num_add, parse_printf,
+    parse_scanf, read_buf, render_printf, run_scanf, scan_token, sfu1, store_through, str_find,
+    truthy, write_buf, write_cstr, Buffer, Flow, InterpStats, PrintfCx, ScanfCx, StreamIo, V,
+};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Runtime state of one native execution (frame slots are a single
+/// stack `Vec`; `base` is the current activation's frame start).
+pub(crate) struct Env {
+    heap: Vec<Buffer>,
+    slots: Vec<V>,
+    base: usize,
+    stats: InterpStats,
+    steps: u64,
+    max_steps: u64,
+}
+
+impl Env {
+    #[inline]
+    fn tick(&mut self) -> Result<(), CcError> {
+        self.steps += 1;
+        if self.steps > self.max_steps {
+            return Err(CcError::interp("step limit exceeded (infinite loop?)"));
+        }
+        Ok(())
+    }
+}
+
+/// A compiled expression: evaluates to a value.
+type CExpr =
+    Box<dyn Fn(&NativeProgram, &mut Env, &mut StreamIo) -> Result<V, CcError> + Send + Sync>;
+/// A compiled statement: evaluates to control flow.
+type CStmt =
+    Box<dyn Fn(&NativeProgram, &mut Env, &mut StreamIo) -> Result<Flow, CcError> + Send + Sync>;
+/// A compiled lvalue resolver: `(buffer, element offset)`.
+type CPlace = Box<
+    dyn Fn(&NativeProgram, &mut Env, &mut StreamIo) -> Result<(usize, usize), CcError>
+        + Send
+        + Sync,
+>;
+/// A compiled store: writes a value through an lvalue.
+type CStore =
+    Box<dyn Fn(&NativeProgram, &mut Env, &mut StreamIo, V) -> Result<(), CcError> + Send + Sync>;
+
+/// One lowered function.
+struct NFunc {
+    name: String,
+    nparams: usize,
+    /// Frame size: offsets are allocated monotonically per function, so
+    /// sibling scopes never alias (matching the interpreter's
+    /// never-freed slots within one activation).
+    nslots: usize,
+    body: Vec<CStmt>,
+}
+
+/// A whole program lowered to closures. Compiled once; `run` may be
+/// called many times (and from many threads — the tree is immutable).
+pub struct NativeProgram {
+    funcs: Vec<NFunc>,
+    main: Option<usize>,
+}
+
+impl NativeProgram {
+    /// Lower `prog`. Never fails: see the module docs on laziness.
+    pub fn compile(prog: &Program) -> Self {
+        // First function with a given name wins, matching
+        // `Program::func` lookup order.
+        let mut fn_indices: HashMap<String, usize> = HashMap::new();
+        for (i, f) in prog.funcs.iter().enumerate() {
+            fn_indices.entry(f.name.clone()).or_insert(i);
+        }
+        let fn_indices = Arc::new(fn_indices);
+        let funcs = prog
+            .funcs
+            .iter()
+            .map(|f| compile_func(&fn_indices, f))
+            .collect();
+        NativeProgram {
+            funcs,
+            main: fn_indices.get("main").copied(),
+        }
+    }
+
+    /// Run `main` to completion against `io` under a step cap.
+    pub fn run(&self, io: &mut StreamIo, max_steps: u64) -> Result<InterpStats, CcError> {
+        let main = self
+            .main
+            .ok_or_else(|| CcError::interp("no main function"))?;
+        let mut env = Env {
+            heap: Vec::new(),
+            slots: Vec::new(),
+            base: 0,
+            stats: InterpStats::default(),
+            steps: 0,
+            max_steps,
+        };
+        apply(self, main, Vec::new(), &mut env, io)?;
+        Ok(env.stats)
+    }
+}
+
+/// Call lowered function `fidx` with already-evaluated arguments.
+fn apply(
+    p: &NativeProgram,
+    fidx: usize,
+    args: Vec<V>,
+    env: &mut Env,
+    io: &mut StreamIo,
+) -> Result<V, CcError> {
+    let f = &p.funcs[fidx];
+    if args.len() != f.nparams {
+        return Err(CcError::interp(format!(
+            "function {} expects {} args, got {}",
+            f.name,
+            f.nparams,
+            args.len()
+        )));
+    }
+    let base = env.slots.len();
+    env.slots.resize(base + f.nslots, V::I(0));
+    let saved_base = env.base;
+    env.base = base;
+    for (i, v) in args.into_iter().enumerate() {
+        env.slots[base + i] = v;
+    }
+    let mut ret = V::I(0);
+    for s in &f.body {
+        match s(p, env, io)? {
+            Flow::Return(v) => {
+                ret = v;
+                break;
+            }
+            Flow::Normal => {}
+            _ => return Err(CcError::interp("break/continue outside loop")),
+        }
+    }
+    env.base = saved_base;
+    env.slots.truncate(base);
+    Ok(ret)
+}
+
+// ====================================================================
+// Compile-time name resolution.
+// ====================================================================
+
+#[derive(Clone, Copy)]
+struct Local {
+    off: usize,
+    is_array: bool,
+    /// Row length for `a[rows][cols]` declarations (2-D fast path).
+    stride: Option<usize>,
+}
+
+struct Cx {
+    fn_indices: Arc<HashMap<String, usize>>,
+    scopes: Vec<HashMap<String, Local>>,
+    next: usize,
+    nslots: usize,
+}
+
+impl Cx {
+    fn resolve(&self, name: &str) -> Option<Local> {
+        self.scopes.iter().rev().find_map(|s| s.get(name)).copied()
+    }
+
+    fn alloc(&mut self, name: &str, is_array: bool, stride: Option<usize>) -> usize {
+        let off = self.next;
+        self.next += 1;
+        self.nslots = self.nslots.max(self.next);
+        self.scopes.last_mut().unwrap().insert(
+            name.to_string(),
+            Local {
+                off,
+                is_array,
+                stride,
+            },
+        );
+        off
+    }
+
+    fn push_scope(&mut self) {
+        self.scopes.push(HashMap::new());
+    }
+
+    fn pop_scope(&mut self) {
+        // Offsets are NOT reused after a scope closes: a sibling scope's
+        // variables get fresh slots, like the interpreter's append-only
+        // slot vector.
+        self.scopes.pop();
+    }
+}
+
+fn compile_func(fn_indices: &Arc<HashMap<String, usize>>, f: &FuncDef) -> NFunc {
+    let mut cx = Cx {
+        fn_indices: Arc::clone(fn_indices),
+        scopes: vec![HashMap::new()],
+        next: 0,
+        nslots: 0,
+    };
+    for (_, pname) in &f.params {
+        cx.alloc(pname, false, None);
+    }
+    let body = f.body.iter().map(|s| compile_stmt(&mut cx, s)).collect();
+    NFunc {
+        name: f.name.clone(),
+        nparams: f.params.len(),
+        nslots: cx.nslots,
+        body,
+    }
+}
+
+/// An expression closure that raises `msg` when (and only when)
+/// executed — after the node's own step+op charge, like the
+/// interpreter's lazy faults.
+fn expr_err(msg: String) -> CExpr {
+    Box::new(move |_, _, _| Err(CcError::interp(msg.clone())))
+}
+
+fn store_err(msg: String) -> CStore {
+    Box::new(move |_, _, _, _| Err(CcError::interp(msg.clone())))
+}
+
+// ====================================================================
+// Statements.
+// ====================================================================
+
+fn compile_stmt(cx: &mut Cx, s: &Stmt) -> CStmt {
+    let raw: CStmt = match &s.kind {
+        StmtKind::Decl(ds) => {
+            let decls: Vec<_> = ds.iter().map(|d| compile_declarator(cx, d)).collect();
+            Box::new(move |p, env, io| {
+                for d in &decls {
+                    d(p, env, io)?;
+                }
+                Ok(Flow::Normal)
+            })
+        }
+        StmtKind::Expr(e) => {
+            let e = compile_expr(cx, e);
+            Box::new(move |p, env, io| {
+                e(p, env, io)?;
+                Ok(Flow::Normal)
+            })
+        }
+        StmtKind::While { cond, body } => {
+            let cond = compile_expr(cx, cond);
+            let body = compile_stmt(cx, body);
+            Box::new(move |p, env, io| {
+                loop {
+                    env.tick()?;
+                    if !truthy(&cond(p, env, io)?) {
+                        break;
+                    }
+                    match body(p, env, io)? {
+                        Flow::Break => break,
+                        Flow::Return(v) => return Ok(Flow::Return(v)),
+                        _ => {}
+                    }
+                }
+                Ok(Flow::Normal)
+            })
+        }
+        StmtKind::For {
+            init,
+            cond,
+            step,
+            body,
+        } => {
+            cx.push_scope();
+            let init = init.as_ref().map(|i| compile_stmt(cx, i));
+            let cond = cond.as_ref().map(|c| compile_expr(cx, c));
+            let step = step.as_ref().map(|st| compile_expr(cx, st));
+            let body = compile_stmt(cx, body);
+            cx.pop_scope();
+            Box::new(move |p, env, io| {
+                if let Some(i) = &init {
+                    // The interpreter discards the init statement's flow.
+                    i(p, env, io)?;
+                }
+                loop {
+                    env.tick()?;
+                    if let Some(c) = &cond {
+                        if !truthy(&c(p, env, io)?) {
+                            break;
+                        }
+                    }
+                    match body(p, env, io)? {
+                        Flow::Break => break,
+                        Flow::Return(v) => return Ok(Flow::Return(v)),
+                        _ => {}
+                    }
+                    if let Some(st) = &step {
+                        st(p, env, io)?;
+                    }
+                }
+                Ok(Flow::Normal)
+            })
+        }
+        StmtKind::If { cond, then, els } => {
+            let cond = compile_expr(cx, cond);
+            let then = compile_stmt(cx, then);
+            let els = els.as_ref().map(|e| compile_stmt(cx, e));
+            Box::new(move |p, env, io| {
+                if truthy(&cond(p, env, io)?) {
+                    then(p, env, io)
+                } else if let Some(e) = &els {
+                    e(p, env, io)
+                } else {
+                    Ok(Flow::Normal)
+                }
+            })
+        }
+        StmtKind::Return(e) => {
+            let e = e.as_ref().map(|x| compile_expr(cx, x));
+            Box::new(move |p, env, io| {
+                let v = match &e {
+                    Some(x) => x(p, env, io)?,
+                    None => V::I(0),
+                };
+                Ok(Flow::Return(v))
+            })
+        }
+        StmtKind::Break => Box::new(|_, _, _| Ok(Flow::Break)),
+        StmtKind::Continue => Box::new(|_, _, _| Ok(Flow::Continue)),
+        StmtKind::Block(body) => {
+            cx.push_scope();
+            let body: Vec<_> = body.iter().map(|st| compile_stmt(cx, st)).collect();
+            cx.pop_scope();
+            Box::new(move |p, env, io| {
+                for st in &body {
+                    match st(p, env, io)? {
+                        Flow::Normal => {}
+                        f => return Ok(f),
+                    }
+                }
+                Ok(Flow::Normal)
+            })
+        }
+        StmtKind::Annotated(_, inner) => {
+            // The inner statement ticks for itself; the Annotated
+            // wrapper's own tick comes from the shared wrapper below.
+            let inner = compile_stmt(cx, inner);
+            Box::new(move |p, env, io| inner(p, env, io))
+        }
+        StmtKind::Empty => Box::new(|_, _, _| Ok(Flow::Normal)),
+    };
+    // Every executed statement costs one step, exactly like
+    // `Interp::exec`.
+    Box::new(move |p, env, io| {
+        env.tick()?;
+        raw(p, env, io)
+    })
+}
+
+/// Compile one declarator to a closure that (re-)initializes its slot.
+/// Runs every time the declaration statement executes (fresh buffer per
+/// loop iteration, like the interpreter's `declare`).
+fn compile_declarator(cx: &mut Cx, d: &Declarator) -> CStmt {
+    // The initializer is compiled (and at runtime evaluated) before the
+    // name is bound, so `int x = x;` refers to an outer `x`.
+    match &d.ty {
+        CType::Array(inner, n) => {
+            let total = match inner.as_ref() {
+                CType::Array(_, Some(cols)) => Some(n.unwrap_or(1) * cols),
+                _ => *n,
+            };
+            let stride = match inner.as_ref() {
+                CType::Array(_, Some(cols)) => Some(*cols),
+                _ => None,
+            };
+            let elem = leaf_type(&d.ty);
+            let off = cx.alloc(&d.name, true, stride);
+            match total {
+                Some(total) => Box::new(move |_, env, _| {
+                    let buf = alloc_buffer(&mut env.heap, &elem, total);
+                    env.slots[env.base + off] = V::Ptr { buf, off: 0 };
+                    Ok(Flow::Normal)
+                }),
+                None => {
+                    let msg = format!("array {} needs a size", d.name);
+                    Box::new(move |_, _, _| Err(CcError::interp(msg.clone())))
+                }
+            }
+        }
+        _ => {
+            let init = d.init.as_ref().map(|e| compile_expr(cx, e));
+            let dv = default_value(&d.ty);
+            let off = cx.alloc(&d.name, false, None);
+            Box::new(move |p, env, io| {
+                let v = match &init {
+                    Some(e) => e(p, env, io)?,
+                    None => dv.clone(),
+                };
+                env.slots[env.base + off] = v;
+                Ok(Flow::Normal)
+            })
+        }
+    }
+}
+
+// ====================================================================
+// Expressions.
+// ====================================================================
+
+fn compile_expr(cx: &mut Cx, e: &Expr) -> CExpr {
+    let raw: CExpr = match e {
+        Expr::IntLit(v) => {
+            let v = *v;
+            Box::new(move |_, _, _| Ok(V::I(v)))
+        }
+        Expr::FloatLit(v) => {
+            let v = *v;
+            Box::new(move |_, _, _| Ok(V::F(v)))
+        }
+        Expr::CharLit(c) => {
+            let v = *c as i64;
+            Box::new(move |_, _, _| Ok(V::I(v)))
+        }
+        Expr::StrLit(s) => {
+            // Fresh NUL-terminated buffer per evaluation, matching the
+            // interpreter.
+            let mut bytes = s.as_bytes().to_vec();
+            bytes.push(0);
+            Box::new(move |_, env, _| {
+                env.heap.push(Buffer::Bytes(bytes.clone()));
+                Ok(V::Ptr {
+                    buf: env.heap.len() - 1,
+                    off: 0,
+                })
+            })
+        }
+        Expr::Ident(name) => match cx.resolve(name) {
+            Some(l) => {
+                let off = l.off;
+                Box::new(move |_, env, _| Ok(env.slots[env.base + off].clone()))
+            }
+            None => expr_err(format!("unknown variable {name}")),
+        },
+        Expr::Unary(op, x) => compile_unary(cx, *op, x),
+        Expr::PostInc(x) | Expr::PostDec(x) => {
+            let d = if matches!(e, Expr::PostInc(_)) { 1 } else { -1 };
+            let xe = compile_expr(cx, x);
+            let store = compile_assign_target(cx, x);
+            Box::new(move |p, env, io| {
+                let old = xe(p, env, io)?;
+                let new = num_add(&old, d)?;
+                store(p, env, io, new)?;
+                Ok(old)
+            })
+        }
+        Expr::Binary(op, a, b) => {
+            let ca = compile_expr(cx, a);
+            let cb = compile_expr(cx, b);
+            match op {
+                BinOp::And => Box::new(move |p, env, io| {
+                    let va = ca(p, env, io)?;
+                    if !truthy(&va) {
+                        return Ok(V::I(0));
+                    }
+                    let vb = cb(p, env, io)?;
+                    Ok(V::I(truthy(&vb) as i64))
+                }),
+                BinOp::Or => Box::new(move |p, env, io| {
+                    let va = ca(p, env, io)?;
+                    if truthy(&va) {
+                        return Ok(V::I(1));
+                    }
+                    let vb = cb(p, env, io)?;
+                    Ok(V::I(truthy(&vb) as i64))
+                }),
+                op => {
+                    let op = *op;
+                    Box::new(move |p, env, io| {
+                        let va = ca(p, env, io)?;
+                        let vb = cb(p, env, io)?;
+                        binary(op, va, vb)
+                    })
+                }
+            }
+        }
+        Expr::Assign(op, lhs, rhs) => {
+            let rv = compile_expr(cx, rhs);
+            let old = if *op == AssignOp::None {
+                None
+            } else {
+                Some(compile_expr(cx, lhs))
+            };
+            let store = compile_assign_target(cx, lhs);
+            let bop = match op {
+                AssignOp::None => None,
+                AssignOp::Add => Some(BinOp::Add),
+                AssignOp::Sub => Some(BinOp::Sub),
+                AssignOp::Mul => Some(BinOp::Mul),
+                AssignOp::Div => Some(BinOp::Div),
+                AssignOp::Rem => Some(BinOp::Rem),
+            };
+            Box::new(move |p, env, io| {
+                let rv = rv(p, env, io)?;
+                let nv = match (&old, bop) {
+                    (Some(oldc), Some(bop)) => {
+                        let old = oldc(p, env, io)?;
+                        binary(bop, old, rv)?
+                    }
+                    _ => rv,
+                };
+                store(p, env, io, nv.clone())?;
+                Ok(nv)
+            })
+        }
+        Expr::Cond(c, t, f) => {
+            let c = compile_expr(cx, c);
+            let t = compile_expr(cx, t);
+            let f = compile_expr(cx, f);
+            Box::new(move |p, env, io| {
+                if truthy(&c(p, env, io)?) {
+                    t(p, env, io)
+                } else {
+                    f(p, env, io)
+                }
+            })
+        }
+        Expr::Call(name, args) => compile_call(cx, name, args),
+        Expr::Index(base, idx) => {
+            let place = compile_place(cx, base, idx);
+            Box::new(move |p, env, io| {
+                let (buf, off) = place(p, env, io)?;
+                env.stats.mem += 1;
+                read_buf(&env.heap, buf, off)
+            })
+        }
+        Expr::Cast(ty, x) => {
+            let x = compile_expr(cx, x);
+            let ty = ty.clone();
+            Box::new(move |p, env, io| {
+                let v = x(p, env, io)?;
+                Ok(cast(&v, &ty))
+            })
+        }
+        Expr::SizeOf(ty) => {
+            let v = ty.scalar_size() as i64;
+            Box::new(move |_, _, _| Ok(V::I(v)))
+        }
+    };
+    // Every evaluated expression node costs one step and one op,
+    // exactly like `Interp::eval`.
+    Box::new(move |p, env, io| {
+        env.tick()?;
+        env.stats.ops += 1;
+        raw(p, env, io)
+    })
+}
+
+fn compile_unary(cx: &mut Cx, op: UnOp, x: &Expr) -> CExpr {
+    match op {
+        UnOp::AddrOf => match x {
+            Expr::Ident(name) => match cx.resolve(name) {
+                Some(l) => {
+                    let off = l.off;
+                    if l.is_array {
+                        // Address of an array decays to the array
+                        // pointer itself.
+                        Box::new(move |_, env, _| Ok(env.slots[env.base + off].clone()))
+                    } else {
+                        Box::new(move |_, env, _| Ok(V::SlotRef(env.base + off)))
+                    }
+                }
+                None => expr_err(format!("unknown variable {name}")),
+            },
+            Expr::Index(base, idx) => {
+                let place = compile_place(cx, base, idx);
+                Box::new(move |p, env, io| {
+                    let (buf, off) = place(p, env, io)?;
+                    Ok(V::Ptr { buf, off })
+                })
+            }
+            _ => expr_err("unsupported address-of target".to_string()),
+        },
+        UnOp::Deref => {
+            let xc = compile_expr(cx, x);
+            Box::new(move |p, env, io| {
+                let v = xc(p, env, io)?;
+                match v {
+                    V::Ptr { buf, off } => {
+                        env.stats.mem += 1;
+                        read_buf(&env.heap, buf, off)
+                    }
+                    V::SlotRef(s) => Ok(env.slots[s].clone()),
+                    _ => Err(CcError::interp("dereference of non-pointer")),
+                }
+            })
+        }
+        UnOp::Neg => {
+            let xc = compile_expr(cx, x);
+            Box::new(move |p, env, io| match xc(p, env, io)? {
+                V::I(v) => Ok(V::I(v.wrapping_neg())),
+                V::F(v) => Ok(V::F(-v)),
+                _ => Err(CcError::interp("negate non-number")),
+            })
+        }
+        UnOp::Not => {
+            let xc = compile_expr(cx, x);
+            Box::new(move |p, env, io| Ok(V::I(!truthy(&xc(p, env, io)?) as i64)))
+        }
+        UnOp::BitNot => {
+            let xc = compile_expr(cx, x);
+            Box::new(move |p, env, io| match xc(p, env, io)? {
+                V::I(v) => Ok(V::I(!v)),
+                _ => Err(CcError::interp("~ on non-int")),
+            })
+        }
+        UnOp::PreInc | UnOp::PreDec => {
+            let d = if op == UnOp::PreInc { 1 } else { -1 };
+            let xc = compile_expr(cx, x);
+            let store = compile_assign_target(cx, x);
+            Box::new(move |p, env, io| {
+                let v = num_add(&xc(p, env, io)?, d)?;
+                store(p, env, io, v.clone())?;
+                Ok(v)
+            })
+        }
+    }
+}
+
+/// Compile `base[idx]` resolution to `(buffer, offset)`. Mirrors
+/// `Interp::index_target`: `idx` evaluates first; a 2-D access over a
+/// declared `a[rows][cols]` takes the strided fast path (the inner
+/// `Index` node itself is never charged, only its row index), with a
+/// runtime fallback to the generic path when the slot does not hold a
+/// pointer (e.g. the array variable was reassigned).
+fn compile_place(cx: &mut Cx, base: &Expr, idx: &Expr) -> CPlace {
+    let idx_c = compile_expr(cx, idx);
+    if let Expr::Index(inner_base, inner_idx) = base {
+        if let Expr::Ident(name) = inner_base.as_ref() {
+            if let Some(l) = cx.resolve(name) {
+                if let Some(stride) = l.stride {
+                    let row_c = compile_expr(cx, inner_idx);
+                    let slot_off = l.off;
+                    let generic = compile_expr(cx, base);
+                    return Box::new(move |p, env, io| {
+                        let i = as_int(&idx_c(p, env, io)?)? as isize;
+                        if let V::Ptr { buf, off } = env.slots[env.base + slot_off].clone() {
+                            let row = as_int(&row_c(p, env, io)?)? as isize;
+                            let pos = off as isize + row * stride as isize + i;
+                            return check_bounds(&env.heap, buf, pos);
+                        }
+                        match generic(p, env, io)? {
+                            V::Ptr { buf, off } => check_bounds(&env.heap, buf, off as isize + i),
+                            _ => Err(CcError::interp("indexing non-pointer")),
+                        }
+                    });
+                }
+            }
+        }
+    }
+    let base_c = compile_expr(cx, base);
+    Box::new(move |p, env, io| {
+        let i = as_int(&idx_c(p, env, io)?)? as isize;
+        match base_c(p, env, io)? {
+            V::Ptr { buf, off } => check_bounds(&env.heap, buf, off as isize + i),
+            _ => Err(CcError::interp("indexing non-pointer")),
+        }
+    })
+}
+
+/// Compile an assignment target. Mirrors `Interp::assign_to`; note an
+/// `Index` target re-resolves (and so re-charges) its index expressions
+/// on the store, which is why `a[i]++` evaluates `i` twice.
+fn compile_assign_target(cx: &mut Cx, lhs: &Expr) -> CStore {
+    match lhs {
+        Expr::Ident(name) => match cx.resolve(name) {
+            Some(l) => {
+                let off = l.off;
+                Box::new(move |_, env, _, v| {
+                    env.slots[env.base + off] = v;
+                    Ok(())
+                })
+            }
+            None => store_err(format!("unknown variable {name}")),
+        },
+        Expr::Index(base, idx) => {
+            let place = compile_place(cx, base, idx);
+            Box::new(move |p, env, io, v| {
+                let (buf, off) = place(p, env, io)?;
+                write_buf(&mut env.heap, &mut env.stats, buf, off, &v)
+            })
+        }
+        Expr::Unary(UnOp::Deref, x) => {
+            let xc = compile_expr(cx, x);
+            Box::new(move |p, env, io, v| {
+                let target = xc(p, env, io)?;
+                match target {
+                    V::Ptr { buf, off } => write_buf(&mut env.heap, &mut env.stats, buf, off, &v),
+                    V::SlotRef(s) => {
+                        env.slots[s] = v;
+                        Ok(())
+                    }
+                    _ => Err(CcError::interp("store through non-pointer")),
+                }
+            })
+        }
+        Expr::Cast(_, inner) => compile_assign_target(cx, inner),
+        _ => store_err("unsupported assignment target".to_string()),
+    }
+}
+
+// ====================================================================
+// Calls.
+// ====================================================================
+
+/// Printf/scanf argument source over compiled argument closures.
+struct ArgsCx<'a, 'b> {
+    p: &'a NativeProgram,
+    env: &'a mut Env,
+    args: &'b [CExpr],
+    idx: usize,
+}
+
+impl PrintfCx for ArgsCx<'_, '_> {
+    fn next(&mut self, io: &mut StreamIo) -> Result<V, CcError> {
+        let a = self
+            .args
+            .get(self.idx)
+            .ok_or_else(|| CcError::interp("printf: not enough arguments"))?;
+        self.idx += 1;
+        a(self.p, self.env, io)
+    }
+    fn str_of(&self, p: &V) -> Result<Vec<u8>, CcError> {
+        cstr(&self.env.heap, p)
+    }
+    fn stats(&mut self) -> &mut InterpStats {
+        &mut self.env.stats
+    }
+}
+
+impl ScanfCx for ArgsCx<'_, '_> {
+    fn next(&mut self, io: &mut StreamIo) -> Result<V, CcError> {
+        let a = &self.args[self.idx];
+        self.idx += 1;
+        a(self.p, self.env, io)
+    }
+    fn write_str(&mut self, dst: &V, s: &[u8]) -> Result<(), CcError> {
+        write_cstr(&mut self.env.heap, &mut self.env.stats, dst, s)
+    }
+    fn store(&mut self, dst: &V, v: V) -> Result<(), CcError> {
+        store_through(
+            &mut self.env.heap,
+            &mut self.env.slots,
+            &mut self.env.stats,
+            dst,
+            v,
+        )
+    }
+    fn stats(&mut self) -> &mut InterpStats {
+        &mut self.env.stats
+    }
+}
+
+fn compile_call(cx: &mut Cx, name: &str, args: &[Expr]) -> CExpr {
+    // User-defined functions shadow builtins, matching `Interp::call`.
+    if let Some(&fidx) = cx.fn_indices.get(name) {
+        let cargs: Vec<CExpr> = args.iter().map(|a| compile_expr(cx, a)).collect();
+        return Box::new(move |p, env, io| {
+            let mut vals = Vec::with_capacity(cargs.len());
+            for a in &cargs {
+                vals.push(a(p, env, io)?);
+            }
+            apply(p, fidx, vals, env, io)
+        });
+    }
+    let Some(need) = builtin_min_args(name) else {
+        return expr_err(format!("unknown function {name}"));
+    };
+    if args.len() < need {
+        // The interpreter's arity guard fires before any argument is
+        // evaluated; so does this deferred error.
+        let err = builtin_arity_err(name, need, args.len());
+        return Box::new(move |_, _, _| Err(err.clone()));
+    }
+    match name {
+        "getline" => {
+            let target = compile_expr(cx, &args[0]);
+            Box::new(move |p, env, io| {
+                // Record is consumed (or end-of-input returned) before
+                // the target argument is evaluated.
+                let Some((ptr, len)) = getline_read(io, &mut env.heap, &mut env.stats)? else {
+                    return Ok(V::I(-1));
+                };
+                let t = target(p, env, io)?;
+                getline_store(&mut env.slots, t, ptr)?;
+                Ok(V::I(len))
+            })
+        }
+        "getWord" | "getTok" => {
+            let word_mode = name == "getWord";
+            let a: Vec<CExpr> = args.iter().take(5).map(|x| compile_expr(cx, x)).collect();
+            Box::new(move |p, env, io| {
+                let line = a[0](p, env, io)?;
+                let offset = as_int(&a[1](p, env, io)?)?;
+                let word = a[2](p, env, io)?;
+                let read = as_int(&a[3](p, env, io)?)?;
+                let max_len = as_int(&a[4](p, env, io)?)?;
+                scan_token(
+                    &mut env.heap,
+                    &mut env.stats,
+                    &line,
+                    offset,
+                    &word,
+                    read,
+                    max_len,
+                    word_mode,
+                )
+                .map(V::I)
+            })
+        }
+        "printf" => {
+            let Expr::StrLit(fmt) = &args[0] else {
+                return expr_err("printf needs a literal format".to_string());
+            };
+            let segs = parse_printf(fmt);
+            let cargs: Vec<CExpr> = args[1..].iter().map(|a| compile_expr(cx, a)).collect();
+            Box::new(move |p, env, io| {
+                let mut acx = ArgsCx {
+                    p,
+                    env,
+                    args: &cargs,
+                    idx: 0,
+                };
+                render_printf(&segs, &mut acx, io)
+            })
+        }
+        "scanf" => {
+            let Expr::StrLit(fmt) = &args[0] else {
+                return expr_err("scanf needs a literal format".to_string());
+            };
+            let convs = parse_scanf(fmt);
+            let nargs = args.len();
+            let cargs: Vec<CExpr> = args[1..].iter().map(|a| compile_expr(cx, a)).collect();
+            Box::new(move |p, env, io| {
+                let mut acx = ArgsCx {
+                    p,
+                    env,
+                    args: &cargs,
+                    idx: 0,
+                };
+                run_scanf(&convs, nargs, &mut acx, io)
+            })
+        }
+        "strfind" => {
+            let h = compile_expr(cx, &args[0]);
+            let n = compile_expr(cx, &args[1]);
+            Box::new(move |p, env, io| {
+                let hv = h(p, env, io)?;
+                let nv = n(p, env, io)?;
+                let hay = cstr(&env.heap, &hv)?;
+                let needle = cstr(&env.heap, &nv)?;
+                env.stats.mem += (hay.len() + needle.len()) as u64;
+                Ok(V::I(str_find(&hay, &needle)))
+            })
+        }
+        "strcmp" => {
+            let a = compile_expr(cx, &args[0]);
+            let b = compile_expr(cx, &args[1]);
+            Box::new(move |p, env, io| {
+                let av = a(p, env, io)?;
+                let bv = b(p, env, io)?;
+                let sa = cstr(&env.heap, &av)?;
+                let sb = cstr(&env.heap, &bv)?;
+                env.stats.mem += (sa.len() + sb.len()) as u64;
+                Ok(V::I(match sa.cmp(&sb) {
+                    std::cmp::Ordering::Less => -1,
+                    std::cmp::Ordering::Equal => 0,
+                    std::cmp::Ordering::Greater => 1,
+                }))
+            })
+        }
+        "strcpy" => {
+            let dst = compile_expr(cx, &args[0]);
+            let src = compile_expr(cx, &args[1]);
+            Box::new(move |p, env, io| {
+                let dv = dst(p, env, io)?;
+                let sv = src(p, env, io)?;
+                let s = cstr(&env.heap, &sv)?;
+                env.stats.mem += s.len() as u64;
+                write_cstr(&mut env.heap, &mut env.stats, &dv, &s)?;
+                Ok(dv)
+            })
+        }
+        "strlen" => {
+            let a = compile_expr(cx, &args[0]);
+            Box::new(move |p, env, io| {
+                let v = a(p, env, io)?;
+                let s = cstr(&env.heap, &v)?;
+                Ok(V::I(s.len() as i64))
+            })
+        }
+        "atoi" => {
+            let a = compile_expr(cx, &args[0]);
+            Box::new(move |p, env, io| {
+                let v = a(p, env, io)?;
+                let s = cstr(&env.heap, &v)?;
+                let txt = String::from_utf8_lossy(&s);
+                Ok(V::I(txt.trim().parse::<i64>().unwrap_or(0)))
+            })
+        }
+        "atof" => {
+            let a = compile_expr(cx, &args[0]);
+            Box::new(move |p, env, io| {
+                let v = a(p, env, io)?;
+                let s = cstr(&env.heap, &v)?;
+                let txt = String::from_utf8_lossy(&s);
+                Ok(V::F(txt.trim().parse::<f64>().unwrap_or(0.0)))
+            })
+        }
+        "sqrt" | "exp" | "log" | "fabs" | "floor" | "ceil" | "erf" => {
+            let sfu_name: &'static str = match name {
+                "sqrt" => "sqrt",
+                "exp" => "exp",
+                "log" => "log",
+                "fabs" => "fabs",
+                "floor" => "floor",
+                "ceil" => "ceil",
+                _ => "erf",
+            };
+            let a = compile_expr(cx, &args[0]);
+            Box::new(move |p, env, io| {
+                env.stats.sfu += 1;
+                let x = as_f64(&a(p, env, io)?)?;
+                Ok(V::F(sfu1(sfu_name, x)))
+            })
+        }
+        "pow" => {
+            let a = compile_expr(cx, &args[0]);
+            let b = compile_expr(cx, &args[1]);
+            Box::new(move |p, env, io| {
+                env.stats.sfu += 1;
+                let x = as_f64(&a(p, env, io)?)?;
+                let y = as_f64(&b(p, env, io)?)?;
+                Ok(V::F(x.powf(y)))
+            })
+        }
+        "malloc" | "calloc" => {
+            let is_calloc = name == "calloc";
+            let a = compile_expr(cx, &args[0]);
+            let b = if is_calloc {
+                Some(compile_expr(cx, &args[1]))
+            } else {
+                None
+            };
+            Box::new(move |p, env, io| {
+                let n = as_int(&a(p, env, io)?)? as usize;
+                let n = match &b {
+                    Some(b) => n * as_int(&b(p, env, io)?)? as usize,
+                    None => n,
+                };
+                env.heap.push(Buffer::Bytes(vec![0; n.max(1)]));
+                Ok(V::Ptr {
+                    buf: env.heap.len() - 1,
+                    off: 0,
+                })
+            })
+        }
+        "free" => {
+            let cargs: Vec<CExpr> = args.iter().map(|a| compile_expr(cx, a)).collect();
+            Box::new(move |p, env, io| {
+                for a in &cargs {
+                    a(p, env, io)?;
+                }
+                Ok(V::I(0))
+            })
+        }
+        "abs" => {
+            let a = compile_expr(cx, &args[0]);
+            Box::new(move |p, env, io| {
+                let v = as_int(&a(p, env, io)?)?;
+                Ok(V::I(v.wrapping_abs()))
+            })
+        }
+        _ => unreachable!("builtin_min_args covered {name}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::Interp;
+    use crate::parse::parse;
+
+    /// Run a source under both backends on the same input and demand
+    /// exact agreement of (stdout, stats) or of error text.
+    fn differential(src: &str, io_make: impl Fn() -> StreamIo) {
+        let prog = parse(src).unwrap();
+        let mut io_i = io_make();
+        let ri = Interp::new(&prog)
+            .with_max_steps(2_000_000)
+            .run_main(&mut io_i)
+            .map_err(|e| e.to_string());
+        let native = NativeProgram::compile(&prog);
+        let mut io_n = io_make();
+        let rn = native.run(&mut io_n, 2_000_000).map_err(|e| e.to_string());
+        assert_eq!(ri.is_ok(), rn.is_ok(), "outcome diverged for:\n{src}");
+        match (ri, rn) {
+            (Ok(si), Ok(sn)) => {
+                assert_eq!(si, sn, "stats diverged for:\n{src}");
+                assert_eq!(
+                    String::from_utf8_lossy(&io_i.stdout),
+                    String::from_utf8_lossy(&io_n.stdout),
+                    "stdout diverged for:\n{src}"
+                );
+            }
+            (Err(ei), Err(en)) => assert_eq!(ei, en, "error text diverged for:\n{src}"),
+            _ => unreachable!(),
+        }
+    }
+
+    fn lines(ls: &[&str]) -> Vec<Vec<u8>> {
+        ls.iter().map(|l| l.as_bytes().to_vec()).collect()
+    }
+
+    #[test]
+    fn wordcount_mapper_parity() {
+        let src = r#"
+int main()
+{
+  char word[30], *line;
+  size_t nbytes = 10000;
+  int read, linePtr, offset, one;
+  line = (char*) malloc(nbytes*sizeof(char));
+  while( (read = getline(&line, &nbytes, stdin)) != -1) {
+    linePtr = 0;
+    offset = 0;
+    one = 1;
+    while( (linePtr = getWord(line, offset, word, read, 30)) != -1) {
+      printf("%s\t%d\n", word, one);
+      offset += linePtr;
+    }
+  }
+  free(line);
+  return 0;
+}
+"#;
+        differential(src, || {
+            StreamIo::lines(lines(&[
+                "the quick brown fox",
+                "",
+                "  spaced   out  ",
+                "tail",
+            ]))
+        });
+    }
+
+    #[test]
+    fn combiner_scanf_parity() {
+        let src = r#"
+int main()
+{
+  char word[30], prevWord[30]; prevWord[0] = '\0';
+  int count, val, read; count = 0;
+  while( (read = scanf("%s %d", word, &val)) == 2 ) {
+    if(strcmp(word, prevWord) == 0 ) {
+      count += val;
+    } else {
+      if(prevWord[0] != '\0')
+        printf("%s\t%d\n", prevWord, count);
+      strcpy(prevWord, word);
+      count = val;
+    }
+  }
+  if(prevWord[0] != '\0')
+    printf("%s\t%d\n", prevWord, count);
+  return 0;
+}
+"#;
+        differential(src, || {
+            StreamIo::kvs(
+                [("a", "1"), ("a", "2"), ("b", "5"), ("c", "1"), ("c", "1")]
+                    .iter()
+                    .map(|(k, v)| (k.as_bytes().to_vec(), v.as_bytes().to_vec()))
+                    .collect(),
+            )
+        });
+    }
+
+    #[test]
+    fn control_flow_and_functions_parity() {
+        let src = r#"
+int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }
+int main() {
+  int i;
+  for (i = 0; i < 10; i++) {
+    if (i == 3) continue;
+    if (i == 8) break;
+    printf("f%d\t%d\n", i, fib(i));
+  }
+  return 0;
+}
+"#;
+        differential(src, || StreamIo::lines(vec![]));
+    }
+
+    #[test]
+    fn two_dim_arrays_and_math_parity() {
+        let src = r#"
+int main() {
+  double m[3][4]; int i, j; double s; s = 0.0;
+  for (i = 0; i < 3; i++)
+    for (j = 0; j < 4; j++)
+      m[i][j] = i * 4 + j + 0.5;
+  for (i = 0; i < 3; i++)
+    for (j = 0; j < 4; j++)
+      s += sqrt(m[i][j]) + pow(m[i][j], 0.5);
+  printf("s\t%.6f\n", s);
+  return 0;
+}
+"#;
+        differential(src, || StreamIo::lines(vec![]));
+    }
+
+    #[test]
+    fn pointer_ops_parity() {
+        let src = r#"
+int main() {
+  char buf[32]; char *p; int n;
+  strcpy(buf, "hello world");
+  p = buf + 6;
+  n = strlen(p);
+  *p = 'W';
+  printf("%s\t%d\t%d\n", buf, n, strfind(buf, "World"));
+  return 0;
+}
+"#;
+        differential(src, || StreamIo::lines(vec![]));
+    }
+
+    #[test]
+    fn error_cases_parity() {
+        // Runtime faults must carry identical messages.
+        for src in [
+            "int main() { int a[3]; a[7] = 1; return 0; }",
+            "int main() { int a; a = 1 / 0; return 0; }",
+            "int main() { int a; a = 1 % 0; return 0; }",
+            "int main() { int a; a = nosuchvar; return 0; }",
+            "int main() { nosuchfn(3); return 0; }",
+            "int main() { getline(); return 0; }",
+            "int main() { while (1) { } return 0; }",
+            "int noargs() { return 1; } int main() { return noargs(7); }",
+        ] {
+            differential(src, || StreamIo::lines(vec![]));
+        }
+    }
+
+    #[test]
+    fn lazy_faults_do_not_fire_when_unreached() {
+        // An ill-formed call sitting behind `if (0)` must not fail in
+        // either backend (lazy faulting).
+        let src = r#"
+int main() {
+  if (0) { nosuchfn(nosuchvar); printf(3); }
+  printf("ok\t1\n");
+  return 0;
+}
+"#;
+        differential(src, || StreamIo::lines(vec![]));
+    }
+
+    #[test]
+    fn sibling_scopes_do_not_alias() {
+        let src = r#"
+int main() {
+  int total; total = 0;
+  { int a; a = 5; total += a; }
+  { int b; b = 7; total += b; }
+  printf("t\t%d\n", total);
+  return 0;
+}
+"#;
+        differential(src, || StreamIo::lines(vec![]));
+    }
+
+    #[test]
+    fn loop_redeclared_array_is_fresh_each_iteration() {
+        let src = r#"
+int main() {
+  int i;
+  for (i = 0; i < 3; i++) {
+    int a[4];
+    a[i] = a[i] + 1;
+    printf("i%d\t%d\n", i, a[i]);
+  }
+  return 0;
+}
+"#;
+        differential(src, || StreamIo::lines(vec![]));
+    }
+
+    #[test]
+    fn native_is_reusable_and_thread_safe() {
+        let src = "int main() { int i; int s; s = 0; for (i = 0; i < 100; i++) s += i; printf(\"s\\t%d\\n\", s); return 0; }";
+        let prog = parse(src).unwrap();
+        let native = std::sync::Arc::new(NativeProgram::compile(&prog));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let n = std::sync::Arc::clone(&native);
+            handles.push(std::thread::spawn(move || {
+                let mut io = StreamIo::lines(vec![]);
+                let stats = n.run(&mut io, 1_000_000).unwrap();
+                (io.stdout, stats)
+            }));
+        }
+        let results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for (out, stats) in &results {
+            assert_eq!(out, b"s\t4950\n");
+            assert_eq!(*stats, results[0].1);
+        }
+    }
+}

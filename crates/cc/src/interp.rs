@@ -8,15 +8,27 @@
 //! The interpreter also counts abstract operations ([`InterpStats`]) so
 //! that the surrounding system can charge GPU/CPU cost models for the
 //! *same* computation the program actually performed.
+//!
+//! The interpreter is the **executable specification** of the C subset:
+//! the native backend ([`crate::backend::native`]) must agree with it on
+//! every program, byte for byte and stat for stat. To keep the two from
+//! drifting, everything semantic that both need — value arithmetic, the
+//! buffer heap, and the builtin library (`printf`/`scanf`/`getline`/
+//! string ops/SFUs) — lives here as shared `pub(crate)` functions; the
+//! interpreter and the native backend are both thin drivers over this
+//! common core.
 
 use crate::ast::*;
 use crate::error::CcError;
 use std::collections::HashMap;
 use std::fmt::Write as _;
 
+/// Default evaluation-step budget shared by both backends.
+pub(crate) const DEFAULT_MAX_STEPS: u64 = 500_000_000;
+
 /// Operation counts accumulated while interpreting — consumed by the cost
 /// models.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct InterpStats {
     /// Plain operations (arith/logic/compare/assign/index).
     pub ops: u64,
@@ -43,8 +55,8 @@ pub enum Input {
 /// Streaming I/O state for one interpreter run.
 #[derive(Debug)]
 pub struct StreamIo {
-    input: Input,
-    cursor: usize,
+    pub(crate) input: Input,
+    pub(crate) cursor: usize,
     /// Raw bytes written by `printf`.
     pub stdout: Vec<u8>,
 }
@@ -83,7 +95,7 @@ impl StreamIo {
 
 /// Values.
 #[derive(Debug, Clone)]
-enum V {
+pub(crate) enum V {
     I(i64),
     F(f64),
     /// Pointer into heap buffer `buf` at element offset `off`.
@@ -98,14 +110,14 @@ enum V {
 
 /// Heap buffers; element kind fixed at allocation.
 #[derive(Debug, Clone)]
-enum Buffer {
+pub(crate) enum Buffer {
     Bytes(Vec<u8>),
     Ints(Vec<i64>),
     Doubles(Vec<f64>),
 }
 
 impl Buffer {
-    fn len(&self) -> usize {
+    pub(crate) fn len(&self) -> usize {
         match self {
             Buffer::Bytes(v) => v.len(),
             Buffer::Ints(v) => v.len(),
@@ -114,12 +126,485 @@ impl Buffer {
     }
 }
 
-enum Flow {
+/// Statement-level control flow.
+pub(crate) enum Flow {
     Normal,
     Break,
     Continue,
     Return(V),
 }
+
+// ====================================================================
+// Shared semantic core — used verbatim by the interpreter AND the
+// native backend so op/mem/sfu accounting and error text can never
+// diverge between them.
+// ====================================================================
+
+/// Read one element from a heap buffer (no `mem` charge — callers charge
+/// at their access site, mirroring the original interpreter).
+pub(crate) fn read_buf(heap: &[Buffer], buf: usize, off: usize) -> Result<V, CcError> {
+    Ok(match &heap[buf] {
+        Buffer::Bytes(v) => V::I(v[off] as i64),
+        Buffer::Ints(v) => V::I(v[off]),
+        Buffer::Doubles(v) => V::F(v[off]),
+    })
+}
+
+/// Write one element into a heap buffer, charging one `mem` touch.
+pub(crate) fn write_buf(
+    heap: &mut [Buffer],
+    stats: &mut InterpStats,
+    buf: usize,
+    off: usize,
+    v: &V,
+) -> Result<(), CcError> {
+    stats.mem += 1;
+    match &mut heap[buf] {
+        Buffer::Bytes(b) => b[off] = as_int(v)? as u8,
+        Buffer::Ints(b) => b[off] = as_int(v)?,
+        Buffer::Doubles(b) => b[off] = as_f64(v)?,
+    }
+    Ok(())
+}
+
+/// Bounds-check a signed element position against a buffer.
+pub(crate) fn check_bounds(
+    heap: &[Buffer],
+    buf: usize,
+    pos: isize,
+) -> Result<(usize, usize), CcError> {
+    if pos < 0 || pos as usize >= heap[buf].len() {
+        return Err(CcError::interp(format!(
+            "index {pos} out of bounds for buffer of {}",
+            heap[buf].len()
+        )));
+    }
+    Ok((buf, pos as usize))
+}
+
+/// Allocate a zeroed buffer of `n` elements of leaf type `elem`.
+pub(crate) fn alloc_buffer(heap: &mut Vec<Buffer>, elem: &CType, n: usize) -> usize {
+    let b = match elem {
+        CType::Char => Buffer::Bytes(vec![0; n]),
+        CType::Float | CType::Double => Buffer::Doubles(vec![0.0; n]),
+        _ => Buffer::Ints(vec![0; n]),
+    };
+    heap.push(b);
+    heap.len() - 1
+}
+
+/// Read a NUL-terminated string starting at a pointer, up to `limit`
+/// bytes.
+pub(crate) fn cstr_n(heap: &[Buffer], p: &V, limit: usize) -> Result<Vec<u8>, CcError> {
+    match p {
+        V::Ptr { buf, off } => match &heap[*buf] {
+            Buffer::Bytes(b) => {
+                let end = b.len().min(off.saturating_add(limit));
+                let slice = &b[*off..end];
+                let n = slice.iter().position(|&c| c == 0).unwrap_or(slice.len());
+                Ok(slice[..n].to_vec())
+            }
+            _ => Err(CcError::interp("string op on non-char buffer")),
+        },
+        V::Null => Err(CcError::interp("string op on NULL")),
+        _ => Err(CcError::interp("string op on non-pointer")),
+    }
+}
+
+/// Read a NUL-terminated string starting at a pointer.
+pub(crate) fn cstr(heap: &[Buffer], p: &V) -> Result<Vec<u8>, CcError> {
+    cstr_n(heap, p, usize::MAX)
+}
+
+/// Write a NUL-terminated string through a pointer (truncating to the
+/// destination buffer), charging `mem` for the copied bytes.
+pub(crate) fn write_cstr(
+    heap: &mut [Buffer],
+    stats: &mut InterpStats,
+    p: &V,
+    s: &[u8],
+) -> Result<(), CcError> {
+    match p {
+        V::Ptr { buf, off } => match &mut heap[*buf] {
+            Buffer::Bytes(b) => {
+                let avail = b.len().saturating_sub(*off);
+                if avail == 0 {
+                    return Err(CcError::interp("write_cstr: no space"));
+                }
+                let n = s.len().min(avail - 1);
+                b[*off..*off + n].copy_from_slice(&s[..n]);
+                b[*off + n] = 0;
+                stats.mem += n as u64;
+                Ok(())
+            }
+            _ => Err(CcError::interp("write_cstr on non-char buffer")),
+        },
+        _ => Err(CcError::interp("write_cstr on non-pointer")),
+    }
+}
+
+/// Store a scalar through a `scanf`-style destination (`&var` or a
+/// buffer pointer).
+pub(crate) fn store_through(
+    heap: &mut [Buffer],
+    slots: &mut [V],
+    stats: &mut InterpStats,
+    dst: &V,
+    v: V,
+) -> Result<(), CcError> {
+    match dst {
+        V::SlotRef(s) => {
+            slots[*s] = v;
+            Ok(())
+        }
+        V::Ptr { buf, off } => write_buf(heap, stats, *buf, *off, &v),
+        _ => Err(CcError::interp("store through non-pointer")),
+    }
+}
+
+/// `getline` front half: consume the next line record (if any) into a
+/// fresh NUL-terminated heap buffer. Returns `None` at end of input
+/// (the builtin then returns `-1` without evaluating its arguments,
+/// exactly like the original interpreter).
+pub(crate) fn getline_read(
+    io: &mut StreamIo,
+    heap: &mut Vec<Buffer>,
+    stats: &mut InterpStats,
+) -> Result<Option<(V, i64)>, CcError> {
+    let record = match &mut io.input {
+        Input::Lines(lines) => {
+            if io.cursor >= lines.len() {
+                return Ok(None);
+            }
+            let r = lines[io.cursor].clone();
+            io.cursor += 1;
+            r
+        }
+        Input::Kvs(_) => return Err(CcError::interp("getline on KV input")),
+    };
+    stats.records_in += 1;
+    stats.mem += record.len() as u64;
+    let mut bytes = record;
+    bytes.push(b'\n');
+    let len = bytes.len();
+    bytes.push(0);
+    heap.push(Buffer::Bytes(bytes));
+    Ok(Some((
+        V::Ptr {
+            buf: heap.len() - 1,
+            off: 0,
+        },
+        len as i64,
+    )))
+}
+
+/// `getline` back half: store the fresh line pointer through the `&line`
+/// argument.
+pub(crate) fn getline_store(slots: &mut [V], target: V, ptr: V) -> Result<(), CcError> {
+    match target {
+        V::SlotRef(s) => {
+            slots[s] = ptr;
+            Ok(())
+        }
+        V::Ptr { .. } => Err(CcError::interp("getline target must be &ptr")),
+        _ => Err(CcError::interp("bad getline target")),
+    }
+}
+
+/// Shared core of `getWord` (word mode: split on non-`[A-Za-z0-9_']`)
+/// and `getTok` (token mode: split on whitespace only). Returns chars
+/// consumed or `-1`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn scan_token(
+    heap: &mut [Buffer],
+    stats: &mut InterpStats,
+    line: &V,
+    offset: i64,
+    dst: &V,
+    read: i64,
+    max_len: i64,
+    word_mode: bool,
+) -> Result<i64, CcError> {
+    let offset = offset as usize;
+    let read = read as usize;
+    let max_len = max_len as usize;
+    let buf = cstr_n(heap, line, read)?;
+    let is_sep = |b: u8| {
+        if word_mode {
+            !(b.is_ascii_alphanumeric() || b == b'_' || b == b'\'')
+        } else {
+            b.is_ascii_whitespace()
+        }
+    };
+    let mut i = offset.min(buf.len());
+    while i < buf.len() && is_sep(buf[i]) {
+        i += 1;
+    }
+    if i >= buf.len() {
+        return Ok(-1);
+    }
+    let start = i;
+    while i < buf.len() && !is_sep(buf[i]) {
+        i += 1;
+    }
+    let w = buf[start..i.min(start + max_len.saturating_sub(1))].to_vec();
+    stats.mem += w.len() as u64;
+    write_cstr(heap, stats, dst, &w)?;
+    Ok((i - offset) as i64)
+}
+
+/// One parsed `printf` format segment.
+#[derive(Debug, Clone)]
+pub(crate) enum PSeg {
+    /// Literal text (including `%%` → `%` and malformed tails).
+    Lit(String),
+    /// A `%[.prec][lh]conv` conversion; validity of `conv` is checked at
+    /// render time (so unreached bad conversions don't fail a program,
+    /// exactly like the interpreter).
+    Conv { prec: Option<usize>, conv: u8 },
+}
+
+/// Parse a `printf` format string into segments. Mirrors the historical
+/// in-line scanner byte for byte, including the quirk that a conversion
+/// truncated by end-of-format renders as a lone `%` and stops.
+pub(crate) fn parse_printf(fmt: &str) -> Vec<PSeg> {
+    let mut segs = Vec::new();
+    let mut lit = String::new();
+    let fb = fmt.as_bytes();
+    let mut i = 0;
+    while i < fb.len() {
+        if fb[i] == b'%' && i + 1 < fb.len() {
+            let mut j = i + 1;
+            let mut prec: Option<usize> = None;
+            if fb[j] == b'.' {
+                let mut p = 0usize;
+                j += 1;
+                while j < fb.len() && fb[j].is_ascii_digit() {
+                    p = p * 10 + (fb[j] - b'0') as usize;
+                    j += 1;
+                }
+                prec = Some(p);
+            }
+            while j < fb.len() && (fb[j] == b'l' || fb[j] == b'h') {
+                j += 1;
+            }
+            if j >= fb.len() {
+                lit.push('%');
+                break;
+            }
+            let conv = fb[j];
+            if conv == b'%' {
+                lit.push('%');
+                i = j + 1;
+                continue;
+            }
+            if !lit.is_empty() {
+                segs.push(PSeg::Lit(std::mem::take(&mut lit)));
+            }
+            segs.push(PSeg::Conv { prec, conv });
+            i = j + 1;
+        } else {
+            lit.push(fb[i] as char);
+            i += 1;
+        }
+    }
+    if !lit.is_empty() {
+        segs.push(PSeg::Lit(lit));
+    }
+    segs
+}
+
+/// Backend-specific context for [`render_printf`]: lazily evaluates the
+/// next argument and resolves `%s` pointers.
+pub(crate) trait PrintfCx {
+    /// Evaluate the next argument (errors with "printf: not enough
+    /// arguments" when exhausted).
+    fn next(&mut self, io: &mut StreamIo) -> Result<V, CcError>;
+    /// Resolve a value as a C string for `%s`.
+    fn str_of(&self, p: &V) -> Result<Vec<u8>, CcError>;
+    /// Stats sink for the rendered output.
+    fn stats(&mut self) -> &mut InterpStats;
+}
+
+/// Render parsed `printf` segments: evaluate arguments lazily in
+/// conversion order, then charge `lines_out`/`mem` and append to stdout
+/// only on full success.
+pub(crate) fn render_printf<C: PrintfCx>(
+    segs: &[PSeg],
+    cx: &mut C,
+    io: &mut StreamIo,
+) -> Result<V, CcError> {
+    let mut out = String::new();
+    for seg in segs {
+        match seg {
+            PSeg::Lit(s) => out.push_str(s),
+            PSeg::Conv { prec, conv } => {
+                let v = cx.next(io)?;
+                match conv {
+                    b'd' | b'i' | b'u' => {
+                        let _ = write!(out, "{}", as_int(&v)?);
+                    }
+                    b'c' => out.push(as_int(&v)? as u8 as char),
+                    b's' => {
+                        let s = cx.str_of(&v)?;
+                        out.push_str(&String::from_utf8_lossy(&s));
+                    }
+                    b'f' | b'e' | b'g' => {
+                        let x = as_f64(&v)?;
+                        let p = prec.unwrap_or(6);
+                        match conv {
+                            b'f' => {
+                                let _ = write!(out, "{x:.p$}", p = p);
+                            }
+                            b'e' => {
+                                let _ = write!(out, "{x:.p$e}", p = p);
+                            }
+                            _ => {
+                                let _ = write!(out, "{x}");
+                            }
+                        }
+                    }
+                    other => {
+                        return Err(CcError::interp(format!(
+                            "printf: unsupported conversion %{}",
+                            *other as char
+                        )))
+                    }
+                }
+            }
+        }
+    }
+    let stats = cx.stats();
+    stats.lines_out += out.bytes().filter(|&b| b == b'\n').count() as u64;
+    stats.mem += out.len() as u64;
+    io.stdout.extend_from_slice(out.as_bytes());
+    Ok(V::I(out.len() as i64))
+}
+
+/// Parse a `scanf` format into its whitespace-separated conversions.
+pub(crate) fn parse_scanf(fmt: &str) -> Vec<String> {
+    fmt.split_whitespace().map(str::to_string).collect()
+}
+
+/// Backend-specific context for [`run_scanf`].
+pub(crate) trait ScanfCx {
+    /// Evaluate the next destination argument.
+    fn next(&mut self, io: &mut StreamIo) -> Result<V, CcError>;
+    /// `%s`: copy a field through the destination pointer.
+    fn write_str(&mut self, dst: &V, s: &[u8]) -> Result<(), CcError>;
+    /// `%d`/`%f` family: store a scalar through the destination.
+    fn store(&mut self, dst: &V, v: V) -> Result<(), CcError>;
+    /// Stats sink for the consumed record.
+    fn stats(&mut self) -> &mut InterpStats;
+}
+
+/// Run one `scanf` call: consume the next KV record and convert it into
+/// the destinations. `nargs` is the total call argument count including
+/// the format. Returns the match count, or `-1` at end of input.
+pub(crate) fn run_scanf<C: ScanfCx>(
+    convs: &[String],
+    nargs: usize,
+    cx: &mut C,
+    io: &mut StreamIo,
+) -> Result<V, CcError> {
+    let (k, v) = match &mut io.input {
+        Input::Kvs(kvs) => {
+            if io.cursor >= kvs.len() {
+                return Ok(V::I(-1));
+            }
+            let p = kvs[io.cursor].clone();
+            io.cursor += 1;
+            p
+        }
+        Input::Lines(_) => return Err(CcError::interp("scanf on line input")),
+    };
+    {
+        let stats = cx.stats();
+        stats.records_in += 1;
+        stats.mem += (k.len() + v.len()) as u64;
+    }
+    let fields = [k, v];
+    let mut matched = 0i64;
+    for (ci, conv) in convs.iter().enumerate().take(nargs.saturating_sub(1)) {
+        let dst = cx.next(io)?;
+        let field = &fields[ci.min(1)];
+        let text = String::from_utf8_lossy(field).to_string();
+        match conv.as_str() {
+            "%s" => {
+                cx.write_str(&dst, field)?;
+            }
+            "%d" | "%ld" | "%i" | "%u" => {
+                let n = text.trim().parse::<i64>().unwrap_or(0);
+                cx.store(&dst, V::I(n))?;
+            }
+            "%f" | "%lf" | "%g" | "%e" => {
+                let x = text.trim().parse::<f64>().unwrap_or(0.0);
+                cx.store(&dst, V::F(x))?;
+            }
+            other => {
+                return Err(CcError::interp(format!(
+                    "scanf: unsupported conversion {other}"
+                )))
+            }
+        }
+        matched += 1;
+    }
+    Ok(V::I(matched))
+}
+
+/// `strfind` core: index of `needle` in `hay`, or `-1` (empty needle
+/// matches at 0).
+pub(crate) fn str_find(hay: &[u8], needle: &[u8]) -> i64 {
+    if needle.is_empty() {
+        0
+    } else {
+        hay.windows(needle.len())
+            .position(|w| w == needle)
+            .map(|p| p as i64)
+            .unwrap_or(-1)
+    }
+}
+
+/// Apply a one-argument special function by name.
+pub(crate) fn sfu1(name: &str, x: f64) -> f64 {
+    match name {
+        "sqrt" => x.sqrt(),
+        "exp" => x.exp(),
+        "log" => x.ln(),
+        "fabs" => x.abs(),
+        "floor" => x.floor(),
+        "ceil" => x.ceil(),
+        "erf" => erf(x),
+        _ => unreachable!("not a 1-arg SFU: {name}"),
+    }
+}
+
+/// Minimum argument count each builtin needs before it can be
+/// dispatched. Calls with fewer arguments fail with a uniform error in
+/// *both* backends (historically some indexed `args[0]` and panicked).
+/// Returns `None` for names that are not builtins.
+pub(crate) fn builtin_min_args(name: &str) -> Option<usize> {
+    Some(match name {
+        "getline" => 1,
+        "getWord" | "getTok" => 5,
+        "strfind" | "strcmp" | "strcpy" | "pow" | "calloc" => 2,
+        "printf" | "scanf" | "strlen" | "atoi" | "atof" | "malloc" | "abs" => 1,
+        "sqrt" | "exp" | "log" | "fabs" | "floor" | "ceil" | "erf" => 1,
+        "free" => 0,
+        _ => return None,
+    })
+}
+
+/// The uniform too-few-arguments error for builtins.
+pub(crate) fn builtin_arity_err(name: &str, need: usize, got: usize) -> CcError {
+    CcError::interp(format!(
+        "{name}: expected at least {need} argument(s), got {got}"
+    ))
+}
+
+// ====================================================================
+// The tree-walking interpreter.
+// ====================================================================
 
 /// Interpreter over one program.
 pub struct Interp<'p> {
@@ -150,7 +635,7 @@ impl<'p> Interp<'p> {
             array_slots: std::collections::HashSet::new(),
             stats: InterpStats::default(),
             steps: 0,
-            max_steps: 500_000_000,
+            max_steps: DEFAULT_MAX_STEPS,
         }
     }
 
@@ -351,7 +836,7 @@ impl<'p> Interp<'p> {
                     }
                 };
                 let elem = leaf_type(&d.ty);
-                let buf = self.alloc_buffer(&elem, total);
+                let buf = alloc_buffer(&mut self.heap, &elem, total);
                 Ok(V::Ptr { buf, off: 0 })
             }
             _ => match &d.init {
@@ -359,16 +844,6 @@ impl<'p> Interp<'p> {
                 None => Ok(default_value(&d.ty)),
             },
         }
-    }
-
-    fn alloc_buffer(&mut self, elem: &CType, n: usize) -> usize {
-        let b = match elem {
-            CType::Char => Buffer::Bytes(vec![0; n]),
-            CType::Float | CType::Double => Buffer::Doubles(vec![0.0; n]),
-            _ => Buffer::Ints(vec![0; n]),
-        };
-        self.heap.push(b);
-        self.heap.len() - 1
     }
 
     fn eval(&mut self, e: &'p Expr, io: &mut StreamIo) -> Result<V, CcError> {
@@ -455,7 +930,7 @@ impl<'p> Interp<'p> {
             Expr::Index(base, idx) => {
                 let (buf, off) = self.index_target(base, idx, io)?;
                 self.stats.mem += 1;
-                self.read_buf(buf, off)
+                read_buf(&self.heap, buf, off)
             }
             Expr::Cast(ty, x) => {
                 let v = self.eval(x, io)?;
@@ -493,14 +968,14 @@ impl<'p> Interp<'p> {
                 match v {
                     V::Ptr { buf, off } => {
                         self.stats.mem += 1;
-                        self.read_buf(buf, off)
+                        read_buf(&self.heap, buf, off)
                     }
                     V::SlotRef(s) => Ok(self.slots[s].clone()),
                     _ => Err(CcError::interp("dereference of non-pointer")),
                 }
             }
             UnOp::Neg => match self.eval(x, io)? {
-                V::I(v) => Ok(V::I(-v)),
+                V::I(v) => Ok(V::I(v.wrapping_neg())),
                 V::F(v) => Ok(V::F(-v)),
                 _ => Err(CcError::interp("negate non-number")),
             },
@@ -538,7 +1013,7 @@ impl<'p> Interp<'p> {
                         let row = as_int(&self.eval(inner_idx, io)?)? as isize;
                         if let V::Ptr { buf, off } = self.slots[slot].clone() {
                             let pos = off as isize + row * stride as isize + i;
-                            return self.check_bounds(buf, pos);
+                            return check_bounds(&self.heap, buf, pos);
                         }
                     }
                 }
@@ -548,38 +1023,10 @@ impl<'p> Interp<'p> {
         match b {
             V::Ptr { buf, off } => {
                 let pos = off as isize + i;
-                self.check_bounds(buf, pos)
+                check_bounds(&self.heap, buf, pos)
             }
             _ => Err(CcError::interp("indexing non-pointer")),
         }
-    }
-
-    fn check_bounds(&self, buf: usize, pos: isize) -> Result<(usize, usize), CcError> {
-        if pos < 0 || pos as usize >= self.heap[buf].len() {
-            return Err(CcError::interp(format!(
-                "index {pos} out of bounds for buffer of {}",
-                self.heap[buf].len()
-            )));
-        }
-        Ok((buf, pos as usize))
-    }
-
-    fn read_buf(&self, buf: usize, off: usize) -> Result<V, CcError> {
-        Ok(match &self.heap[buf] {
-            Buffer::Bytes(v) => V::I(v[off] as i64),
-            Buffer::Ints(v) => V::I(v[off]),
-            Buffer::Doubles(v) => V::F(v[off]),
-        })
-    }
-
-    fn write_buf(&mut self, buf: usize, off: usize, v: &V) -> Result<(), CcError> {
-        self.stats.mem += 1;
-        match &mut self.heap[buf] {
-            Buffer::Bytes(b) => b[off] = as_int(v)? as u8,
-            Buffer::Ints(b) => b[off] = as_int(v)?,
-            Buffer::Doubles(b) => b[off] = as_f64(v)?,
-        }
-        Ok(())
     }
 
     fn assign_to(&mut self, lhs: &'p Expr, v: V, io: &mut StreamIo) -> Result<(), CcError> {
@@ -593,12 +1040,12 @@ impl<'p> Interp<'p> {
             }
             Expr::Index(base, idx) => {
                 let (buf, off) = self.index_target(base, idx, io)?;
-                self.write_buf(buf, off, &v)
+                write_buf(&mut self.heap, &mut self.stats, buf, off, &v)
             }
             Expr::Unary(UnOp::Deref, x) => {
                 let target = self.eval(x, io)?;
                 match target {
-                    V::Ptr { buf, off } => self.write_buf(buf, off, &v),
+                    V::Ptr { buf, off } => write_buf(&mut self.heap, &mut self.stats, buf, off, &v),
                     V::SlotRef(s) => {
                         self.slots[s] = v;
                         Ok(())
@@ -624,34 +1071,30 @@ impl<'p> Interp<'p> {
             let f = self.prog.func(name).unwrap();
             return self.call_func(f, vals, io);
         }
+        if let Some(need) = builtin_min_args(name) {
+            if args.len() < need {
+                return Err(builtin_arity_err(name, need, args.len()));
+            }
+        }
         match name {
             "getline" => self.builtin_getline(args, io),
-            "getWord" => self.builtin_getword(args, io),
-            "getTok" => self.builtin_gettok(args, io),
+            "getWord" => self.builtin_scan_token(args, io, true),
+            "getTok" => self.builtin_scan_token(args, io, false),
             "strfind" => {
-                // Runtime helper: index of needle in haystack, or -1.
                 let h = self.eval(&args[0], io)?;
                 let n = self.eval(&args[1], io)?;
-                let hay = self.cstr(&h)?;
-                let needle = self.cstr(&n)?;
+                let hay = cstr(&self.heap, &h)?;
+                let needle = cstr(&self.heap, &n)?;
                 self.stats.mem += (hay.len() + needle.len()) as u64;
-                let pos = if needle.is_empty() {
-                    0
-                } else {
-                    hay.windows(needle.len())
-                        .position(|w| w == needle.as_slice())
-                        .map(|p| p as i64)
-                        .unwrap_or(-1)
-                };
-                Ok(V::I(pos))
+                Ok(V::I(str_find(&hay, &needle)))
             }
             "printf" => self.builtin_printf(args, io),
             "scanf" => self.builtin_scanf(args, io),
             "strcmp" => {
                 let a = self.eval(&args[0], io)?;
                 let b = self.eval(&args[1], io)?;
-                let sa = self.cstr(&a)?;
-                let sb = self.cstr(&b)?;
+                let sa = cstr(&self.heap, &a)?;
+                let sb = cstr(&self.heap, &b)?;
                 self.stats.mem += (sa.len() + sb.len()) as u64;
                 Ok(V::I(match sa.cmp(&sb) {
                     std::cmp::Ordering::Less => -1,
@@ -662,41 +1105,32 @@ impl<'p> Interp<'p> {
             "strcpy" => {
                 let dst = self.eval(&args[0], io)?;
                 let src = self.eval(&args[1], io)?;
-                let s = self.cstr(&src)?;
+                let s = cstr(&self.heap, &src)?;
                 self.stats.mem += s.len() as u64;
-                self.write_cstr(&dst, &s)?;
+                write_cstr(&mut self.heap, &mut self.stats, &dst, &s)?;
                 Ok(dst)
             }
             "strlen" => {
                 let p = self.eval(&args[0], io)?;
-                let s = self.cstr(&p)?;
+                let s = cstr(&self.heap, &p)?;
                 Ok(V::I(s.len() as i64))
             }
             "atoi" => {
                 let p = self.eval(&args[0], io)?;
-                let s = self.cstr(&p)?;
+                let s = cstr(&self.heap, &p)?;
                 let txt = String::from_utf8_lossy(&s);
                 Ok(V::I(txt.trim().parse::<i64>().unwrap_or(0)))
             }
             "atof" => {
                 let p = self.eval(&args[0], io)?;
-                let s = self.cstr(&p)?;
+                let s = cstr(&self.heap, &p)?;
                 let txt = String::from_utf8_lossy(&s);
                 Ok(V::F(txt.trim().parse::<f64>().unwrap_or(0.0)))
             }
             "sqrt" | "exp" | "log" | "fabs" | "floor" | "ceil" | "erf" => {
                 self.stats.sfu += 1;
                 let x = as_f64(&self.eval(&args[0], io)?)?;
-                Ok(V::F(match name {
-                    "sqrt" => x.sqrt(),
-                    "exp" => x.exp(),
-                    "log" => x.ln(),
-                    "fabs" => x.abs(),
-                    "floor" => x.floor(),
-                    "ceil" => x.ceil(),
-                    "erf" => erf(x),
-                    _ => unreachable!(),
-                }))
+                Ok(V::F(sfu1(name, x)))
             }
             "pow" => {
                 self.stats.sfu += 1;
@@ -725,7 +1159,7 @@ impl<'p> Interp<'p> {
             }
             "abs" => {
                 let v = as_int(&self.eval(&args[0], io)?)?;
-                Ok(V::I(v.abs()))
+                Ok(V::I(v.wrapping_abs()))
             }
             _ => Err(CcError::interp(format!("unknown function {name}"))),
         }
@@ -733,92 +1167,39 @@ impl<'p> Interp<'p> {
 
     fn builtin_getline(&mut self, args: &'p [Expr], io: &mut StreamIo) -> Result<V, CcError> {
         // getline(&line, &nbytes, stdin) -> bytes read incl. '\n', or -1.
-        let record = match &mut io.input {
-            Input::Lines(lines) => {
-                if io.cursor >= lines.len() {
-                    return Ok(V::I(-1));
-                }
-                let r = lines[io.cursor].clone();
-                io.cursor += 1;
-                r
-            }
-            Input::Kvs(_) => return Err(CcError::interp("getline on KV input")),
-        };
-        self.stats.records_in += 1;
-        self.stats.mem += record.len() as u64;
-        let mut bytes = record;
-        bytes.push(b'\n');
-        let len = bytes.len();
-        bytes.push(0);
-        self.heap.push(Buffer::Bytes(bytes));
-        let ptr = V::Ptr {
-            buf: self.heap.len() - 1,
-            off: 0,
+        let Some((ptr, len)) = getline_read(io, &mut self.heap, &mut self.stats)? else {
+            return Ok(V::I(-1));
         };
         // Store the new buffer through the first argument (&line).
         let target = self.eval(&args[0], io)?;
-        match target {
-            V::SlotRef(s) => self.slots[s] = ptr,
-            V::Ptr { .. } => return Err(CcError::interp("getline target must be &ptr")),
-            _ => return Err(CcError::interp("bad getline target")),
-        }
-        Ok(V::I(len as i64))
+        getline_store(&mut self.slots, target, ptr)?;
+        Ok(V::I(len))
     }
 
-    fn builtin_getword(&mut self, args: &'p [Expr], io: &mut StreamIo) -> Result<V, CcError> {
-        // getWord(line, offset, word, read, maxLen) -> chars consumed or -1.
-        // Scans from `offset`, skipping separators, copies the next word
-        // (NUL-terminated, truncated to maxLen-1) into `word`.
+    fn builtin_scan_token(
+        &mut self,
+        args: &'p [Expr],
+        io: &mut StreamIo,
+        word_mode: bool,
+    ) -> Result<V, CcError> {
+        // getWord/getTok(line, offset, word, read, maxLen) -> chars
+        // consumed or -1.
         let line = self.eval(&args[0], io)?;
-        let offset = as_int(&self.eval(&args[1], io)?)? as usize;
+        let offset = as_int(&self.eval(&args[1], io)?)?;
         let word = self.eval(&args[2], io)?;
-        let read = as_int(&self.eval(&args[3], io)?)? as usize;
-        let max_len = as_int(&self.eval(&args[4], io)?)? as usize;
-        let buf = self.cstr_n(&line, read)?;
-        let is_sep = |b: u8| !(b.is_ascii_alphanumeric() || b == b'_' || b == b'\'');
-        let mut i = offset.min(buf.len());
-        while i < buf.len() && is_sep(buf[i]) {
-            i += 1;
-        }
-        if i >= buf.len() {
-            return Ok(V::I(-1));
-        }
-        let start = i;
-        while i < buf.len() && !is_sep(buf[i]) {
-            i += 1;
-        }
-        let w = &buf[start..i.min(start + max_len.saturating_sub(1))];
-        self.stats.mem += w.len() as u64;
-        self.write_cstr(&word, w)?;
-        Ok(V::I((i - offset) as i64))
-    }
-
-    fn builtin_gettok(&mut self, args: &'p [Expr], io: &mut StreamIo) -> Result<V, CcError> {
-        // getTok(line, offset, buf, read, maxLen): like getWord but splits
-        // on whitespace only, so numeric tokens (dots, minus signs)
-        // survive. Returns chars consumed or -1.
-        let line = self.eval(&args[0], io)?;
-        let offset = as_int(&self.eval(&args[1], io)?)? as usize;
-        let buf_dst = self.eval(&args[2], io)?;
-        let read = as_int(&self.eval(&args[3], io)?)? as usize;
-        let max_len = as_int(&self.eval(&args[4], io)?)? as usize;
-        let buf = self.cstr_n(&line, read)?;
-        let is_sep = |b: u8| b.is_ascii_whitespace();
-        let mut i = offset.min(buf.len());
-        while i < buf.len() && is_sep(buf[i]) {
-            i += 1;
-        }
-        if i >= buf.len() {
-            return Ok(V::I(-1));
-        }
-        let start = i;
-        while i < buf.len() && !is_sep(buf[i]) {
-            i += 1;
-        }
-        let w = &buf[start..i.min(start + max_len.saturating_sub(1))];
-        self.stats.mem += w.len() as u64;
-        self.write_cstr(&buf_dst, w)?;
-        Ok(V::I((i - offset) as i64))
+        let read = as_int(&self.eval(&args[3], io)?)?;
+        let max_len = as_int(&self.eval(&args[4], io)?)?;
+        scan_token(
+            &mut self.heap,
+            &mut self.stats,
+            &line,
+            offset,
+            &word,
+            read,
+            max_len,
+            word_mode,
+        )
+        .map(V::I)
     }
 
     fn builtin_printf(&mut self, args: &'p [Expr], io: &mut StreamIo) -> Result<V, CcError> {
@@ -826,84 +1207,34 @@ impl<'p> Interp<'p> {
             Expr::StrLit(s) => s.clone(),
             _ => return Err(CcError::interp("printf needs a literal format")),
         };
-        let mut out = String::new();
-        let mut arg_i = 1usize;
-        let fb = fmt.as_bytes();
-        let mut i = 0;
-        while i < fb.len() {
-            if fb[i] == b'%' && i + 1 < fb.len() {
-                // Parse %[.prec][l]conv
-                let mut j = i + 1;
-                let mut prec: Option<usize> = None;
-                if fb[j] == b'.' {
-                    let mut p = 0usize;
-                    j += 1;
-                    while j < fb.len() && fb[j].is_ascii_digit() {
-                        p = p * 10 + (fb[j] - b'0') as usize;
-                        j += 1;
-                    }
-                    prec = Some(p);
-                }
-                while j < fb.len() && (fb[j] == b'l' || fb[j] == b'h') {
-                    j += 1;
-                }
-                if j >= fb.len() {
-                    out.push('%');
-                    break;
-                }
-                let conv = fb[j];
-                if conv == b'%' {
-                    out.push('%');
-                    i = j + 1;
-                    continue;
-                }
-                let v = self.eval(
-                    args.get(arg_i)
-                        .ok_or_else(|| CcError::interp("printf: not enough arguments"))?,
-                    io,
-                )?;
-                arg_i += 1;
-                match conv {
-                    b'd' | b'i' | b'u' => {
-                        let _ = write!(out, "{}", as_int(&v)?);
-                    }
-                    b'c' => out.push(as_int(&v)? as u8 as char),
-                    b's' => {
-                        let s = self.cstr(&v)?;
-                        out.push_str(&String::from_utf8_lossy(&s));
-                    }
-                    b'f' | b'e' | b'g' => {
-                        let x = as_f64(&v)?;
-                        let p = prec.unwrap_or(6);
-                        match conv {
-                            b'f' => {
-                                let _ = write!(out, "{x:.p$}", p = p);
-                            }
-                            b'e' => {
-                                let _ = write!(out, "{x:.p$e}", p = p);
-                            }
-                            _ => {
-                                let _ = write!(out, "{x}");
-                            }
-                        }
-                    }
-                    other => {
-                        return Err(CcError::interp(format!(
-                            "printf: unsupported conversion %{}",
-                            other as char
-                        )))
-                    }
-                }
-                i = j + 1;
-            } else {
-                out.push(fb[i] as char);
-                i += 1;
+        let segs = parse_printf(&fmt);
+        struct Cx<'a, 'p> {
+            it: &'a mut Interp<'p>,
+            args: &'p [Expr],
+            idx: usize,
+        }
+        impl PrintfCx for Cx<'_, '_> {
+            fn next(&mut self, io: &mut StreamIo) -> Result<V, CcError> {
+                let a = self
+                    .args
+                    .get(self.idx)
+                    .ok_or_else(|| CcError::interp("printf: not enough arguments"))?;
+                self.idx += 1;
+                self.it.eval(a, io)
+            }
+            fn str_of(&self, p: &V) -> Result<Vec<u8>, CcError> {
+                cstr(&self.it.heap, p)
+            }
+            fn stats(&mut self) -> &mut InterpStats {
+                &mut self.it.stats
             }
         }
-        self.stats.lines_out += out.bytes().filter(|&b| b == b'\n').count() as u64;
-        self.stats.mem += out.len() as u64;
-        io.stdout.extend_from_slice(out.as_bytes());
-        Ok(V::I(out.len() as i64))
+        let mut cx = Cx {
+            it: self,
+            args,
+            idx: 1,
+        };
+        render_printf(&segs, &mut cx, io)
     }
 
     fn builtin_scanf(&mut self, args: &'p [Expr], io: &mut StreamIo) -> Result<V, CcError> {
@@ -912,110 +1243,51 @@ impl<'p> Interp<'p> {
             Expr::StrLit(s) => s.clone(),
             _ => return Err(CcError::interp("scanf needs a literal format")),
         };
-        let convs: Vec<&str> = fmt.split_whitespace().collect();
-        let (k, v) = match &mut io.input {
-            Input::Kvs(kvs) => {
-                if io.cursor >= kvs.len() {
-                    return Ok(V::I(-1));
-                }
-                let p = kvs[io.cursor].clone();
-                io.cursor += 1;
-                p
+        let convs = parse_scanf(&fmt);
+        struct Cx<'a, 'p> {
+            it: &'a mut Interp<'p>,
+            args: &'p [Expr],
+            idx: usize,
+        }
+        impl ScanfCx for Cx<'_, '_> {
+            fn next(&mut self, io: &mut StreamIo) -> Result<V, CcError> {
+                let a = &self.args[self.idx];
+                self.idx += 1;
+                self.it.eval(a, io)
             }
-            Input::Lines(_) => return Err(CcError::interp("scanf on line input")),
+            fn write_str(&mut self, dst: &V, s: &[u8]) -> Result<(), CcError> {
+                write_cstr(&mut self.it.heap, &mut self.it.stats, dst, s)
+            }
+            fn store(&mut self, dst: &V, v: V) -> Result<(), CcError> {
+                store_through(
+                    &mut self.it.heap,
+                    &mut self.it.slots,
+                    &mut self.it.stats,
+                    dst,
+                    v,
+                )
+            }
+            fn stats(&mut self) -> &mut InterpStats {
+                &mut self.it.stats
+            }
+        }
+        let mut cx = Cx {
+            it: self,
+            args,
+            idx: 1,
         };
-        self.stats.records_in += 1;
-        self.stats.mem += (k.len() + v.len()) as u64;
-        let fields = [k, v];
-        let mut matched = 0i64;
-        for (ci, conv) in convs.iter().enumerate().take(args.len() - 1) {
-            let dst = self.eval(&args[ci + 1], io)?;
-            let field = &fields[ci.min(1)];
-            let text = String::from_utf8_lossy(field).to_string();
-            match *conv {
-                "%s" => {
-                    self.write_cstr(&dst, field)?;
-                }
-                "%d" | "%ld" | "%i" | "%u" => {
-                    let n = text.trim().parse::<i64>().unwrap_or(0);
-                    self.store_through(&dst, V::I(n))?;
-                }
-                "%f" | "%lf" | "%g" | "%e" => {
-                    let x = text.trim().parse::<f64>().unwrap_or(0.0);
-                    self.store_through(&dst, V::F(x))?;
-                }
-                other => {
-                    return Err(CcError::interp(format!(
-                        "scanf: unsupported conversion {other}"
-                    )))
-                }
-            }
-            matched += 1;
-        }
-        Ok(V::I(matched))
-    }
-
-    fn store_through(&mut self, dst: &V, v: V) -> Result<(), CcError> {
-        match dst {
-            V::SlotRef(s) => {
-                self.slots[*s] = v;
-                Ok(())
-            }
-            V::Ptr { buf, off } => self.write_buf(*buf, *off, &v),
-            _ => Err(CcError::interp("store through non-pointer")),
-        }
-    }
-
-    /// Read a NUL-terminated string starting at a pointer.
-    fn cstr(&self, p: &V) -> Result<Vec<u8>, CcError> {
-        self.cstr_n(p, usize::MAX)
-    }
-
-    fn cstr_n(&self, p: &V, limit: usize) -> Result<Vec<u8>, CcError> {
-        match p {
-            V::Ptr { buf, off } => match &self.heap[*buf] {
-                Buffer::Bytes(b) => {
-                    let end = b.len().min(off.saturating_add(limit));
-                    let slice = &b[*off..end];
-                    let n = slice.iter().position(|&c| c == 0).unwrap_or(slice.len());
-                    Ok(slice[..n].to_vec())
-                }
-                _ => Err(CcError::interp("string op on non-char buffer")),
-            },
-            V::Null => Err(CcError::interp("string op on NULL")),
-            _ => Err(CcError::interp("string op on non-pointer")),
-        }
-    }
-
-    fn write_cstr(&mut self, p: &V, s: &[u8]) -> Result<(), CcError> {
-        match p {
-            V::Ptr { buf, off } => match &mut self.heap[*buf] {
-                Buffer::Bytes(b) => {
-                    let avail = b.len().saturating_sub(*off);
-                    if avail == 0 {
-                        return Err(CcError::interp("write_cstr: no space"));
-                    }
-                    let n = s.len().min(avail - 1);
-                    b[*off..*off + n].copy_from_slice(&s[..n]);
-                    b[*off + n] = 0;
-                    self.stats.mem += n as u64;
-                    Ok(())
-                }
-                _ => Err(CcError::interp("write_cstr on non-char buffer")),
-            },
-            _ => Err(CcError::interp("write_cstr on non-pointer")),
-        }
+        run_scanf(&convs, args.len(), &mut cx, io)
     }
 }
 
-fn leaf_type(t: &CType) -> CType {
+pub(crate) fn leaf_type(t: &CType) -> CType {
     match t {
         CType::Array(inner, _) | CType::Ptr(inner) => leaf_type(inner),
         other => other.clone(),
     }
 }
 
-fn default_value(t: &CType) -> V {
+pub(crate) fn default_value(t: &CType) -> V {
     match t {
         CType::Float | CType::Double => V::F(0.0),
         CType::Ptr(_) => V::Null,
@@ -1023,7 +1295,7 @@ fn default_value(t: &CType) -> V {
     }
 }
 
-fn truthy(v: &V) -> bool {
+pub(crate) fn truthy(v: &V) -> bool {
     match v {
         V::I(x) => *x != 0,
         V::F(x) => *x != 0.0,
@@ -1032,7 +1304,7 @@ fn truthy(v: &V) -> bool {
     }
 }
 
-fn as_int(v: &V) -> Result<i64, CcError> {
+pub(crate) fn as_int(v: &V) -> Result<i64, CcError> {
     match v {
         V::I(x) => Ok(*x),
         V::F(x) => Ok(*x as i64),
@@ -1040,7 +1312,7 @@ fn as_int(v: &V) -> Result<i64, CcError> {
     }
 }
 
-fn as_f64(v: &V) -> Result<f64, CcError> {
+pub(crate) fn as_f64(v: &V) -> Result<f64, CcError> {
     match v {
         V::I(x) => Ok(*x as f64),
         V::F(x) => Ok(*x),
@@ -1048,19 +1320,19 @@ fn as_f64(v: &V) -> Result<f64, CcError> {
     }
 }
 
-fn num_add(v: &V, d: i64) -> Result<V, CcError> {
+pub(crate) fn num_add(v: &V, d: i64) -> Result<V, CcError> {
     match v {
-        V::I(x) => Ok(V::I(x + d)),
+        V::I(x) => Ok(V::I(x.wrapping_add(d))),
         V::F(x) => Ok(V::F(x + d as f64)),
         V::Ptr { buf, off } => Ok(V::Ptr {
             buf: *buf,
-            off: (*off as i64 + d) as usize,
+            off: (*off as i64).wrapping_add(d) as usize,
         }),
         _ => Err(CcError::interp("++/-- on non-number")),
     }
 }
 
-fn binary(op: BinOp, a: V, b: V) -> Result<V, CcError> {
+pub(crate) fn binary(op: BinOp, a: V, b: V) -> Result<V, CcError> {
     use BinOp::*;
     // Pointer arithmetic.
     if let (V::Ptr { buf, off }, V::I(i)) = (&a, &b) {
@@ -1068,13 +1340,13 @@ fn binary(op: BinOp, a: V, b: V) -> Result<V, CcError> {
             Add => {
                 return Ok(V::Ptr {
                     buf: *buf,
-                    off: (*off as i64 + i) as usize,
+                    off: (*off as i64).wrapping_add(*i) as usize,
                 })
             }
             Sub => {
                 return Ok(V::Ptr {
                     buf: *buf,
-                    off: (*off as i64 - i) as usize,
+                    off: (*off as i64).wrapping_sub(*i) as usize,
                 })
             }
             _ => {}
@@ -1109,13 +1381,13 @@ fn binary(op: BinOp, a: V, b: V) -> Result<V, CcError> {
             if y == 0 {
                 return Err(CcError::interp("integer division by zero"));
             }
-            V::I(x / y)
+            V::I(x.wrapping_div(y))
         }
         Rem => {
             if y == 0 {
                 return Err(CcError::interp("integer remainder by zero"));
             }
-            V::I(x % y)
+            V::I(x.wrapping_rem(y))
         }
         Lt => V::I((x < y) as i64),
         Le => V::I((x <= y) as i64),
@@ -1132,7 +1404,7 @@ fn binary(op: BinOp, a: V, b: V) -> Result<V, CcError> {
     })
 }
 
-fn cast(v: &V, ty: &CType) -> V {
+pub(crate) fn cast(v: &V, ty: &CType) -> V {
     match ty {
         CType::Float | CType::Double => match v {
             V::I(x) => V::F(*x as f64),
@@ -1148,7 +1420,7 @@ fn cast(v: &V, ty: &CType) -> V {
 
 /// Error function approximation (Abramowitz & Stegun 7.1.26); used by the
 /// BlackScholes benchmark's normal CDF.
-fn erf(x: f64) -> f64 {
+pub(crate) fn erf(x: f64) -> f64 {
     let sign = if x < 0.0 { -1.0 } else { 1.0 };
     let x = x.abs();
     let t = 1.0 / (1.0 + 0.3275911 * x);
@@ -1380,6 +1652,23 @@ int main() {
     }
 
     #[test]
+    fn builtin_with_too_few_args_errors_instead_of_panicking() {
+        for src in [
+            "int main() { getline(); return 0; }",
+            "int main() { strcmp(\"a\"); return 0; }",
+            "int main() { pow(2.0); return 0; }",
+        ] {
+            let prog = parse(src).unwrap();
+            let mut io = StreamIo::lines(vec![]);
+            let e = Interp::new(&prog).run_main(&mut io);
+            assert!(
+                matches!(e, Err(CcError::Interp(_))),
+                "{src} should error cleanly"
+            );
+        }
+    }
+
+    #[test]
     fn scanf_float_values() {
         let src = r#"
 int main() {
@@ -1413,5 +1702,18 @@ int main() {
         assert!(stats.ops > 20);
         assert!(stats.mem > 5);
         assert_eq!(stats.records_in, 2);
+    }
+
+    #[test]
+    fn printf_parse_covers_corners() {
+        // "%.3" truncated at end renders as a lone '%'.
+        let segs = parse_printf("x%.3");
+        assert!(matches!(&segs[..], [PSeg::Lit(s)] if s == "x%"));
+        // "%%" is a literal percent, no argument consumed.
+        let segs = parse_printf("a%%b");
+        assert!(matches!(&segs[..], [PSeg::Lit(s)] if s == "a%b"));
+        // Trailing lone '%' is literal.
+        let segs = parse_printf("ab%");
+        assert!(matches!(&segs[..], [PSeg::Lit(s)] if s == "ab%"));
     }
 }

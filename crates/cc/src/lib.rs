@@ -20,6 +20,7 @@
 #![warn(missing_docs)]
 
 pub mod ast;
+pub mod backend;
 pub mod codegen;
 pub mod error;
 pub mod interp;
@@ -28,6 +29,7 @@ pub mod lint;
 pub mod parse;
 pub mod pragma;
 pub mod sema;
+pub mod testgen;
 pub mod translate;
 
 pub use error::{CcError, Warning};

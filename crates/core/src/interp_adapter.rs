@@ -2,29 +2,55 @@
 //! [`Mapper`]/[`Combiner`] — the path by which a *single sequential
 //! source* executes on both the CPU and the (simulated) GPU, the paper's
 //! central programmability claim.
+//!
+//! Kernel execution goes through a [`KernelBackend`]: either the tree
+//! walking interpreter or the closure-compiled native backend (see
+//! `hetero_cc::backend`). Both charge identical [`InterpStats`], so the
+//! cost models — and therefore every simulated cycle downstream — are
+//! bit-identical regardless of backend. `HETERO_BACKEND=interp|native`
+//! selects the default; [`InterpMapper::with_backend`] pins one
+//! explicitly.
+//!
+//! [`InterpStats`]: hetero_cc::interp::InterpStats
 
-use hetero_cc::interp::{Interp, StreamIo};
-use hetero_cc::Compiled;
+use hetero_cc::backend::{make_backend, BackendKind, KernelBackend};
+use hetero_cc::interp::StreamIo;
+use hetero_cc::{CcError, Compiled};
 use hetero_runtime::types::{Combiner, Emit, Mapper, OpCount};
 use std::sync::Arc;
 
-/// A mapper backed by the interpreter over an annotated C program.
+/// A mapper backed by a kernel backend over an annotated C program.
+/// The program is compiled to its executable form once, at construction;
+/// `map` reuses it for every record.
 pub struct InterpMapper {
-    compiled: Arc<Compiled>,
+    backend: Box<dyn KernelBackend>,
 }
 
 impl InterpMapper {
     /// Wrap a compiled program whose `main` is a mapper (Listing 1
-    /// shape).
+    /// shape), using the backend selected by `HETERO_BACKEND` (native
+    /// when unset).
     pub fn new(compiled: Arc<Compiled>) -> Self {
-        InterpMapper { compiled }
+        Self::with_backend(compiled, BackendKind::from_env())
+    }
+
+    /// Wrap a compiled mapper program on an explicit backend.
+    pub fn with_backend(compiled: Arc<Compiled>, kind: BackendKind) -> Self {
+        InterpMapper {
+            backend: make_backend(kind, &compiled.program),
+        }
+    }
+
+    /// Which backend executes this mapper (`"interp"` or `"native"`).
+    pub fn backend_name(&self) -> &'static str {
+        self.backend.name()
     }
 }
 
 impl Mapper for InterpMapper {
     fn map(&self, record: &[u8], out: &mut dyn Emit) {
         let mut io = StreamIo::lines(vec![record.to_vec()]);
-        match Interp::new(&self.compiled.program).run_main(&mut io) {
+        match self.backend.run(&mut io) {
             Ok(stats) => {
                 // Interpreter op counts → abstract cost units. The /4
                 // discounts interpreter dispatch versus compiled code.
@@ -44,16 +70,28 @@ impl Mapper for InterpMapper {
     }
 }
 
-/// A combiner backed by the interpreter over an annotated C program
+/// A combiner backed by a kernel backend over an annotated C program
 /// (Listing 2 shape).
 pub struct InterpCombiner {
-    compiled: Arc<Compiled>,
+    backend: Box<dyn KernelBackend>,
 }
 
 impl InterpCombiner {
-    /// Wrap a compiled combiner program.
+    /// Wrap a compiled combiner program on the `HETERO_BACKEND` default.
     pub fn new(compiled: Arc<Compiled>) -> Self {
-        InterpCombiner { compiled }
+        Self::with_backend(compiled, BackendKind::from_env())
+    }
+
+    /// Wrap a compiled combiner program on an explicit backend.
+    pub fn with_backend(compiled: Arc<Compiled>, kind: BackendKind) -> Self {
+        InterpCombiner {
+            backend: make_backend(kind, &compiled.program),
+        }
+    }
+
+    /// Which backend executes this combiner (`"interp"` or `"native"`).
+    pub fn backend_name(&self) -> &'static str {
+        self.backend.name()
     }
 }
 
@@ -64,7 +102,7 @@ impl Combiner for InterpCombiner {
             .map(|(k, v)| (k.to_vec(), hetero_runtime::types::trim_key(v).to_vec()))
             .collect();
         let mut io = StreamIo::kvs(kvs);
-        if let Ok(stats) = Interp::new(&self.compiled.program).run_main(&mut io) {
+        if let Ok(stats) = self.backend.run(&mut io) {
             out.charge(OpCount::new(stats.ops / 4 + stats.mem / 2, stats.sfu));
             for (k, v) in io.emitted_kvs() {
                 if !out.emit(&k, &v) {
@@ -72,6 +110,87 @@ impl Combiner for InterpCombiner {
                 }
             }
         }
+    }
+}
+
+/// An [`App`] whose mapper and combiner execute the app's *annotated C
+/// sources* through a chosen kernel backend, instead of the hand-written
+/// Rust implementations. Everything else (spec, reducer, data
+/// generation) delegates to the wrapped app.
+///
+/// This is the full paper pipeline as one object: feed it to
+/// [`run_functional_job_pooled`](crate::run_functional_job_pooled) and
+/// the whole job — map, combine, GPU placement, cost charging — runs off
+/// the single sequential C source.
+///
+/// [`App`]: hetero_apps::App
+pub struct CompiledApp {
+    inner: Box<dyn hetero_apps::App>,
+    kind: BackendKind,
+    mapper: Arc<Compiled>,
+    combiner: Option<Arc<Compiled>>,
+}
+
+impl CompiledApp {
+    /// Compile `inner`'s C sources; kernels execute on the
+    /// `HETERO_BACKEND` default.
+    pub fn new(inner: Box<dyn hetero_apps::App>) -> Result<Self, CcError> {
+        Self::with_backend(inner, BackendKind::from_env())
+    }
+
+    /// Compile `inner`'s C sources; kernels execute on `kind`.
+    pub fn with_backend(
+        inner: Box<dyn hetero_apps::App>,
+        kind: BackendKind,
+    ) -> Result<Self, CcError> {
+        let mapper = Arc::new(hetero_cc::compile(inner.mapper_source())?);
+        let combiner = match inner.combiner_source() {
+            Some(src) => Some(Arc::new(hetero_cc::compile(src)?)),
+            None => None,
+        };
+        Ok(CompiledApp {
+            inner,
+            kind,
+            mapper,
+            combiner,
+        })
+    }
+
+    /// The backend kernels execute on.
+    pub fn backend(&self) -> BackendKind {
+        self.kind
+    }
+}
+
+impl hetero_apps::App for CompiledApp {
+    fn spec(&self) -> &hetero_apps::AppSpec {
+        self.inner.spec()
+    }
+
+    fn mapper(&self) -> Box<dyn Mapper> {
+        Box::new(InterpMapper::with_backend(self.mapper.clone(), self.kind))
+    }
+
+    fn combiner(&self) -> Option<Box<dyn Combiner>> {
+        self.combiner.as_ref().map(|c| {
+            Box::new(InterpCombiner::with_backend(c.clone(), self.kind)) as Box<dyn Combiner>
+        })
+    }
+
+    fn reducer(&self) -> Option<Box<dyn hetero_runtime::types::Reducer>> {
+        self.inner.reducer()
+    }
+
+    fn generate_split(&self, records: usize, seed: u64) -> Vec<u8> {
+        self.inner.generate_split(records, seed)
+    }
+
+    fn mapper_source(&self) -> &'static str {
+        self.inner.mapper_source()
+    }
+
+    fn combiner_source(&self) -> Option<&'static str> {
+        self.inner.combiner_source()
     }
 }
 
@@ -200,5 +319,47 @@ mod tests {
         let mut out = VecEmit(Vec::new(), OpCount::default());
         m.map(b"hello world again", &mut out);
         assert!(out.1.alu > 0, "interpreted map must charge ops");
+    }
+
+    #[test]
+    fn explicit_backends_emit_identical_pairs_and_charges() {
+        let app = app_by_code("WC").unwrap();
+        let compiled = Arc::new(hetero_cc::compile(app.mapper_source()).unwrap());
+        let mi = InterpMapper::with_backend(compiled.clone(), BackendKind::Interp);
+        let mn = InterpMapper::with_backend(compiled, BackendKind::Native);
+        assert_eq!(mi.backend_name(), "interp");
+        assert_eq!(mn.backend_name(), "native");
+        let mut a = VecEmit(Vec::new(), OpCount::default());
+        let mut b = VecEmit(Vec::new(), OpCount::default());
+        for rec in [&b"hello world hello"[..], b"a b c", b"", b"  spaced  out "] {
+            mi.map(rec, &mut a);
+            mn.map(rec, &mut b);
+        }
+        assert_eq!(a.0, b.0, "emitted KV streams must match");
+        assert_eq!(a.1, b.1, "charged costs must be identical");
+    }
+
+    #[test]
+    fn compiled_app_delegates_and_compiles_all_eight() {
+        for app in hetero_apps::all_apps() {
+            let code = app.spec().code;
+            let capp = CompiledApp::with_backend(app, BackendKind::Native)
+                .unwrap_or_else(|e| panic!("{code}: {e}"));
+            assert_eq!(capp.spec().code, code);
+            assert_eq!(capp.backend(), BackendKind::Native);
+            assert_eq!(
+                capp.combiner().is_some(),
+                capp.spec().has_combiner,
+                "{code}: combiner presence must match Table 2"
+            );
+            // The compiled mapper must actually emit on generated data.
+            let split = capp.generate_split(30, 11);
+            let m = capp.mapper();
+            let mut out = VecEmit(Vec::new(), OpCount::default());
+            for line in split.split(|&x| x == b'\n').filter(|l| !l.is_empty()) {
+                m.map(line, &mut out);
+            }
+            assert!(!out.0.is_empty(), "{code}: compiled mapper emitted nothing");
+        }
     }
 }

@@ -46,7 +46,7 @@ pub mod presets;
 
 pub use cluster_exec::{run_cluster_functional_job, ClusterFunctionalJob};
 pub use hetero_runtime::OptFlags;
-pub use interp_adapter::{InterpCombiner, InterpMapper};
+pub use interp_adapter::{CompiledApp, InterpCombiner, InterpMapper};
 pub use job_runner::{
     run_functional_job, run_functional_job_on, run_functional_job_pooled,
     run_functional_job_traced, FunctionalJob,

@@ -13,6 +13,10 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test -q (workspace)"
 cargo test -q --workspace
 
+echo "== kernel backend smoke (interp vs native differential, reduced sweep)"
+HETERO_TESTGEN_CASES=32 cargo test -q -p hetero-cc --test differential_gen
+cargo test -q -p heterodoop --test backend_differential
+
 echo "== heterolint --deny-warnings (bundled benchmarks)"
 mkdir -p results
 cargo run -q -p hetero-bench --bin heterolint -- --deny-warnings --json results/lint.json
