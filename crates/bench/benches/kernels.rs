@@ -3,7 +3,7 @@
 //! two kernel-execution backends (tree-walking interpreter vs the
 //! closure-compiled native backend) on the same annotated C mapper.
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use hetero_cc::backend::{make_backend, BackendKind};
+use hetero_cc::backend::{make_backend, make_backend_with_mode, BackendKind, ElisionMode};
 use hetero_cc::interp::StreamIo;
 use hetero_gpusim::{Device, GpuSpec};
 use hetero_runtime::map_kernel::{run_map, MapConfig};
@@ -115,5 +115,51 @@ fn bench_kernel_backend(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_map_kernel, bench_scan, bench_kernel_backend);
+/// Host-guard elision on the native backend: the same subscript- and
+/// division-heavy kernel with every bounds/zero guard kept (`unelided`,
+/// `HETERO_ELIDE=off`) versus guards at analysis-proven sites removed
+/// (`elided`, the default). The delta is the pure host-side cost of
+/// checks the abstract interpreter can discharge statically — the
+/// number behind BENCH_kernels.json's `check_elision` speedup entry.
+/// Simulated cycles are identical in both rows by construction (guards
+/// charge nothing to `InterpStats`); only wall-clock moves.
+fn bench_check_elision(c: &mut Criterion) {
+    let src = r#"
+int main() {
+  int a[16]; int i; int r; int s; s = 0;
+  for (i = 0; i < 16; i++) a[i] = i + 1;
+  for (r = 0; r < 500; r++) {
+    s = s + a[0] + a[1] + a[2] + a[3] + a[4] + a[5] + a[6] + a[7];
+    s = s + a[8] + a[9] + a[10] + a[11] + a[12] + a[13] + a[14] + a[15];
+    s = s + a[r & 15] / ((r & 3) + 1) + a[15 - (r & 15)] % ((r & 7) + 2);
+  }
+  printf("s\t%d\n", s);
+  return 0;
+}
+"#;
+    let prog = hetero_cc::parse::parse(src).unwrap();
+    let mut g = c.benchmark_group("check_elision");
+    // The per-guard saving is nanoseconds against a millisecond kernel;
+    // more samples than the stub default keep the delta above run-to-run
+    // noise.
+    g.sample_size(60);
+    for (name, mode) in [("unelided", ElisionMode::Off), ("elided", ElisionMode::On)] {
+        let backend = make_backend_with_mode(BackendKind::Native, &prog, mode);
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut io = StreamIo::lines(vec![]);
+                backend.run(&mut io).unwrap().ops
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_map_kernel,
+    bench_scan,
+    bench_kernel_backend,
+    bench_check_elision
+);
 criterion_main!(benches);

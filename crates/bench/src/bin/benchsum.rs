@@ -192,7 +192,13 @@ fn summarize(log: &str, out_dir: &str, results_dir: &str) -> Vec<String> {
                 "benches",
                 entries_json(
                     &entries,
-                    &["map_kernel", "scan", "indirection_sort", "kernel_backend"],
+                    &[
+                        "map_kernel",
+                        "scan",
+                        "indirection_sort",
+                        "kernel_backend",
+                        "check_elision",
+                    ],
                 ),
             );
             // Interpreter-vs-native-backend speedup on the same annotated
@@ -207,6 +213,22 @@ fn summarize(log: &str, out_dir: &str, results_dir: &str) -> Vec<String> {
                         .float("interp_s", i.mean_s)
                         .float("native_s", n.mean_s)
                         .float("speedup", i.mean_s / n.mean_s.max(1e-12))
+                        .build(),
+                );
+            }
+            // Guard-elision speedup on the native backend: all guards
+            // kept vs analysis-proven guards removed (the check_elision
+            // criterion group).
+            if let (Some(u), Some(e)) = (
+                entries.get("check_elision/unelided"),
+                entries.get("check_elision/elided"),
+            ) {
+                kernels_obj = kernels_obj.raw(
+                    "check_elision",
+                    JsonObj::new()
+                        .float("unelided_s", u.mean_s)
+                        .float("elided_s", e.mean_s)
+                        .float("speedup", u.mean_s / e.mean_s.max(1e-12))
                         .build(),
                 );
             }
@@ -464,6 +486,26 @@ mod tests {
         // …and the explicit speedup entry records interp_s / native_s.
         assert!(kern.contains("\"interp_vs_native\""), "{kern}");
         assert!(kern.contains("\"speedup\": 4"), "{kern}");
+    }
+
+    #[test]
+    fn check_elision_pair_yields_speedup_section() {
+        let s = Scratch::new("elision");
+        s.write(
+            "stub.jsonl",
+            concat!(
+                "{\"id\": \"check_elision/unelided\", \"mean_s\": 0.06, \"iters\": 10}\n",
+                "{\"id\": \"check_elision/elided\", \"mean_s\": 0.05, \"iters\": 10}\n",
+            ),
+        );
+        summarize(&s.path("stub.jsonl"), &s.path(""), &s.path("results"));
+        let kern = s.read("BENCH_kernels.json");
+        // Both rows fold into the benches list…
+        assert!(kern.contains("check_elision/unelided"), "{kern}");
+        assert!(kern.contains("check_elision/elided"), "{kern}");
+        // …and the explicit speedup entry records unelided_s / elided_s.
+        assert!(kern.contains("\"check_elision\": {"), "{kern}");
+        assert!(kern.contains("\"speedup\": 1.2"), "{kern}");
     }
 
     #[test]

@@ -16,7 +16,7 @@
 //! fails — used by CI to prove the negative fixtures still trip their
 //! lints.
 
-use hetero_cc::lint::{lint_program, LintLevel};
+use hetero_cc::lint::{lint_program, LintLevel, REPORT_SCHEMA};
 use hetero_cc::parse::parse;
 use hetero_cc::sema::analyze;
 
@@ -112,7 +112,7 @@ fn run() -> i32 {
     if let Some(path) = &json_path {
         let level_name = if deny { "deny" } else { "warn" };
         let json = format!(
-            "{{\"tool\":\"heterolint\",\"level\":\"{level_name}\",\"units\":[{}]}}\n",
+            "{{\"tool\":\"heterolint\",\"schema\":{REPORT_SCHEMA},\"level\":\"{level_name}\",\"units\":[{}]}}\n",
             json_units.join(",")
         );
         if let Err(e) = std::fs::write(path, json) {

@@ -82,13 +82,95 @@ impl BackendKind {
     }
 }
 
+/// How the native backend treats host-side guards at sites the value
+/// analysis ([`crate::lint::absint`]) proved safe.
+///
+/// Guards (bounds checks, integer div/mod zero tests) charge nothing to
+/// [`InterpStats`], so every mode produces bit-identical stats, stdout,
+/// and error text; only wall-clock changes. Select at runtime with the
+/// `HETERO_ELIDE` environment variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ElisionMode {
+    /// Elide guards at proven-safe sites (the default).
+    #[default]
+    On,
+    /// Keep every guard (pre-elision behavior).
+    Off,
+    /// Elide nothing, but at proven-safe sites **panic** if the guard
+    /// would have fired — a live soundness oracle for the analyzer,
+    /// used by the generative differential suite as a fuzzer.
+    Checked,
+}
+
+impl ElisionMode {
+    /// Parse a mode name (`"on"`/`"elide"`/`"1"`, `"off"`/`"0"`,
+    /// `"checked"`/`"check"`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "on" | "elide" | "1" => Some(ElisionMode::On),
+            "off" | "0" => Some(ElisionMode::Off),
+            "checked" | "check" => Some(ElisionMode::Checked),
+            _ => None,
+        }
+    }
+
+    /// Read the `HETERO_ELIDE` environment variable; unset or
+    /// unrecognized values fall back to the default ([`On`]).
+    ///
+    /// [`On`]: ElisionMode::On
+    pub fn from_env() -> Self {
+        std::env::var("HETERO_ELIDE")
+            .ok()
+            .and_then(|v| Self::parse(&v))
+            .unwrap_or_default()
+    }
+
+    /// The mode's short name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ElisionMode::On => "on",
+            ElisionMode::Off => "off",
+            ElisionMode::Checked => "checked",
+        }
+    }
+}
+
 /// Build a backend of the given kind over `prog`. The native backend
 /// compiles the whole program here, once; running it is then
-/// allocation-light per record batch.
+/// allocation-light per record batch. Elision follows `HETERO_ELIDE`.
 pub fn make_backend(kind: BackendKind, prog: &Program) -> Box<dyn KernelBackend> {
+    make_backend_with_mode(kind, prog, ElisionMode::from_env())
+}
+
+/// [`make_backend`] with an explicit [`ElisionMode`] (tests and the
+/// differential matrix use this to avoid environment races).
+pub fn make_backend_with_mode(
+    kind: BackendKind,
+    prog: &Program,
+    mode: ElisionMode,
+) -> Box<dyn KernelBackend> {
     match kind {
         BackendKind::Interp => Box::new(InterpBackend::new(prog.clone())),
-        BackendKind::Native => Box::new(NativeBackend::compile(prog)),
+        BackendKind::Native => Box::new(NativeBackend::with_mode(prog, mode)),
+    }
+}
+
+/// [`make_backend_with_mode`] reusing an already-computed
+/// [`SafetyFacts`] table — typically the one [`crate::sema::Analysis`]
+/// carries — instead of re-running the value analysis. Stale facts
+/// (computed for a different `Program` value) are detected and
+/// recomputed, never silently applied.
+pub fn make_backend_with_facts(
+    kind: BackendKind,
+    prog: &Program,
+    facts: &crate::lint::absint::SafetyFacts,
+    mode: ElisionMode,
+) -> Box<dyn KernelBackend> {
+    match kind {
+        BackendKind::Interp => Box::new(InterpBackend::new(prog.clone())),
+        BackendKind::Native => Box::new(NativeBackend {
+            prog: native::NativeProgram::compile_with_facts(prog, facts, mode),
+        }),
     }
 }
 
@@ -124,10 +206,17 @@ pub struct NativeBackend {
 impl NativeBackend {
     /// Lower `prog` to closures (no errors: ill-formed constructs
     /// compile to deferred-error closures so laziness matches the
-    /// interpreter).
+    /// interpreter). Elision follows `HETERO_ELIDE`.
     pub fn compile(prog: &Program) -> Self {
         NativeBackend {
             prog: native::NativeProgram::compile(prog),
+        }
+    }
+
+    /// [`compile`](Self::compile) with an explicit [`ElisionMode`].
+    pub fn with_mode(prog: &Program, mode: ElisionMode) -> Self {
+        NativeBackend {
+            prog: native::NativeProgram::compile_with_mode(prog, mode),
         }
     }
 }

@@ -34,14 +34,17 @@
 //!   interpreter never frees slots, while the native frame truncates on
 //!   return and reuses offsets across loop iterations.
 
+use super::ElisionMode;
 use crate::ast::*;
 use crate::error::CcError;
 use crate::interp::{
-    alloc_buffer, as_f64, as_int, binary, builtin_arity_err, builtin_min_args, cast, check_bounds,
-    cstr, default_value, getline_read, getline_store, leaf_type, num_add, parse_printf,
-    parse_scanf, read_buf, render_printf, run_scanf, scan_token, sfu1, store_through, str_find,
-    truthy, write_buf, write_cstr, Buffer, Flow, InterpStats, PrintfCx, ScanfCx, StreamIo, V,
+    alloc_buffer, as_f64, as_int, binary, binary_unchecked, builtin_arity_err, builtin_min_args,
+    cast, check_bounds, cstr, default_value, getline_read, getline_store, leaf_type, num_add,
+    parse_printf, parse_scanf, read_buf, render_printf, run_scanf, scan_token, sfu1, store_through,
+    str_find, truthy, write_buf, write_cstr, Buffer, Flow, InterpStats, PrintfCx, ScanfCx,
+    StreamIo, V,
 };
+use crate::lint::absint::SafetyFacts;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -102,8 +105,32 @@ pub struct NativeProgram {
 }
 
 impl NativeProgram {
-    /// Lower `prog`. Never fails: see the module docs on laziness.
+    /// Lower `prog` with the elision mode from `HETERO_ELIDE`. Never
+    /// fails: see the module docs on laziness.
     pub fn compile(prog: &Program) -> Self {
+        Self::compile_with_mode(prog, ElisionMode::from_env())
+    }
+
+    /// Lower `prog` with an explicit [`ElisionMode`], running the value
+    /// analysis here to obtain the safety facts.
+    pub fn compile_with_mode(prog: &Program, mode: ElisionMode) -> Self {
+        let facts = SafetyFacts::for_program(prog);
+        Self::compile_with_facts(prog, &facts, mode)
+    }
+
+    /// Lower `prog` reusing an already-computed [`SafetyFacts`] table
+    /// (e.g. the one [`crate::sema::Analysis`] carries). Facts are
+    /// keyed by AST node identity, so a table computed for a *different*
+    /// `Program` value (a clone, say) is silently stale; when
+    /// [`SafetyFacts::matches`] rejects the pairing we recompute rather
+    /// than compile with every site unknown.
+    pub fn compile_with_facts(prog: &Program, facts: &SafetyFacts, mode: ElisionMode) -> Self {
+        let facts = if facts.matches(prog) {
+            facts.clone()
+        } else {
+            SafetyFacts::for_program(prog)
+        };
+        let plan = Arc::new(ElisionPlan { mode, facts });
         // First function with a given name wins, matching
         // `Program::func` lookup order.
         let mut fn_indices: HashMap<String, usize> = HashMap::new();
@@ -114,7 +141,7 @@ impl NativeProgram {
         let funcs = prog
             .funcs
             .iter()
-            .map(|f| compile_func(&fn_indices, f))
+            .map(|f| compile_func(&fn_indices, &plan, f))
             .collect();
         NativeProgram {
             funcs,
@@ -192,8 +219,54 @@ struct Local {
     stride: Option<usize>,
 }
 
+/// What to lower at one guarded site (a subscript's bounds check or an
+/// integer division's zero test).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum SiteDecision {
+    /// Emit the guard as always (unproven site, or elision off).
+    Keep,
+    /// Proven safe under [`ElisionMode::On`]: skip the guard. The
+    /// guard charges no [`InterpStats`], so the elided closure is
+    /// stats-identical; Rust's own checks (`Vec` indexing,
+    /// `wrapping_div` on zero) remain as a panicking backstop should a
+    /// proof ever be wrong.
+    Elide,
+    /// Proven safe under [`ElisionMode::Checked`]: run the guard and
+    /// **panic** if it fires — the analyzer claimed it never can.
+    Check,
+}
+
+/// The compile-time elision policy: the analysis' fact table plus the
+/// requested mode.
+struct ElisionPlan {
+    mode: ElisionMode,
+    facts: SafetyFacts,
+}
+
+impl ElisionPlan {
+    fn decide(&self, proven: bool) -> SiteDecision {
+        match (proven, self.mode) {
+            (false, _) | (_, ElisionMode::Off) => SiteDecision::Keep,
+            (true, ElisionMode::On) => SiteDecision::Elide,
+            (true, ElisionMode::Checked) => SiteDecision::Check,
+        }
+    }
+
+    /// Decision for the subscript site `e` (the `Index` expression).
+    fn subscript(&self, e: &Expr) -> SiteDecision {
+        self.decide(self.facts.subscript_safe(e))
+    }
+
+    /// Decision for the division/remainder site `e` (the `Binary`
+    /// expression).
+    fn division(&self, e: &Expr) -> SiteDecision {
+        self.decide(self.facts.division_safe(e))
+    }
+}
+
 struct Cx {
     fn_indices: Arc<HashMap<String, usize>>,
+    plan: Arc<ElisionPlan>,
     scopes: Vec<HashMap<String, Local>>,
     next: usize,
     nslots: usize,
@@ -231,9 +304,14 @@ impl Cx {
     }
 }
 
-fn compile_func(fn_indices: &Arc<HashMap<String, usize>>, f: &FuncDef) -> NFunc {
+fn compile_func(
+    fn_indices: &Arc<HashMap<String, usize>>,
+    plan: &Arc<ElisionPlan>,
+    f: &FuncDef,
+) -> NFunc {
     let mut cx = Cx {
         fn_indices: Arc::clone(fn_indices),
+        plan: Arc::clone(plan),
         scopes: vec![HashMap::new()],
         next: 0,
         nslots: 0,
@@ -511,11 +589,43 @@ fn compile_expr(cx: &mut Cx, e: &Expr) -> CExpr {
                 }),
                 op => {
                     let op = *op;
-                    Box::new(move |p, env, io| {
-                        let va = ca(p, env, io)?;
-                        let vb = cb(p, env, io)?;
-                        binary(op, va, vb)
-                    })
+                    // The value analysis keys division facts by this
+                    // `Binary` node; the zero guard only exists on the
+                    // integer Div/Rem path and charges no stats, so a
+                    // proven site may route around it. (Compound
+                    // `a /= b` has no `Binary` node and always keeps
+                    // its guard.)
+                    let decision = if matches!(op, BinOp::Div | BinOp::Rem) {
+                        cx.plan.division(e)
+                    } else {
+                        SiteDecision::Keep
+                    };
+                    match decision {
+                        SiteDecision::Keep => Box::new(move |p, env, io| {
+                            let va = ca(p, env, io)?;
+                            let vb = cb(p, env, io)?;
+                            binary(op, va, vb)
+                        }),
+                        SiteDecision::Elide => Box::new(move |p, env, io| {
+                            let va = ca(p, env, io)?;
+                            let vb = cb(p, env, io)?;
+                            binary_unchecked(op, va, vb)
+                        }),
+                        SiteDecision::Check => Box::new(move |p, env, io| {
+                            let va = ca(p, env, io)?;
+                            let vb = cb(p, env, io)?;
+                            // Exactly the condition under which the
+                            // kept guard would have erred.
+                            if matches!((&va, &vb), (V::I(_), V::I(0))) {
+                                panic!(
+                                    "checked-elision soundness violation: integer \
+                                     division/remainder proven nonzero saw a zero \
+                                     denominator"
+                                );
+                            }
+                            binary_unchecked(op, va, vb)
+                        }),
+                    }
                 }
             }
         }
@@ -562,7 +672,7 @@ fn compile_expr(cx: &mut Cx, e: &Expr) -> CExpr {
         }
         Expr::Call(name, args) => compile_call(cx, name, args),
         Expr::Index(base, idx) => {
-            let place = compile_place(cx, base, idx);
+            let place = compile_place(cx, e, base, idx);
             Box::new(move |p, env, io| {
                 let (buf, off) = place(p, env, io)?;
                 env.stats.mem += 1;
@@ -608,7 +718,7 @@ fn compile_unary(cx: &mut Cx, op: UnOp, x: &Expr) -> CExpr {
                 None => expr_err(format!("unknown variable {name}")),
             },
             Expr::Index(base, idx) => {
-                let place = compile_place(cx, base, idx);
+                let place = compile_place(cx, x, base, idx);
                 Box::new(move |p, env, io| {
                     let (buf, off) = place(p, env, io)?;
                     Ok(V::Ptr { buf, off })
@@ -662,13 +772,47 @@ fn compile_unary(cx: &mut Cx, op: UnOp, x: &Expr) -> CExpr {
     }
 }
 
+/// [`check_bounds`] as lowered for one subscript site, per the
+/// elision decision. `Keep` is the plain guard. `Elide` skips it: the
+/// position is cast straight to `usize`, so a wrong proof lands on
+/// `Vec` indexing's own panic (negative positions wrap to huge
+/// offsets), never a silent wild read. `Check` runs the guard and
+/// panics if it fires — the checked-elision soundness oracle. The
+/// guard charges nothing to [`InterpStats`], so all three variants are
+/// stats-, stdout-, and error-identical on guard-passing runs.
+#[inline]
+fn bounds_guard(
+    decision: SiteDecision,
+    heap: &[Buffer],
+    buf: usize,
+    pos: isize,
+) -> Result<(usize, usize), CcError> {
+    match decision {
+        SiteDecision::Keep => check_bounds(heap, buf, pos),
+        SiteDecision::Elide => Ok((buf, pos as usize)),
+        SiteDecision::Check => match check_bounds(heap, buf, pos) {
+            Ok(r) => Ok(r),
+            Err(e) => panic!(
+                "checked-elision soundness violation: subscript proven in-bounds faulted: {e}"
+            ),
+        },
+    }
+}
+
 /// Compile `base[idx]` resolution to `(buffer, offset)`. Mirrors
 /// `Interp::index_target`: `idx` evaluates first; a 2-D access over a
 /// declared `a[rows][cols]` takes the strided fast path (the inner
 /// `Index` node itself is never charged, only its row index), with a
 /// runtime fallback to the generic path when the slot does not hold a
 /// pointer (e.g. the array variable was reassigned).
-fn compile_place(cx: &mut Cx, base: &Expr, idx: &Expr) -> CPlace {
+///
+/// `site` is the `Index` expression the value analysis keyed its
+/// bounds fact by; a proven site lowers its `check_bounds` per the
+/// plan's [`SiteDecision`]. Only the check itself is affected — the
+/// pointer-vs-other dispatch and the fast path's generic fallback
+/// (whose guard the analyzer did not reason about) are kept verbatim.
+fn compile_place(cx: &mut Cx, site: &Expr, base: &Expr, idx: &Expr) -> CPlace {
+    let decision = cx.plan.subscript(site);
     let idx_c = compile_expr(cx, idx);
     if let Expr::Index(inner_base, inner_idx) = base {
         if let Expr::Ident(name) = inner_base.as_ref() {
@@ -682,7 +826,7 @@ fn compile_place(cx: &mut Cx, base: &Expr, idx: &Expr) -> CPlace {
                         if let V::Ptr { buf, off } = env.slots[env.base + slot_off].clone() {
                             let row = as_int(&row_c(p, env, io)?)? as isize;
                             let pos = off as isize + row * stride as isize + i;
-                            return check_bounds(&env.heap, buf, pos);
+                            return bounds_guard(decision, &env.heap, buf, pos);
                         }
                         match generic(p, env, io)? {
                             V::Ptr { buf, off } => check_bounds(&env.heap, buf, off as isize + i),
@@ -693,11 +837,46 @@ fn compile_place(cx: &mut Cx, base: &Expr, idx: &Expr) -> CPlace {
             }
         }
     }
+    // A proven 1-D site over a named local fuses the place closure:
+    // with the guard discharged, the boxed base dispatch (and a literal
+    // index's dispatch) are the only remaining per-access overhead.
+    // The fused closures keep the skipped nodes' tick/ops bookkeeping
+    // in the exact evaluation order (`idx` then `base`), so stats stay
+    // bit-identical — elision buys wall-clock only, never cycles.
+    if matches!(decision, SiteDecision::Elide) {
+        if let Expr::Ident(name) = base {
+            if let Some(l) = cx.resolve(name) {
+                let slot_off = l.off;
+                if let Expr::IntLit(n) = idx {
+                    let i = *n as isize;
+                    return Box::new(move |_, env, _| {
+                        env.tick()?;
+                        env.stats.ops += 1;
+                        env.tick()?;
+                        env.stats.ops += 1;
+                        match &env.slots[env.base + slot_off] {
+                            V::Ptr { buf, off } => Ok((*buf, (*off as isize + i) as usize)),
+                            _ => Err(CcError::interp("indexing non-pointer")),
+                        }
+                    });
+                }
+                return Box::new(move |p, env, io| {
+                    let i = as_int(&idx_c(p, env, io)?)? as isize;
+                    env.tick()?;
+                    env.stats.ops += 1;
+                    match &env.slots[env.base + slot_off] {
+                        V::Ptr { buf, off } => Ok((*buf, (*off as isize + i) as usize)),
+                        _ => Err(CcError::interp("indexing non-pointer")),
+                    }
+                });
+            }
+        }
+    }
     let base_c = compile_expr(cx, base);
     Box::new(move |p, env, io| {
         let i = as_int(&idx_c(p, env, io)?)? as isize;
         match base_c(p, env, io)? {
-            V::Ptr { buf, off } => check_bounds(&env.heap, buf, off as isize + i),
+            V::Ptr { buf, off } => bounds_guard(decision, &env.heap, buf, off as isize + i),
             _ => Err(CcError::interp("indexing non-pointer")),
         }
     })
@@ -719,7 +898,7 @@ fn compile_assign_target(cx: &mut Cx, lhs: &Expr) -> CStore {
             None => store_err(format!("unknown variable {name}")),
         },
         Expr::Index(base, idx) => {
-            let place = compile_place(cx, base, idx);
+            let place = compile_place(cx, lhs, base, idx);
             Box::new(move |p, env, io, v| {
                 let (buf, off) = place(p, env, io)?;
                 write_buf(&mut env.heap, &mut env.stats, buf, off, &v)
@@ -1231,6 +1410,122 @@ int main() {
 }
 "#;
         differential(src, || StreamIo::lines(vec![]));
+    }
+
+    /// First expression matching `pred`, in statement order of `main`.
+    fn find_expr<'p>(prog: &'p Program, pred: &dyn Fn(&Expr) -> bool) -> &'p Expr {
+        fn in_expr<'p>(e: &'p Expr, pred: &dyn Fn(&Expr) -> bool) -> Option<&'p Expr> {
+            if pred(e) {
+                return Some(e);
+            }
+            match e {
+                Expr::Unary(_, x) | Expr::PostInc(x) | Expr::PostDec(x) | Expr::Cast(_, x) => {
+                    in_expr(x, pred)
+                }
+                Expr::Binary(_, a, b) | Expr::Index(a, b) => {
+                    in_expr(a, pred).or_else(|| in_expr(b, pred))
+                }
+                Expr::Assign(_, a, b) => in_expr(a, pred).or_else(|| in_expr(b, pred)),
+                Expr::Cond(c, t, f) => in_expr(c, pred)
+                    .or_else(|| in_expr(t, pred))
+                    .or_else(|| in_expr(f, pred)),
+                Expr::Call(_, args) => args.iter().find_map(|a| in_expr(a, pred)),
+                _ => None,
+            }
+        }
+        let mut found = None;
+        walk_stmts(&prog.func("main").unwrap().body, &mut |s| {
+            if found.is_some() {
+                return;
+            }
+            found = match &s.kind {
+                StmtKind::Expr(e) | StmtKind::Return(Some(e)) => in_expr(e, pred),
+                StmtKind::If { cond, .. } | StmtKind::While { cond, .. } => in_expr(cond, pred),
+                _ => None,
+            };
+        });
+        found.expect("test program contains the site")
+    }
+
+    #[test]
+    #[should_panic(expected = "checked-elision soundness violation")]
+    fn checked_mode_panics_on_forged_subscript_fact() {
+        // `a[9]` is out of bounds; a forged "proven in-bounds" fact
+        // must trip the checked-elision oracle, not read wild.
+        let src = "int main() { int a[2]; int i; i = 9; printf(\"%d\\n\", a[i]); return 0; }";
+        let prog = parse(src).unwrap();
+        let mut facts = SafetyFacts::forged_for(&prog);
+        facts.claim_subscript(find_expr(&prog, &|e| matches!(e, Expr::Index(..))));
+        let native = NativeProgram::compile_with_facts(&prog, &facts, ElisionMode::Checked);
+        let _ = native.run(&mut StreamIo::lines(vec![]), 100_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "checked-elision soundness violation")]
+    fn checked_mode_panics_on_forged_division_fact() {
+        let src = "int main() { int d; d = 0; printf(\"%d\\n\", 7 / d); return 0; }";
+        let prog = parse(src).unwrap();
+        let mut facts = SafetyFacts::forged_for(&prog);
+        facts.claim_division(find_expr(&prog, &|e| {
+            matches!(e, Expr::Binary(BinOp::Div, _, _))
+        }));
+        let native = NativeProgram::compile_with_facts(&prog, &facts, ElisionMode::Checked);
+        let _ = native.run(&mut StreamIo::lines(vec![]), 100_000);
+    }
+
+    #[test]
+    fn stale_facts_are_recomputed_not_trusted() {
+        // Facts forged for one program must not apply to a clone: the
+        // token mismatch forces a recompute, so the wrong claim is
+        // discarded and the guard stays (interp-identical error).
+        let src = "int main() { int a[2]; int i; i = 9; printf(\"%d\\n\", a[i]); return 0; }";
+        let prog = parse(src).unwrap();
+        let clone = prog.clone();
+        let mut facts = SafetyFacts::forged_for(&prog);
+        facts.claim_subscript(find_expr(&prog, &|e| matches!(e, Expr::Index(..))));
+        assert!(!facts.matches(&clone));
+        let native = NativeProgram::compile_with_facts(&clone, &facts, ElisionMode::Checked);
+        let err = native
+            .run(&mut StreamIo::lines(vec![]), 100_000)
+            .unwrap_err();
+        assert!(err.to_string().contains("out of bounds"), "{err}");
+    }
+
+    #[test]
+    fn elision_modes_agree_on_stats_stdout_and_errors() {
+        // Subscript-, division-, and 2-D-heavy program: every mode must
+        // be bit-identical on stats and bytes (guards charge nothing).
+        let src = r#"
+int main() {
+  int a[8]; double m[3][4]; int i; int j; int s; s = 0;
+  for (i = 0; i < 8; i++) a[i] = i * 3;
+  for (i = 0; i < 3; i++)
+    for (j = 0; j < 4; j++)
+      m[i][j] = a[i + j] / (i + 1);
+  for (i = 0; i < 8; i++) s += a[i] % 5;
+  printf("s\t%d\n", s + (int) m[2][3]);
+  return 0;
+}
+"#;
+        let prog = parse(src).unwrap();
+        let mut base: Option<(Vec<u8>, InterpStats)> = None;
+        for mode in [ElisionMode::Off, ElisionMode::On, ElisionMode::Checked] {
+            let native = NativeProgram::compile_with_mode(&prog, mode);
+            let mut io = StreamIo::lines(vec![]);
+            let stats = native.run(&mut io, 1_000_000).unwrap();
+            match &base {
+                None => base = Some((io.stdout, stats)),
+                Some((out0, st0)) => {
+                    assert_eq!(&io.stdout, out0, "stdout diverged in {:?}", mode);
+                    assert_eq!(&stats, st0, "stats diverged in {:?}", mode);
+                }
+            }
+        }
+        // And the proofs actually covered sites to elide.
+        let facts = SafetyFacts::for_program(&prog);
+        let (subs, divs, _) = facts.proven_counts();
+        assert!(subs >= 4, "subscripts proven: {subs}");
+        assert!(divs >= 2, "divisions proven: {divs}");
     }
 
     #[test]

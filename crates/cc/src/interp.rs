@@ -1333,6 +1333,20 @@ pub(crate) fn num_add(v: &V, d: i64) -> Result<V, CcError> {
 }
 
 pub(crate) fn binary(op: BinOp, a: V, b: V) -> Result<V, CcError> {
+    binary_impl::<true>(op, a, b)
+}
+
+/// [`binary`] with the integer div/mod zero guard elided. Only for
+/// sites the value analysis proved never see a zero denominator; if
+/// such a proof were ever wrong, `wrapping_div`/`wrapping_rem` panic
+/// (Rust's own zero check) instead of corrupting state. The guard
+/// charges no [`InterpStats`], so eliding it cannot perturb simulated
+/// cost.
+pub(crate) fn binary_unchecked(op: BinOp, a: V, b: V) -> Result<V, CcError> {
+    binary_impl::<false>(op, a, b)
+}
+
+fn binary_impl<const CHECK_DIV: bool>(op: BinOp, a: V, b: V) -> Result<V, CcError> {
     use BinOp::*;
     // Pointer arithmetic.
     if let (V::Ptr { buf, off }, V::I(i)) = (&a, &b) {
@@ -1378,13 +1392,13 @@ pub(crate) fn binary(op: BinOp, a: V, b: V) -> Result<V, CcError> {
         Sub => V::I(x.wrapping_sub(y)),
         Mul => V::I(x.wrapping_mul(y)),
         Div => {
-            if y == 0 {
+            if CHECK_DIV && y == 0 {
                 return Err(CcError::interp("integer division by zero"));
             }
             V::I(x.wrapping_div(y))
         }
         Rem => {
-            if y == 0 {
+            if CHECK_DIV && y == 0 {
                 return Err(CcError::interp("integer remainder by zero"));
             }
             V::I(x.wrapping_rem(y))

@@ -1,0 +1,572 @@
+//! Abstract domains for the value analysis (`absint.rs`).
+//!
+//! Three small lattices live here, kept free of AST concerns so they can
+//! be unit-tested in isolation:
+//!
+//! * [`Interval`] — machine-integer ranges `[lo, hi]` over `i64`, the
+//!   workhorse domain. Arithmetic mirrors the interpreter's *wrapping*
+//!   semantics conservatively: any transfer function whose concrete
+//!   counterpart could wrap returns [`Interval::FULL`] instead of a
+//!   wrong tight bound.
+//! * [`InitState`] — the initialization lattice `Uninit ⊑ MaybeInit ⊒
+//!   Init` (a flat join of the two definite states).
+//! * [`Nullness`] — whether a pointer-typed value may be the `V::Null`
+//!   sentinel.
+//!
+//! All joins are commutative/associative/idempotent and all transfer
+//! functions are monotone, which (together with [`Interval::widen`])
+//! gives the fixpoint in `absint.rs` its termination argument.
+
+/// An inclusive machine-integer range `[lo, hi]`, `lo <= hi`.
+///
+/// There is no bottom element: unreachable states are represented one
+/// level up (the whole environment becomes `None`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Interval {
+    /// Smallest value the quantity may hold.
+    pub lo: i64,
+    /// Largest value the quantity may hold.
+    pub hi: i64,
+}
+
+impl Interval {
+    /// The top element: any `i64` at all.
+    pub const FULL: Interval = Interval {
+        lo: i64::MIN,
+        hi: i64::MAX,
+    };
+
+    /// The singleton interval `[c, c]`.
+    pub fn constant(c: i64) -> Interval {
+        Interval { lo: c, hi: c }
+    }
+
+    /// `[lo, hi]`, normalizing a crossed pair to [`Interval::FULL`]
+    /// (callers should never produce one; this keeps the type total).
+    pub fn range(lo: i64, hi: i64) -> Interval {
+        if lo <= hi {
+            Interval { lo, hi }
+        } else {
+            Interval::FULL
+        }
+    }
+
+    /// Whether `c` is inside the range.
+    pub fn contains(&self, c: i64) -> bool {
+        self.lo <= c && c <= self.hi
+    }
+
+    /// Whether the range admits zero — the question every division
+    /// fact hinges on.
+    pub fn contains_zero(&self) -> bool {
+        self.contains(0)
+    }
+
+    /// Whether this is the singleton `[c, c]`.
+    pub fn as_constant(&self) -> Option<i64> {
+        if self.lo == self.hi {
+            Some(self.lo)
+        } else {
+            None
+        }
+    }
+
+    /// Least upper bound: the convex hull of the two ranges.
+    pub fn join(&self, other: &Interval) -> Interval {
+        Interval {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    /// Greatest lower bound, or `None` when the ranges are disjoint
+    /// (i.e. the refined state is unreachable).
+    pub fn meet(&self, other: &Interval) -> Option<Interval> {
+        let lo = self.lo.max(other.lo);
+        let hi = self.hi.min(other.hi);
+        if lo <= hi {
+            Some(Interval { lo, hi })
+        } else {
+            None
+        }
+    }
+
+    /// Standard widening: any bound that moved since the previous
+    /// iterate jumps straight to infinity. Guarantees the loop-head
+    /// chain stabilizes in at most two more widening steps per
+    /// variable.
+    pub fn widen(&self, next: &Interval) -> Interval {
+        Interval {
+            lo: if next.lo < self.lo { i64::MIN } else { self.lo },
+            hi: if next.hi > self.hi { i64::MAX } else { self.hi },
+        }
+    }
+
+    /// `[MIN, hi]` — everything at or below `hi`.
+    pub fn at_most(hi: i64) -> Interval {
+        Interval { lo: i64::MIN, hi }
+    }
+
+    /// `[lo, MAX]` — everything at or above `lo`.
+    pub fn at_least(lo: i64) -> Interval {
+        Interval { lo, hi: i64::MAX }
+    }
+
+    /// Abstract addition; wraps to FULL on potential overflow. Sound
+    /// because `x + y` over a box attains its extremes at the corners.
+    pub fn add(&self, other: &Interval) -> Interval {
+        match (self.lo.checked_add(other.lo), self.hi.checked_add(other.hi)) {
+            (Some(lo), Some(hi)) => Interval { lo, hi },
+            _ => Interval::FULL,
+        }
+    }
+
+    /// Abstract subtraction; wraps to FULL on potential overflow.
+    pub fn sub(&self, other: &Interval) -> Interval {
+        match (self.lo.checked_sub(other.hi), self.hi.checked_sub(other.lo)) {
+            (Some(lo), Some(hi)) => Interval { lo, hi },
+            _ => Interval::FULL,
+        }
+    }
+
+    /// Abstract multiplication: extremes of a bilinear form are at the
+    /// four corners; any overflowing corner degrades to FULL.
+    pub fn mul(&self, other: &Interval) -> Interval {
+        let corners = [
+            self.lo.checked_mul(other.lo),
+            self.lo.checked_mul(other.hi),
+            self.hi.checked_mul(other.lo),
+            self.hi.checked_mul(other.hi),
+        ];
+        let mut lo = i64::MAX;
+        let mut hi = i64::MIN;
+        for c in corners {
+            match c {
+                Some(v) => {
+                    lo = lo.min(v);
+                    hi = hi.max(v);
+                }
+                None => return Interval::FULL,
+            }
+        }
+        Interval { lo, hi }
+    }
+
+    /// Abstract negation; `-i64::MIN` wraps at runtime, so its presence
+    /// forces FULL.
+    pub fn neg(&self) -> Interval {
+        if self.lo == i64::MIN {
+            Interval::FULL
+        } else {
+            Interval {
+                lo: -self.hi,
+                hi: -self.lo,
+            }
+        }
+    }
+
+    /// Abstract bitwise NOT — exact, since `!x == -x - 1` is a
+    /// monotone-decreasing bijection with no overflow.
+    pub fn bitnot(&self) -> Interval {
+        Interval {
+            lo: !self.hi,
+            hi: !self.lo,
+        }
+    }
+
+    /// Abstract truncating division. Only meaningful when the divisor
+    /// excludes zero (the caller checks); a divisor range straddling
+    /// zero, or the `i64::MIN / -1` wrap case, degrades to FULL.
+    pub fn div(&self, other: &Interval) -> Interval {
+        if other.contains_zero() {
+            // Division by zero is a runtime *error*, not a value; the
+            // surviving executions are the nonzero-divisor ones, but
+            // splitting the range is not worth the precision here.
+            return Interval::FULL;
+        }
+        if self.contains(i64::MIN) && other.contains(-1) {
+            // wrapping_div(i64::MIN, -1) == i64::MIN: corner evaluation
+            // below would be unsound.
+            return Interval::FULL;
+        }
+        // Divisor is entirely positive or entirely negative, so x / y
+        // is monotone in each argument and corner evaluation is exact.
+        let corners = [
+            self.lo / other.lo,
+            self.lo / other.hi,
+            self.hi / other.lo,
+            self.hi / other.hi,
+        ];
+        let lo = *corners.iter().min().unwrap();
+        let hi = *corners.iter().max().unwrap();
+        Interval { lo, hi }
+    }
+
+    /// Abstract truncating remainder. `x % y` has `|x % y| < |y|` and
+    /// takes the sign of `x`, which bounds the result even when the
+    /// operands are wide.
+    pub fn rem(&self, other: &Interval) -> Interval {
+        if other.contains_zero() {
+            return Interval::FULL;
+        }
+        // Largest divisor magnitude, saturating |i64::MIN|.
+        let m = other.lo.saturating_abs().max(other.hi.saturating_abs());
+        let bound = m.saturating_sub(1);
+        let lo = if self.lo >= 0 { 0 } else { -bound };
+        let hi = if self.hi <= 0 { 0 } else { bound };
+        // The result magnitude also never exceeds the dividend's.
+        let (dlo, dhi) = (self.lo.saturating_abs(), self.hi.saturating_abs());
+        let dmag = dlo.max(dhi);
+        Interval {
+            lo: lo.max(-dmag),
+            hi: hi.min(dmag),
+        }
+    }
+
+    /// Abstract bitwise AND. Exact-ish bounds for the common masking
+    /// idioms; FULL when a negative operand makes sign reasoning murky.
+    pub fn bitand(&self, other: &Interval) -> Interval {
+        let nonneg = |i: &Interval| i.lo >= 0;
+        match (nonneg(self), nonneg(other)) {
+            // x & y <= min(x, y) when both are non-negative.
+            (true, true) => Interval {
+                lo: 0,
+                hi: self.hi.min(other.hi),
+            },
+            // A non-negative operand upper-bounds the result and forces
+            // it non-negative regardless of the other side.
+            (true, false) => Interval { lo: 0, hi: self.hi },
+            (false, true) => Interval {
+                lo: 0,
+                hi: other.hi,
+            },
+            (false, false) => Interval::FULL,
+        }
+    }
+
+    /// Abstract bitwise OR: for non-negative operands the result stays
+    /// below the next power of two covering both.
+    pub fn bitor(&self, other: &Interval) -> Interval {
+        if self.lo >= 0 && other.lo >= 0 {
+            Interval {
+                lo: self.lo.max(other.lo),
+                hi: pow2_cover(self.hi.max(other.hi)),
+            }
+        } else {
+            Interval::FULL
+        }
+    }
+
+    /// Abstract bitwise XOR: same power-of-two cover as OR for
+    /// non-negative operands, but no useful lower bound.
+    pub fn bitxor(&self, other: &Interval) -> Interval {
+        if self.lo >= 0 && other.lo >= 0 {
+            Interval {
+                lo: 0,
+                hi: pow2_cover(self.hi.max(other.hi)),
+            }
+        } else {
+            Interval::FULL
+        }
+    }
+
+    /// Abstract right shift (the interpreter masks the count with
+    /// `& 63`). Only the "non-negative value, known-constant count"
+    /// case produces a useful bound.
+    pub fn shr(&self, other: &Interval) -> Interval {
+        if self.lo >= 0 {
+            if let Some(c) = other.as_constant() {
+                let c = (c & 63) as u32;
+                return Interval {
+                    lo: self.lo >> c,
+                    hi: self.hi >> c,
+                };
+            }
+            // Shifting a non-negative value right never grows it.
+            return Interval { lo: 0, hi: self.hi };
+        }
+        Interval::FULL
+    }
+
+    /// Definite truthiness of the interval: `Some(false)` for `[0,0]`,
+    /// `Some(true)` when zero is excluded, `None` otherwise.
+    pub fn definitely_truthy(&self) -> Option<bool> {
+        if self.as_constant() == Some(0) {
+            Some(false)
+        } else if !self.contains_zero() {
+            Some(true)
+        } else {
+            None
+        }
+    }
+
+    /// Decide `self < other` when the ranges don't overlap enough to
+    /// leave it open.
+    pub fn definitely_lt(&self, other: &Interval) -> Option<bool> {
+        if self.hi < other.lo {
+            Some(true)
+        } else if self.lo >= other.hi {
+            Some(false)
+        } else {
+            None
+        }
+    }
+
+    /// Decide `self <= other` where possible.
+    pub fn definitely_le(&self, other: &Interval) -> Option<bool> {
+        if self.hi <= other.lo {
+            Some(true)
+        } else if self.lo > other.hi {
+            Some(false)
+        } else {
+            None
+        }
+    }
+
+    /// Decide `self == other` where possible (equal constants, or
+    /// disjoint ranges).
+    pub fn definitely_eq(&self, other: &Interval) -> Option<bool> {
+        match (self.as_constant(), other.as_constant()) {
+            (Some(a), Some(b)) => Some(a == b),
+            _ if self.hi < other.lo || other.hi < self.lo => Some(false),
+            _ => None,
+        }
+    }
+
+    /// Remove `c` from the range when it sits on an endpoint; `None`
+    /// when the range *was* the singleton `[c, c]` (unreachable).
+    pub fn without(&self, c: i64) -> Option<Interval> {
+        if self.as_constant() == Some(c) {
+            None
+        } else if self.lo == c {
+            Some(Interval {
+                lo: c + 1,
+                hi: self.hi,
+            })
+        } else if self.hi == c {
+            Some(Interval {
+                lo: self.lo,
+                hi: c - 1,
+            })
+        } else {
+            Some(*self)
+        }
+    }
+}
+
+/// Smallest `2^k - 1 >= v` (saturating), used to bound OR/XOR results.
+fn pow2_cover(v: i64) -> i64 {
+    if v <= 0 {
+        return 0;
+    }
+    let bits = 64 - (v as u64).leading_zeros();
+    if bits >= 63 {
+        i64::MAX
+    } else {
+        (1i64 << bits) - 1
+    }
+}
+
+/// The initialization lattice for scalars declared without an
+/// initializer. The interpreter *defines* such slots (they read as
+/// zero), so a definite pre-assignment read is a warning (HD018), not
+/// an error.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InitState {
+    /// Never assigned on any path reaching this point.
+    Uninit,
+    /// Assigned on some paths, not on others.
+    MaybeInit,
+    /// Assigned on every path.
+    Init,
+}
+
+impl InitState {
+    /// Least upper bound (MaybeInit is the top of the flat lattice).
+    pub fn join(&self, other: &InitState) -> InitState {
+        if self == other {
+            *self
+        } else {
+            InitState::MaybeInit
+        }
+    }
+}
+
+/// Whether a pointer-typed quantity may hold the interpreter's
+/// `V::Null` sentinel (the default value of pointer declarations).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Nullness {
+    /// Proven to be a real buffer pointer.
+    NonNull,
+    /// May be `V::Null` on some path.
+    MaybeNull,
+}
+
+impl Nullness {
+    /// Least upper bound.
+    pub fn join(&self, other: &Nullness) -> Nullness {
+        if *self == Nullness::NonNull && *other == Nullness::NonNull {
+            Nullness::NonNull
+        } else {
+            Nullness::MaybeNull
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FULL: Interval = Interval::FULL;
+
+    #[test]
+    fn join_meet_widen_basics() {
+        let a = Interval::range(0, 5);
+        let b = Interval::range(3, 9);
+        assert_eq!(a.join(&b), Interval::range(0, 9));
+        assert_eq!(a.meet(&b), Some(Interval::range(3, 5)));
+        assert_eq!(
+            Interval::range(0, 2).meet(&Interval::range(5, 9)),
+            None,
+            "disjoint meet is unreachable"
+        );
+        // Widening: a moved bound jumps to infinity, a stable one stays.
+        let w = a.widen(&Interval::range(0, 6));
+        assert_eq!(
+            w,
+            Interval {
+                lo: 0,
+                hi: i64::MAX
+            }
+        );
+        let w2 = a.widen(&Interval::range(-1, 5));
+        assert_eq!(
+            w2,
+            Interval {
+                lo: i64::MIN,
+                hi: 5
+            }
+        );
+        assert_eq!(a.widen(&a), a, "widen is reflexive on stable chains");
+    }
+
+    #[test]
+    fn arithmetic_saturates_to_full_on_overflow() {
+        let big = Interval::range(i64::MAX - 1, i64::MAX);
+        assert_eq!(big.add(&Interval::constant(2)), FULL);
+        assert_eq!(big.mul(&Interval::constant(3)), FULL);
+        assert_eq!(Interval::constant(i64::MIN).neg(), FULL);
+        assert_eq!(
+            Interval::range(1, 3).add(&Interval::range(10, 20)),
+            Interval::range(11, 23)
+        );
+        assert_eq!(
+            Interval::range(-2, 3).sub(&Interval::range(1, 4)),
+            Interval::range(-6, 2)
+        );
+        assert_eq!(
+            Interval::range(-2, 3).mul(&Interval::range(-5, 4)),
+            Interval::range(-15, 12)
+        );
+    }
+
+    #[test]
+    fn division_respects_the_min_over_minus_one_wrap() {
+        // wrapping_div(i64::MIN, -1) == i64::MIN — corner evaluation
+        // would claim a positive result; the domain must bail to FULL.
+        assert_eq!(FULL.div(&Interval::constant(-1)), FULL);
+        assert_eq!(
+            Interval::range(10, 20).div(&Interval::range(2, 5)),
+            Interval::range(2, 10)
+        );
+        assert_eq!(
+            Interval::range(-9, 9).div(&Interval::constant(3)),
+            Interval::range(-3, 3)
+        );
+        assert_eq!(
+            Interval::range(10, 20).div(&Interval::range(-1, 1)),
+            FULL,
+            "divisor straddling zero gives no fact"
+        );
+    }
+
+    #[test]
+    fn remainder_is_bounded_by_divisor_and_dividend() {
+        assert_eq!(
+            Interval::at_least(0).rem(&Interval::constant(16)),
+            Interval::range(0, 15)
+        );
+        assert_eq!(
+            FULL.rem(&Interval::constant(10)),
+            Interval::range(-9, 9),
+            "sign of the dividend bounds both sides"
+        );
+        assert_eq!(
+            Interval::range(0, 5).rem(&Interval::constant(100)),
+            Interval::range(0, 5),
+            "dividend magnitude tightens the bound"
+        );
+    }
+
+    #[test]
+    fn masking_and_shifts() {
+        assert_eq!(FULL.bitand(&Interval::constant(15)), Interval::range(0, 15));
+        assert_eq!(
+            Interval::range(0, 7).bitand(&Interval::range(0, 100)),
+            Interval::range(0, 7)
+        );
+        assert_eq!(
+            Interval::range(0, 5).bitor(&Interval::range(0, 9)),
+            Interval::range(0, 15),
+            "OR bounded by the covering 2^k - 1"
+        );
+        assert_eq!(
+            Interval::range(0, 100).shr(&Interval::constant(2)),
+            Interval::range(0, 25)
+        );
+        assert_eq!(Interval::range(-1, 0).bitand(&Interval::range(-1, 0)), FULL);
+    }
+
+    #[test]
+    fn comparisons_and_refinement_helpers() {
+        let a = Interval::range(0, 4);
+        let b = Interval::range(10, 20);
+        assert_eq!(a.definitely_lt(&b), Some(true));
+        assert_eq!(b.definitely_lt(&a), Some(false));
+        assert_eq!(a.definitely_lt(&Interval::range(2, 3)), None);
+        assert_eq!(a.definitely_eq(&b), Some(false));
+        assert_eq!(
+            Interval::constant(3).definitely_eq(&Interval::constant(3)),
+            Some(true)
+        );
+        assert_eq!(Interval::range(1, 9).definitely_truthy(), Some(true));
+        assert_eq!(Interval::constant(0).definitely_truthy(), Some(false));
+        assert_eq!(Interval::range(-1, 1).definitely_truthy(), None);
+        assert_eq!(
+            Interval::range(0, 5).without(0),
+            Some(Interval::range(1, 5))
+        );
+        assert_eq!(Interval::constant(0).without(0), None);
+        assert_eq!(
+            Interval::range(-3, 3).without(0),
+            Some(Interval::range(-3, 3)),
+            "interior removal keeps the hull"
+        );
+    }
+
+    #[test]
+    fn init_and_nullness_lattices() {
+        use InitState::*;
+        assert_eq!(Uninit.join(&Uninit), Uninit);
+        assert_eq!(Uninit.join(&Init), MaybeInit);
+        assert_eq!(Init.join(&MaybeInit), MaybeInit);
+        assert_eq!(
+            Nullness::NonNull.join(&Nullness::NonNull),
+            Nullness::NonNull
+        );
+        assert_eq!(
+            Nullness::NonNull.join(&Nullness::MaybeNull),
+            Nullness::MaybeNull
+        );
+    }
+}

@@ -1,7 +1,7 @@
 //! `heterolint`: GPU-safety and performance static analysis over
 //! `#pragma mapreduce` programs.
 //!
-//! Four pass families, run after [`crate::sema::analyze`]:
+//! Five pass families, run after [`crate::sema::analyze`]:
 //!
 //! 1. **Race / purity** ([`races`]): map/reduce bodies may only write
 //!    privatizable locals and emit targets — writes to `sharedRO` /
@@ -21,11 +21,18 @@
 //!    read-only firstprivate arrays (HD011), multi-emit mappers without a
 //!    `kvpairs` hint (HD012). Each is cross-checked against
 //!    `hetero-gpusim` counters by the workspace's differential tests.
+//! 5. **Value analysis** ([`absint`]): a flow-sensitive abstract
+//!    interpreter over interval/initialization/nullness/extent domains
+//!    ([`domains`]) proves per-site safety facts. Provable faults and
+//!    dead code become HD016–HD021; the [`absint::SafetyFacts`] table
+//!    lets the native backend elide host-side guards at proven sites.
 
+pub mod absint;
 pub mod classify_check;
 pub mod clauses;
 pub mod dataflow;
 pub mod diag;
+pub mod domains;
 pub mod perf;
 pub mod races;
 
@@ -122,7 +129,42 @@ pub const CODES: &[(&str, Severity, &str)] = &[
         Severity::Warning,
         "redundant/duplicate variable across storage clauses",
     ),
+    (
+        "HD016",
+        Severity::Error,
+        "subscript is provably out of bounds",
+    ),
+    (
+        "HD017",
+        Severity::Error,
+        "division or remainder by a provably zero denominator",
+    ),
+    (
+        "HD018",
+        Severity::Warning,
+        "scalar is read before it is ever written",
+    ),
+    (
+        "HD019",
+        Severity::Warning,
+        "branch or emit is provably dead",
+    ),
+    (
+        "HD020",
+        Severity::Warning,
+        "loop provably never exits and will exceed the step limit",
+    ),
+    (
+        "HD021",
+        Severity::Warning,
+        "printf/scanf arguments mismatch the format",
+    ),
 ];
+
+/// Version of the JSON report shape emitted by [`LintReport::to_json`]
+/// and the `heterolint` CLI wrapper. Bump on any key addition, removal,
+/// or meaning change so CI artifact consumers can detect drift.
+pub const REPORT_SCHEMA: u32 = 1;
 
 /// Severity a code is registered with in [`CODES`].
 pub fn severity_of(code: &str) -> Option<Severity> {
@@ -208,6 +250,7 @@ impl LintReport {
     /// full serde).
     pub fn to_json(&self, unit: &str) -> String {
         let mut s = String::from("{");
+        s.push_str(&format!("\"schema\":{REPORT_SCHEMA},"));
         s.push_str(&format!("\"unit\":\"{}\",", diag::json_escape(unit)));
         s.push_str(&format!("\"regions\":{},", self.regions));
         s.push_str(&format!(
@@ -252,6 +295,10 @@ pub fn lint_program(src: &str, program: &Program, analysis: &Analysis) -> LintRe
             classify_check::check(unit, region, &mut report.diags);
         }
     }
+    // Value analysis over the whole of `main` (regions included).
+    for f in absint::analyze_main(program).findings {
+        push(&mut report.diags, f.code, f.span, f.focus, f.msg);
+    }
     // Stable order: by severity rank, then line, then code.
     report
         .diags
@@ -259,6 +306,11 @@ pub fn lint_program(src: &str, program: &Program, analysis: &Analysis) -> LintRe
     report
 }
 
+/// Append a finding unless an identical `(code, span)` diagnostic is
+/// already present — overlapping passes (and the per-region loop above)
+/// can legitimately rediscover the same fact, and rendered/JSON output
+/// must not repeat it. Keep-first is deterministic because every pass
+/// emits in program order.
 pub(crate) fn push(
     diags: &mut Vec<Diag>,
     code: &'static str,
@@ -266,6 +318,9 @@ pub(crate) fn push(
     focus: Option<String>,
     msg: String,
 ) {
+    if diags.iter().any(|d| d.code == code && d.span == span) {
+        return;
+    }
     let severity = severity_of(code).expect("lint code registered in CODES");
     diags.push(Diag {
         code,
@@ -274,6 +329,91 @@ pub(crate) fn push(
         focus,
         msg,
     });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::Span;
+
+    fn span(line: u32, start: u32, end: u32) -> Span {
+        Span { line, start, end }
+    }
+
+    #[test]
+    fn push_dedupes_identical_code_and_span_keeping_first() {
+        let mut diags = Vec::new();
+        push(
+            &mut diags,
+            "HD016",
+            span(4, 10, 14),
+            Some("a".into()),
+            "first".into(),
+        );
+        // The same fact rediscovered by an overlapping pass: dropped,
+        // and the first message survives (deterministic keep-first).
+        push(&mut diags, "HD016", span(4, 10, 14), None, "second".into());
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].msg, "first");
+        assert_eq!(diags[0].focus.as_deref(), Some("a"));
+        // A different span of the same code is not a duplicate...
+        push(&mut diags, "HD016", span(5, 20, 24), None, "x".into());
+        // ...nor is a different code at the same span.
+        push(&mut diags, "HD017", span(4, 10, 14), None, "y".into());
+        assert_eq!(diags.len(), 3);
+    }
+
+    #[test]
+    fn json_report_shape_is_golden() {
+        // Pins the full versioned report shape: key order, the schema
+        // field, counts, and every per-diagnostic key. Any change here
+        // must come with a REPORT_SCHEMA bump.
+        let mut report = LintReport {
+            diags: Vec::new(),
+            regions: 1,
+        };
+        push(
+            &mut report.diags,
+            "HD016",
+            span(6, 42, 46),
+            Some("a".into()),
+            "subscript is provably out of bounds".into(),
+        );
+        push(
+            &mut report.diags,
+            "HD018",
+            span(3, 17, 18),
+            None,
+            "`x` is read before it is ever assigned".into(),
+        );
+        let expected = concat!(
+            "{\"schema\":1,\"unit\":\"unit.c\",\"regions\":1,",
+            "\"errors\":1,\"warnings\":1,\"perf_notes\":0,",
+            "\"diagnostics\":[",
+            "{\"code\":\"HD016\",\"severity\":\"error\",\"line\":6,",
+            "\"start\":42,\"end\":46,\"focus\":\"a\",",
+            "\"message\":\"subscript is provably out of bounds\"},",
+            "{\"code\":\"HD018\",\"severity\":\"warning\",\"line\":3,",
+            "\"start\":17,\"end\":18,\"focus\":null,",
+            "\"message\":\"`x` is read before it is ever assigned\"}",
+            "]}"
+        );
+        assert_eq!(report.to_json("unit.c"), expected);
+    }
+
+    #[test]
+    fn every_absint_code_is_registered_with_its_severity() {
+        for (code, sev) in [
+            ("HD016", Severity::Error),
+            ("HD017", Severity::Error),
+            ("HD018", Severity::Warning),
+            ("HD019", Severity::Warning),
+            ("HD020", Severity::Warning),
+            ("HD021", Severity::Warning),
+        ] {
+            assert_eq!(severity_of(code), Some(sev), "{code}");
+        }
+    }
 }
 
 #[cfg(test)]

@@ -13,6 +13,7 @@
 
 use crate::ast::*;
 use crate::error::{CcError, Warning};
+use crate::lint::absint::SafetyFacts;
 use crate::pragma::{Directive, DirectiveKind};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -64,6 +65,13 @@ pub struct RegionInfo {
 pub struct Analysis {
     /// One entry per mapreduce directive, in directive order.
     pub regions: Vec<RegionInfo>,
+    /// Per-site safety proofs from the value analysis
+    /// ([`crate::lint::absint`]); the native backend consumes these via
+    /// [`crate::backend::native::NativeProgram::compile_with_facts`] to
+    /// elide host-side guards. Keyed by AST node identity — valid for
+    /// the exact `Program` analyzed (and moves of it), not for clones;
+    /// [`SafetyFacts::matches`] detects staleness.
+    pub safety: SafetyFacts,
 }
 
 /// Analyze every annotated region in `prog`.
@@ -89,7 +97,10 @@ pub fn analyze(prog: &Program) -> Result<Analysis, CcError> {
             .ok_or_else(|| CcError::sema(dir.span, "directive is not attached to a statement"))?;
         regions.push(analyze_region(dir, idx, region, &types)?);
     }
-    Ok(Analysis { regions })
+    Ok(Analysis {
+        regions,
+        safety: SafetyFacts::for_program(prog),
+    })
 }
 
 fn find_region(stmts: &[Stmt], idx: usize) -> Option<&Stmt> {

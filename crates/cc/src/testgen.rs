@@ -30,7 +30,19 @@
 //! * `printf` emissions mixing `%d`/`%c`/`%s`/`%f`/`%e`/`%g` with
 //!   random precisions, `%%`, and multi-conversion formats,
 //! * input loops — `getline`+`getWord`/`getTok` over line records
-//!   (mapper mode) or `scanf` over KV records (combiner mode).
+//!   (mapper mode) or `scanf` over KV records (combiner mode),
+//! * **provable-subscript sweeps** — counted loops over `a0` with
+//!   non-unit strides and mirrored (`15 - i3`) indices that the value
+//!   analysis (`lint::absint`) proves in-bounds, so the native
+//!   backend's guard elision is exercised on every sweep case and the
+//!   checked-elision mode can falsify a wrong proof,
+//! * **provably-nonzero division ladders** — block-local denominators
+//!   shaped like `(x & 7) + 1`, provable in `[1, 8]`, driving zero-test
+//!   elision at division/remainder sites,
+//! * **maybe-uninitialized locals** — block-scoped scalars read before
+//!   any write on some (or all) paths; the interpreter defines them by
+//!   default-value semantics so execution parity holds, while the
+//!   analyzer's initialization domain (HD018) sees the uninit read.
 //!
 //! Each segment only reads/writes the pool, so **any subset of segments
 //! is still a valid program** — shrinking a failing case is just
@@ -278,7 +290,7 @@ fn gen_kvs(rng: &mut TestRng) -> Vec<(Vec<u8>, Vec<u8>)> {
 fn gen_segment(rng: &mut TestRng, mode: u64) -> String {
     let ints = ["i0", "i1", "i2", "t"];
     let dbls = ["d0", "d1"];
-    match rng.below(if mode == 0 { 8 } else { 9 }) {
+    match rng.below(if mode == 0 { 11 } else { 12 }) {
         0 => {
             // Integer arithmetic chain; denominators forced nonzero,
             // except a rare deliberate error-parity division.
@@ -375,6 +387,44 @@ fn gen_segment(rng: &mut TestRng, mode: u64) -> String {
                     "  printf(\"m\\t%d\\t%d\\n\", a0[{}], mix2(i2, 3));\n",
                     rng.below(16)
                 ),
+            }
+        }
+        8 => {
+            // Provable-subscript sweep: strided and mirrored indices a
+            // counted loop keeps inside [0, 16); the value analysis
+            // proves every site, so elision (and checked-elision) run
+            // on these stores.
+            let add = rng.range_i64(1, 9);
+            let half = *rng.pick(&["7", "8"]);
+            format!(
+                "  for (i3 = 0; i3 < {half}; i3++) {{\n    a0[i3 * 2] = a0[i3 * 2] + {add};\n    a0[15 - i3] = a0[15 - i3] ^ (i1 & 31);\n  }}\n"
+            )
+        }
+        9 => {
+            // Provably-nonzero division ladder: the denominator is
+            // masked+offset into [1, 8] (or [2, 5]), so the analyzer
+            // proves the zero test dead and the backend elides it.
+            let a = *rng.pick(&ints);
+            let b = *rng.pick(&ints);
+            format!(
+                "  {{\n    int den;\n    den = ({a} & 7) + 1;\n    t = ({b} * 3) / den + ({b} % den);\n    i1 = i1 + t % (({a} & 3) + 2);\n  }}\n",
+            )
+        }
+        10 => {
+            // Maybe-uninitialized block-local: read before any write on
+            // some or every path. Declaration semantics define the
+            // value (zero), so both backends agree; the initialization
+            // domain sees the uninit read (HD018).
+            if rng.chance(1, 2) {
+                format!(
+                    "  {{\n    int u;\n    t = t + u + {l};\n    u = i1;\n    t = t + u;\n  }}\n",
+                    l = rng.range_i64(-9, 9),
+                )
+            } else {
+                format!(
+                    "  {{\n    int u;\n    if (i0 > {l}) {{ u = i2; }}\n    t = t + u;\n  }}\n",
+                    l = rng.range_i64(-20, 20),
+                )
             }
         }
         _ => {

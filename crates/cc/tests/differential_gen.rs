@@ -10,7 +10,7 @@
 //! counterexample (source + input) is written to
 //! `target/testgen-failures/` for artifact upload.
 
-use hetero_cc::backend::{make_backend, BackendKind};
+use hetero_cc::backend::{make_backend, make_backend_with_mode, BackendKind, ElisionMode};
 use hetero_cc::interp::{InterpStats, StreamIo};
 use hetero_cc::parse::parse;
 use hetero_cc::testgen::{generate, GenCase};
@@ -37,6 +37,20 @@ type RunResult = Result<(Vec<u8>, InterpStats), String>;
 fn run_backend(kind: BackendKind, src: &str, io: &mut StreamIo) -> RunResult {
     let prog = parse(src).map_err(|e| format!("parse: {e}"))?;
     let backend = make_backend(kind, &prog);
+    match backend.run_capped(io, MAX_STEPS) {
+        Ok(stats) => Ok((io.stdout.clone(), stats)),
+        Err(e) => Err(e.to_string()),
+    }
+}
+
+fn run_backend_mode(
+    kind: BackendKind,
+    mode: ElisionMode,
+    src: &str,
+    io: &mut StreamIo,
+) -> RunResult {
+    let prog = parse(src).map_err(|e| format!("parse: {e}"))?;
+    let backend = make_backend_with_mode(kind, &prog, mode);
     match backend.run_capped(io, MAX_STEPS) {
         Ok(stats) => Ok((io.stdout.clone(), stats)),
         Err(e) => Err(e.to_string()),
@@ -143,6 +157,62 @@ fn generated_programs_agree_across_backends() {
         "generator drift: {errored}/{cases} cases end in runtime errors; \
          the corpus should be dominated by successful runs"
     );
+}
+
+#[test]
+fn generated_programs_survive_checked_elision() {
+    // Soundness fuzzer for the value analysis: run every generated case
+    // on the native backend in Checked mode, where each guard the
+    // analysis proved safe is still evaluated and *panics* if it would
+    // have fired. A panic here means `SafetyFacts` proved something
+    // false — an analyzer bug, not a generator or backend one. The
+    // checked run must also agree bit-for-bit with the interpreter so
+    // the three elision modes stay observationally identical on the
+    // whole random corpus, not just on the curated benchmarks.
+    let seed = env_u64("HETERO_TESTGEN_SEED", DEFAULT_SEED);
+    let cases = env_u64("HETERO_TESTGEN_CASES", DEFAULT_CASES);
+    for i in 0..cases {
+        let case = generate(seed.wrapping_add(i));
+        let src = case.source();
+        let mut io_i = case.make_io();
+        let ri = run_backend(BackendKind::Interp, &src, &mut io_i);
+        let mut io_c = case.make_io();
+        let rc = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_backend_mode(BackendKind::Native, ElisionMode::Checked, &src, &mut io_c)
+        }));
+        let rc = match rc {
+            Ok(r) => r,
+            Err(payload) => {
+                let why = payload
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                    .unwrap_or_else(|| "non-string panic payload".to_string());
+                let full = vec![true; case.segments.len()];
+                let path = write_counterexample(&case, &full, &why);
+                panic!(
+                    "checked-elision soundness violation at seed {} (case {i}/{cases}):\n{why}\n\
+                     counterexample written to {path}\n\
+                     reproduce with HETERO_TESTGEN_SEED={} HETERO_TESTGEN_CASES=1",
+                    case.seed, case.seed
+                );
+            }
+        };
+        let agree = match (&ri, &rc) {
+            (Ok((oi, si)), Ok((oc, sc))) => oi == oc && si == sc,
+            (Err(ei), Err(ec)) => ei == ec,
+            _ => false,
+        };
+        if !agree {
+            let full = vec![true; case.segments.len()];
+            let path = write_counterexample(&case, &full, "checked-elision parity");
+            panic!(
+                "checked-elision run diverged from interpreter at seed {} (case {i}/{cases})\n\
+                 counterexample written to {path}",
+                case.seed
+            );
+        }
+    }
 }
 
 #[test]

@@ -1,8 +1,9 @@
 // model is an unsized sharedRO array: it lands in global memory, and
 // the per-record subscript makes the loads uncoalesced.
-// expect: HD009 line=9 severity=perf-note
+// expect: HD009 line=10 severity=perf-note
 int main() {
   double *model; char word[30]; int one; int h;
+  model = (double *) malloc(800);
   #pragma mapreduce mapper key(word) value(one) keylength(30) vallength(4) kvpairs(1) sharedRO(model)
   while (getline(&word, 0, stdin) != -1) {
     h = word[0];

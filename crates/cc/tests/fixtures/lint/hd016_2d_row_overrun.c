@@ -1,0 +1,9 @@
+// The 2-D strided position (row * cols + col) is checked against the
+// whole rows*cols buffer; row 5 of a 3x4 matrix is provably out.
+// expect: HD016 line=7 severity=error
+int main() {
+  double m[3][4]; int j;
+  for (j = 0; j < 4; j++) m[2][j] = 1.0;
+  m[5][0] = 2.0;
+  return 0;
+}

@@ -1,0 +1,8 @@
+// A provably negative position faults before any extent question.
+// expect: HD016 line=6 severity=error
+int main() {
+  int a[8]; int i;
+  i = -3;
+  a[i] = 1;
+  return 0;
+}

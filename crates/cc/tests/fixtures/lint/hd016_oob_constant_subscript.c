@@ -1,0 +1,9 @@
+// A constant subscript past the declared extent is a provable fault.
+// expect: HD016 line=6 severity=error
+int main() {
+  int a[4]; int i;
+  for (i = 0; i < 4; i++) a[i] = i;
+  a[7] = 1;
+  printf("%d\n", a[0]);
+  return 0;
+}

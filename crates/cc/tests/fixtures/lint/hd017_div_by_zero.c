@@ -1,0 +1,9 @@
+// The denominator is the constant zero on every path that reaches the
+// division.
+// expect: HD017 line=6 severity=error
+int main() {
+  int z; int x; z = 0;
+  x = 10 / z;
+  printf("%d\n", x);
+  return 0;
+}

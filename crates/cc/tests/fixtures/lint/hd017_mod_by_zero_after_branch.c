@@ -1,0 +1,11 @@
+// The branch condition is unknown (scanf input), but both arms leave
+// d at zero, so the join still proves the fault.
+// expect: HD017 line=9 severity=error
+int main() {
+  int d; int x; int c;
+  scanf("%d", &c);
+  if (c) { d = 0; } else { d = 0; }
+  x = 7;
+  x = x % d;
+  return 0;
+}

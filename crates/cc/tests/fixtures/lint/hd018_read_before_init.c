@@ -1,0 +1,9 @@
+// `x` is read on line 6 before any assignment reaches it.
+// expect: HD018 line=6 severity=warning
+int main() {
+  int x; int y;
+  y = 1;
+  y = y + x;
+  printf("%d\n", y);
+  return 0;
+}

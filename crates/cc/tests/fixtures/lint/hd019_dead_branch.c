@@ -1,0 +1,11 @@
+// The condition is the constant zero: the branch body never runs, and
+// its emit is flagged at the printf site as well.
+// expect: HD019 line=6 severity=warning
+// expect: HD019 line=7 severity=warning
+int main() {
+  if (0) {
+    printf("never\t%d\n", 1);
+  }
+  printf("ok\t%d\n", 1);
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Constant-true guard, no break or return anywhere in the body: the
+// loop provably exceeds any step limit. (A growing `i >= 0` guard is
+// NOT flagged — wraparound eventually makes it false.)
+// expect: HD020 line=7 severity=warning
+int main() {
+  int i; i = 0;
+  while (1) {
+    i = i + 3;
+    if (i > 100) { i = 0; }
+  }
+  return 0;
+}

@@ -1,0 +1,7 @@
+// %d demands a number; a string pointer faults the interpreter.
+// expect: HD021 line=5 severity=warning
+int main() {
+  char w[8]; w[0] = 'a'; w[1] = '\0';
+  printf("%d\n", w);
+  return 0;
+}

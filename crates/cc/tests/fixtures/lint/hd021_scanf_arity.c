@@ -1,0 +1,9 @@
+// Two conversions, one destination: the second %d has no argument.
+// expect: HD021 line=5 severity=warning
+int main() {
+  int x;
+  while (scanf("%d %d", &x) == 2) {
+    printf("%d\n", x);
+  }
+  return 0;
+}

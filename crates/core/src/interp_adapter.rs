@@ -13,7 +13,7 @@
 //!
 //! [`InterpStats`]: hetero_cc::interp::InterpStats
 
-use hetero_cc::backend::{make_backend, BackendKind, KernelBackend};
+use hetero_cc::backend::{make_backend_with_facts, BackendKind, ElisionMode, KernelBackend};
 use hetero_cc::interp::StreamIo;
 use hetero_cc::{CcError, Compiled};
 use hetero_runtime::types::{Combiner, Emit, Mapper, OpCount};
@@ -34,10 +34,27 @@ impl InterpMapper {
         Self::with_backend(compiled, BackendKind::from_env())
     }
 
-    /// Wrap a compiled mapper program on an explicit backend.
+    /// Wrap a compiled mapper program on an explicit backend, with
+    /// guard elision following `HETERO_ELIDE`.
     pub fn with_backend(compiled: Arc<Compiled>, kind: BackendKind) -> Self {
+        Self::with_backend_mode(compiled, kind, ElisionMode::from_env())
+    }
+
+    /// Wrap a compiled mapper program on an explicit backend and
+    /// elision mode, reusing the safety facts `sema::analyze` already
+    /// proved for this program.
+    pub fn with_backend_mode(
+        compiled: Arc<Compiled>,
+        kind: BackendKind,
+        mode: ElisionMode,
+    ) -> Self {
         InterpMapper {
-            backend: make_backend(kind, &compiled.program),
+            backend: make_backend_with_facts(
+                kind,
+                &compiled.program,
+                &compiled.analysis.safety,
+                mode,
+            ),
         }
     }
 
@@ -82,10 +99,26 @@ impl InterpCombiner {
         Self::with_backend(compiled, BackendKind::from_env())
     }
 
-    /// Wrap a compiled combiner program on an explicit backend.
+    /// Wrap a compiled combiner program on an explicit backend, with
+    /// guard elision following `HETERO_ELIDE`.
     pub fn with_backend(compiled: Arc<Compiled>, kind: BackendKind) -> Self {
+        Self::with_backend_mode(compiled, kind, ElisionMode::from_env())
+    }
+
+    /// Wrap a compiled combiner program on an explicit backend and
+    /// elision mode.
+    pub fn with_backend_mode(
+        compiled: Arc<Compiled>,
+        kind: BackendKind,
+        mode: ElisionMode,
+    ) -> Self {
         InterpCombiner {
-            backend: make_backend(kind, &compiled.program),
+            backend: make_backend_with_facts(
+                kind,
+                &compiled.program,
+                &compiled.analysis.safety,
+                mode,
+            ),
         }
     }
 
@@ -127,13 +160,14 @@ impl Combiner for InterpCombiner {
 pub struct CompiledApp {
     inner: Box<dyn hetero_apps::App>,
     kind: BackendKind,
+    mode: ElisionMode,
     mapper: Arc<Compiled>,
     combiner: Option<Arc<Compiled>>,
 }
 
 impl CompiledApp {
     /// Compile `inner`'s C sources; kernels execute on the
-    /// `HETERO_BACKEND` default.
+    /// `HETERO_BACKEND` default with the `HETERO_ELIDE` elision mode.
     pub fn new(inner: Box<dyn hetero_apps::App>) -> Result<Self, CcError> {
         Self::with_backend(inner, BackendKind::from_env())
     }
@@ -143,6 +177,16 @@ impl CompiledApp {
         inner: Box<dyn hetero_apps::App>,
         kind: BackendKind,
     ) -> Result<Self, CcError> {
+        Self::with_backend_mode(inner, kind, ElisionMode::from_env())
+    }
+
+    /// Compile `inner`'s C sources; kernels execute on `kind` with the
+    /// given guard-elision mode.
+    pub fn with_backend_mode(
+        inner: Box<dyn hetero_apps::App>,
+        kind: BackendKind,
+        mode: ElisionMode,
+    ) -> Result<Self, CcError> {
         let mapper = Arc::new(hetero_cc::compile(inner.mapper_source())?);
         let combiner = match inner.combiner_source() {
             Some(src) => Some(Arc::new(hetero_cc::compile(src)?)),
@@ -151,6 +195,7 @@ impl CompiledApp {
         Ok(CompiledApp {
             inner,
             kind,
+            mode,
             mapper,
             combiner,
         })
@@ -160,6 +205,11 @@ impl CompiledApp {
     pub fn backend(&self) -> BackendKind {
         self.kind
     }
+
+    /// The guard-elision mode kernels run with.
+    pub fn elision(&self) -> ElisionMode {
+        self.mode
+    }
 }
 
 impl hetero_apps::App for CompiledApp {
@@ -168,12 +218,20 @@ impl hetero_apps::App for CompiledApp {
     }
 
     fn mapper(&self) -> Box<dyn Mapper> {
-        Box::new(InterpMapper::with_backend(self.mapper.clone(), self.kind))
+        Box::new(InterpMapper::with_backend_mode(
+            self.mapper.clone(),
+            self.kind,
+            self.mode,
+        ))
     }
 
     fn combiner(&self) -> Option<Box<dyn Combiner>> {
         self.combiner.as_ref().map(|c| {
-            Box::new(InterpCombiner::with_backend(c.clone(), self.kind)) as Box<dyn Combiner>
+            Box::new(InterpCombiner::with_backend_mode(
+                c.clone(),
+                self.kind,
+                self.mode,
+            )) as Box<dyn Combiner>
         })
     }
 

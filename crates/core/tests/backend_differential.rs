@@ -2,7 +2,8 @@
 //! sources, run as a *whole functional job* (HDFS splits → map/combine
 //! on CPU and simulated GPU → shuffle → reduce), must produce the same
 //! bits under the tree-walking interpreter and the closure-compiled
-//! native backend — at any worker-pool width.
+//! native backend — at any worker-pool width, and under every
+//! guard-elision mode of the native backend.
 //!
 //! "Same bits" is strict:
 //!   * byte-identical final output (every partition, every KV pair),
@@ -11,8 +12,14 @@
 //!     of the cost models is bit-identical, not merely close,
 //!   * identical Chrome-trace JSON (same spans, same timestamps, same
 //!     kernel launches and PCIe transfers).
+//!
+//! The elision dimension pins the zero-perturbation contract: guards
+//! proven safe by the value analysis charge nothing to `InterpStats`,
+//! so eliding them (On), keeping them (Off), or panic-checking them
+//! (Checked — the soundness oracle) must be invisible in every bit of
+//! job output.
 
-use hetero_cc::backend::BackendKind;
+use hetero_cc::backend::{BackendKind, ElisionMode};
 use hetero_gpusim::Device;
 use hetero_trace::Tracer;
 use heterodoop::{run_functional_job_pooled, CompiledApp, OptFlags, ParallelRunner, Preset};
@@ -20,12 +27,13 @@ use heterodoop::{run_functional_job_pooled, CompiledApp, OptFlags, ParallelRunne
 /// (per-partition output, task_seconds, Chrome-trace JSON) of one run.
 type RunBits = (Vec<Vec<(Vec<u8>, Vec<u8>)>>, f64, String);
 
-/// One full functional run of `code` on the given backend and pool
-/// width. GPU placement every other task exercises both device paths.
-fn run(code: &str, kind: BackendKind, threads: usize) -> RunBits {
+/// One full functional run of `code` on the given backend, elision
+/// mode, and pool width. GPU placement every other task exercises both
+/// device paths.
+fn run(code: &str, kind: BackendKind, mode: ElisionMode, threads: usize) -> RunBits {
     let base = hetero_apps::app_by_code(code).unwrap();
     let input = base.generate_split(400, 42);
-    let app = CompiledApp::with_backend(base, kind).unwrap();
+    let app = CompiledApp::with_backend_mode(base, kind, mode).unwrap();
     let preset = Preset::cluster1();
     let dev = Device::new(preset.gpu.clone());
     let tracer = Tracer::new();
@@ -44,34 +52,40 @@ fn run(code: &str, kind: BackendKind, threads: usize) -> RunBits {
 }
 
 #[test]
-fn all_benchmarks_are_bit_identical_across_backends_and_pool_widths() {
+fn all_benchmarks_are_bit_identical_across_backends_pools_and_elision() {
     for code in hetero_apps::CODES {
-        let (out_ref, secs_ref, trace_ref) = run(code, BackendKind::Interp, 1);
+        let (out_ref, secs_ref, trace_ref) = run(code, BackendKind::Interp, ElisionMode::Off, 1);
         let pairs: usize = out_ref.iter().map(|p| p.len()).sum();
         assert!(pairs > 0, "{code}: compiled job produced no output");
-        for (kind, threads) in [
-            (BackendKind::Interp, 4),
-            (BackendKind::Native, 1),
-            (BackendKind::Native, 4),
+        for (kind, mode, threads) in [
+            (BackendKind::Interp, ElisionMode::Off, 4),
+            (BackendKind::Native, ElisionMode::Off, 1),
+            (BackendKind::Native, ElisionMode::Off, 4),
+            (BackendKind::Native, ElisionMode::On, 1),
+            (BackendKind::Native, ElisionMode::On, 4),
+            (BackendKind::Native, ElisionMode::Checked, 1),
         ] {
-            let (out, secs, trace) = run(code, kind, threads);
+            let (out, secs, trace) = run(code, kind, mode, threads);
             assert_eq!(
                 out_ref,
                 out,
-                "{code}: output diverged on {} x{threads} vs interp x1",
-                kind.name()
+                "{code}: output diverged on {} elide={} x{threads} vs interp x1",
+                kind.name(),
+                mode.name()
             );
             assert_eq!(
                 secs_ref.to_bits(),
                 secs.to_bits(),
-                "{code}: task_seconds diverged on {} x{threads}: {secs_ref} vs {secs}",
-                kind.name()
+                "{code}: task_seconds diverged on {} elide={} x{threads}: {secs_ref} vs {secs}",
+                kind.name(),
+                mode.name()
             );
             assert_eq!(
                 trace_ref,
                 trace,
-                "{code}: trace JSON diverged on {} x{threads}",
-                kind.name()
+                "{code}: trace JSON diverged on {} elide={} x{threads}",
+                kind.name(),
+                mode.name()
             );
         }
     }
@@ -87,4 +101,16 @@ fn env_var_selects_the_job_backend() {
     std::env::remove_var("HETERO_BACKEND");
     assert_eq!(sel, BackendKind::Interp);
     assert_eq!(BackendKind::from_env(), BackendKind::Native, "default");
+}
+
+#[test]
+fn env_var_selects_the_elision_mode() {
+    std::env::set_var("HETERO_ELIDE", "checked");
+    let sel = ElisionMode::from_env();
+    std::env::set_var("HETERO_ELIDE", "off");
+    let off = ElisionMode::from_env();
+    std::env::remove_var("HETERO_ELIDE");
+    assert_eq!(sel, ElisionMode::Checked);
+    assert_eq!(off, ElisionMode::Off);
+    assert_eq!(ElisionMode::from_env(), ElisionMode::On, "default");
 }

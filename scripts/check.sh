@@ -13,7 +13,11 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test -q (workspace)"
 cargo test -q --workspace
 
-echo "== kernel backend smoke (interp vs native differential, reduced sweep)"
+echo "== kernel backend smoke (interp vs native differential + elision modes, reduced sweep)"
+# differential_gen sweeps interp-vs-native parity AND the checked-elision
+# soundness oracle (proven guards re-checked, panic on violation) over
+# the generated corpus; backend_differential pins the elide=on/off/checked
+# matrix bit-identical on whole jobs.
 HETERO_TESTGEN_CASES=32 cargo test -q -p hetero-cc --test differential_gen
 cargo test -q -p heterodoop --test backend_differential
 
